@@ -1,0 +1,73 @@
+"""Ablation A5 (paper Section 5 research question): user-feedback mechanisms vs. sketch accuracy.
+
+The paper asks how its feedback mechanisms (proactive clarification, reactive
+correction) trade user effort against query-sketch accuracy, "as a query
+sketch that does not match the user's intent will inevitably lead to
+semantically incorrect functions ... and erroneous final query results".
+
+This benchmark parses and executes the flagship query under four interaction
+configurations and reports user turns, whether the final plan captured the two
+user-specific pieces of intent (the meaning of 'exciting' and the recency
+preference), and the resulting answer accuracy.
+
+Expected shape: richer interaction captures more of the user's intent for a
+handful of user turns -- only configurations with proactive clarification learn
+what 'exciting' means, and only configurations with reactive correction pick up
+the recency preference (11-step sketch instead of 8).  On this small corpus the
+top-2 answer happens to be robust to the missing intent, so the differentiator
+is intent capture rather than headline accuracy; larger or more ambiguous
+workloads would translate the missing intent into wrong answers.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY, ranking_accuracy
+from repro.interaction.user import SilentUser
+
+CONFIGURATIONS = {
+    "none": {"proactive_clarification": False, "reactive_correction": False},
+    "proactive_only": {"proactive_clarification": True, "reactive_correction": False},
+    "reactive_only": {"proactive_clarification": False, "reactive_correction": True},
+    "both": {"proactive_clarification": True, "reactive_correction": True},
+}
+
+
+@pytest.mark.parametrize("label", list(CONFIGURATIONS))
+def test_a5_interaction_modes(benchmark, label, bench_corpus):
+    db = fresh_loaded_db(explore_variants=False, **CONFIGURATIONS[label])
+
+    def run_query():
+        user = make_flagship_user() if label != "none" else SilentUser()
+        return db.query(FLAGSHIP_QUERY, user=user)
+
+    result = benchmark.pedantic(run_query, rounds=3, iterations=1)
+
+    user_turns = result.transcript.user_turns()
+    captured_recency = result.intent.include_recency
+    clarified_exciting = "exciting" in result.intent.clarifications
+    expected_with_recency = [m.title for m in bench_corpus.ground_truth_ranking(0.7, 0.3)]
+    accuracy = ranking_accuracy(result.titles(), expected_with_recency, top_k=2)
+
+    if label == "both":
+        assert clarified_exciting and captured_recency
+        assert accuracy == 1.0
+        assert user_turns >= 2
+    if label == "none":
+        assert not captured_recency
+        assert user_turns == 0
+    if label == "proactive_only":
+        assert clarified_exciting and not captured_recency
+    if label == "reactive_only":
+        assert captured_recency
+
+    benchmark.extra_info["configuration"] = label
+    benchmark.extra_info["user_turns"] = user_turns
+    benchmark.extra_info["captured_recency"] = captured_recency
+    benchmark.extra_info["clarified_exciting"] = clarified_exciting
+    benchmark.extra_info["top2_accuracy"] = accuracy
+    benchmark.extra_info["sketch_steps"] = len(result.sketch)
+
+    print(f"\n[A5] interaction={label:<15} user_turns={user_turns} "
+          f"clarified={clarified_exciting!s:<5} recency={captured_recency!s:<5} "
+          f"sketch_steps={len(result.sketch):>2} top2_accuracy={accuracy:.2f}")

@@ -1,0 +1,84 @@
+"""Ablation A2 (paper Section 4): FAO granularity -- many small functions vs one fused function.
+
+The paper discusses the trade-off between a compact plan with fewer, larger
+functions (faster, fewer intermediate materializations, but harder to generate
+correctly and to explain) and a fine-grained plan (more functions, more
+intermediate results, better explanations).  This benchmark runs the flagship
+query with and without operator fusion and compares operator count, estimated
+plan accuracy, intermediate tables materialized, and explanation depth.
+
+Expected shape: fusion reduces the operator and intermediate count, drops the
+plan's estimated accuracy (the fused implementation carries a lower prior),
+and removes the per-score intermediate views that fine-grained explanations
+rely on, while the final top-2 answer stays the same on this corpus.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+
+CONFIGURATIONS = {
+    "fine_grained": {"enable_fusion": False},
+    "fused": {"enable_fusion": True},
+}
+
+
+@pytest.mark.parametrize("label", list(CONFIGURATIONS))
+def test_a2_fao_granularity(benchmark, label):
+    db = fresh_loaded_db(explore_variants=False, **CONFIGURATIONS[label])
+
+    def run_query():
+        return db.query(FLAGSHIP_QUERY, user=make_flagship_user())
+
+    result = benchmark.pedantic(run_query, rounds=3, iterations=1)
+
+    operators = len(result.physical_plan)
+    intermediates = len(result.intermediates)
+    estimated_accuracy = result.physical_plan.estimated_accuracy
+    top2 = result.titles()[:2]
+    assert top2 == ["Guilty by Suspicion", "Clean and Sober"]
+
+    if label == "fused":
+        assert any(op.name.startswith("fused_") for op in result.physical_plan)
+        assert operators < 10
+    else:
+        assert operators == 10
+
+    # Explanation depth: how many per-field derivations the top tuple gets.
+    explanation = db.explain_tuple(result, result.rows()[0]["lid"])
+    derivations = len(explanation.field_derivations)
+
+    benchmark.extra_info["configuration"] = label
+    benchmark.extra_info["operators"] = operators
+    benchmark.extra_info["intermediate_tables"] = intermediates
+    benchmark.extra_info["estimated_accuracy"] = round(estimated_accuracy, 4)
+    benchmark.extra_info["field_derivations"] = derivations
+    benchmark.extra_info["query_tokens"] = result.total_tokens
+
+    print(f"\n[A2] {label:<13} operators={operators:>2} intermediates={intermediates:>2} "
+          f"estimated_accuracy={estimated_accuracy:.3f} "
+          f"field_derivations={derivations} tokens={result.total_tokens}")
+
+
+def test_a2_fused_plan_estimated_accuracy_is_lower(benchmark):
+    """Direct comparison of the two plans' accuracy estimates (no execution)."""
+    db = fresh_loaded_db(explore_variants=False)
+
+    from repro.interaction.channel import InteractionChannel
+
+    def build_plans():
+        channel = InteractionChannel(make_flagship_user())
+        _, logical_plan, _ = db.parse_and_plan(FLAGSHIP_QUERY, channel)
+        fine_physical, _ = db.optimizer.optimize(logical_plan)
+        db.optimizer.enable_fusion = True
+        fused_physical, _ = db.optimizer.optimize(logical_plan)
+        db.optimizer.enable_fusion = False
+        return fine_physical, fused_physical
+
+    fine_physical, fused_physical = benchmark.pedantic(build_plans, rounds=1, iterations=1)
+    assert fused_physical.estimated_accuracy < fine_physical.estimated_accuracy
+    assert len(fused_physical) < len(fine_physical)
+    print(f"\n[A2] estimated accuracy: fine={fine_physical.estimated_accuracy:.3f} "
+          f"({len(fine_physical)} ops)  fused={fused_physical.estimated_accuracy:.3f} "
+          f"({len(fused_physical)} ops)")

@@ -1,0 +1,58 @@
+"""Ablation A1 (paper Section 3 research question): lineage-tracking overhead.
+
+The paper asks how KathDB should track provenance "without sacrificing much
+query execution speed".  This benchmark executes the flagship query under the
+three tracking levels (row, table, off) and compares execution wall-clock,
+lineage entries recorded, and what each level can still explain.
+
+Expected shape: row-level tracking records by far the most entries and costs
+measurably more than table-level or no tracking, but the overhead stays small
+relative to the model-call-dominated execution time; only row-level tracking
+can answer per-tuple explanation questions.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+from repro.errors import ExplanationError
+
+LEVELS = ["row", "table", "off"]
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_a1_lineage_overhead(benchmark, level):
+    db = fresh_loaded_db(lineage_level=level)
+
+    def run_query():
+        return db.query(FLAGSHIP_QUERY, user=make_flagship_user())
+
+    result = benchmark.pedantic(run_query, rounds=3, iterations=1)
+
+    # The answer itself does not depend on the lineage level.
+    assert result.titles()[:2] == ["Guilty by Suspicion", "Clean and Sober"]
+
+    summary = db.lineage.summary()
+    if level == "row":
+        assert summary["row"] > 0 and summary["table"] > 0
+        # Per-tuple explanation is available.
+        explanation = db.explain_tuple(result, result.rows()[0]["lid"])
+        assert explanation.field_derivations
+        explainable = True
+    elif level == "table":
+        assert summary["row"] == 0 and summary["table"] > 0
+        explainable = False
+    else:
+        assert summary["total"] == 0
+        explainable = False
+        with pytest.raises((ExplanationError, KeyError, TypeError)):
+            db.explain_tuple(result, result.rows()[0].get("lid") or -1)
+
+    benchmark.extra_info["lineage_level"] = level
+    benchmark.extra_info["lineage_entries"] = summary["total"]
+    benchmark.extra_info["execution_runtime_s"] = result.total_runtime_s
+    benchmark.extra_info["per_tuple_explanations"] = explainable
+
+    print(f"\n[A1] lineage level={level:<6} entries={summary['total']:>6} "
+          f"execution={result.total_runtime_s * 1000:7.1f} ms "
+          f"per-tuple explanations={'yes' if explainable else 'no'}")

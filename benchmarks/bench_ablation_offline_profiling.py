@@ -1,0 +1,64 @@
+"""Ablation A7 (paper Section 4 research question): online vs. offline profiling.
+
+The paper notes that KathDB "must profile function implementations on-the-fly
+during query execution, which can slow down the query" and asks how to reduce
+that effort, "e.g., through offline profiling".  This benchmark optimizes the
+flagship logical plan twice: once with cold profiling (every candidate is
+executed on sample rows) and once re-using the profile cache filled by the
+first run, and compares optimizer wall-clock, tokens, and the number of
+candidates profiled online.
+
+Expected shape: the cached run profiles zero candidates online, cuts optimizer
+wall-clock by a large factor, and still picks exactly the same physical plan.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+from repro.fao.registry import FunctionRegistry
+from repro.interaction.channel import InteractionChannel
+from repro.optimizer.optimizer import QueryOptimizer
+from repro.optimizer.profile_cache import ProfileCache
+
+
+@pytest.fixture(scope="module")
+def profiling_environment():
+    db = fresh_loaded_db()
+    channel = InteractionChannel(make_flagship_user())
+    _, logical_plan, _ = db.parse_and_plan(FLAGSHIP_QUERY, channel)
+    cache = ProfileCache()
+    # Warm the cache once so the "offline" arm has statistics to reuse.
+    warm_optimizer = QueryOptimizer(db.models, db.catalog, FunctionRegistry(),
+                                    profile_cache=cache)
+    warm_plan, warm_report = warm_optimizer.optimize(logical_plan)
+    return db, logical_plan, cache, warm_plan, warm_report
+
+
+@pytest.mark.parametrize("mode", ["online", "offline_cached"])
+def test_a7_profiling_mode(benchmark, profiling_environment, mode):
+    db, logical_plan, cache, warm_plan, _ = profiling_environment
+
+    def compile_plan():
+        optimizer = QueryOptimizer(
+            db.models, db.catalog, FunctionRegistry(),
+            profile_cache=cache if mode == "offline_cached" else None)
+        return optimizer.optimize(logical_plan)
+
+    physical, report = benchmark.pedantic(compile_plan, rounds=3, iterations=1)
+
+    assert report.chosen_variants == {op.name: op.function.variant for op in warm_plan.operators}
+    if mode == "offline_cached":
+        assert report.profile_cache_hits == report.candidates_evaluated
+    else:
+        assert report.profile_cache_hits == 0
+
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["optimizer_wall_clock_ms"] = round(report.wall_clock_s * 1000, 2)
+    benchmark.extra_info["candidates_profiled_online"] = (
+        report.candidates_evaluated - report.profile_cache_hits)
+    benchmark.extra_info["optimizer_tokens"] = report.tokens_spent
+
+    print(f"\n[A7] profiling={mode:<15} wall_clock={report.wall_clock_s * 1000:7.1f} ms "
+          f"online_profiles={report.candidates_evaluated - report.profile_cache_hits:>2} "
+          f"cache_hits={report.profile_cache_hits:>2} tokens={report.tokens_spent}")

@@ -1,0 +1,72 @@
+"""Ablation A6 (paper Section 2.2): sequential vs. parallel function generation.
+
+The paper notes the optimizer "can generate these functions efficiently, in
+parallel", although "our current prototype implements functions sequentially".
+This benchmark compiles the flagship logical plan with both strategies and
+compares optimizer wall-clock, checking that the chosen implementations are
+identical.
+
+Expected shape: both modes choose the same physical plan.  With the simulated
+models each candidate costs microseconds to generate and profile, so thread
+overhead makes the parallel mode *slower* here; the mode matters when each
+candidate involves real LLM calls (seconds each), where independent branches
+(the text-side scoring chain and the image-side classification chain) overlap.
+The benchmark therefore records wall-clock for both modes and asserts only on
+plan equivalence.
+"""
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+from repro.fao.registry import FunctionRegistry
+from repro.interaction.channel import InteractionChannel
+from repro.optimizer.optimizer import QueryOptimizer
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def compile_environment():
+    db = fresh_loaded_db()
+    channel = InteractionChannel(make_flagship_user())
+    _, logical_plan, _ = db.parse_and_plan(FLAGSHIP_QUERY, channel)
+    return db, logical_plan
+
+
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_a6_codegen_mode(benchmark, compile_environment, mode):
+    db, logical_plan = compile_environment
+
+    def compile_plan():
+        optimizer = QueryOptimizer(db.models, db.catalog, FunctionRegistry(),
+                                   parallel=(mode == "parallel"), explore_variants=True,
+                                   max_variants=2)
+        return optimizer.optimize(logical_plan)
+
+    physical, report = benchmark.pedantic(compile_plan, rounds=3, iterations=1)
+
+    assert len(physical) == len(logical_plan)
+    assert report.chosen_variants["gen_excitement_score"] == "embedding_similarity"
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["optimizer_wall_clock_s"] = round(report.wall_clock_s, 4)
+    benchmark.extra_info["candidates_evaluated"] = report.candidates_evaluated
+    print(f"\n[A6] codegen={mode:<10} wall_clock={report.wall_clock_s * 1000:7.1f} ms "
+          f"candidates={report.candidates_evaluated} "
+          f"variants={ {k: v for k, v in sorted(report.chosen_variants.items())[:3]} }")
+
+
+def test_a6_same_choices_in_both_modes(benchmark, compile_environment):
+    db, logical_plan = compile_environment
+
+    def compile_both():
+        sequential_pair = QueryOptimizer(db.models, db.catalog, FunctionRegistry(),
+                                         parallel=False).optimize(logical_plan)
+        parallel_pair = QueryOptimizer(db.models, db.catalog, FunctionRegistry(),
+                                       parallel=True).optimize(logical_plan)
+        return sequential_pair, parallel_pair
+
+    (sequential, seq_report), (parallel, par_report) = benchmark.pedantic(
+        compile_both, rounds=1, iterations=1)
+    assert seq_report.chosen_variants == par_report.chosen_variants
+    assert [op.name for op in sequential] == [op.name for op in parallel]
+    print(f"\n[A6] identical physical plans; sequential={seq_report.wall_clock_s * 1000:.1f} ms, "
+          f"parallel={par_report.wall_clock_s * 1000:.1f} ms")

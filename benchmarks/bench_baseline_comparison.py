@@ -1,0 +1,122 @@
+"""Ablation A4 (paper Sections 1 and 7): KathDB vs. the two baseline paradigms.
+
+The paper positions KathDB between "AI-assisted SQL engines that demand user
+effort" and "powerful but opaque multimodal systems".  This benchmark runs the
+flagship query through all three on the same corpus and models and compares
+accuracy, token cost, manual effort, user turns, and explanation depth.
+
+Expected shape: the expert SQL+UDF pipeline and KathDB both get the Figure 6
+top-2 right; the black box misranks (it folds the boring-poster filter into
+the score and cannot take the recency correction) and pays per-record prompt
+costs; only KathDB combines NL input, competitive accuracy, and lineage-backed
+explanations.
+"""
+
+from benchmarks.conftest import CORPUS_SEED, fresh_loaded_db, make_flagship_user
+from repro.baselines.blackbox_llm import BlackBoxLLMBaseline
+from repro.baselines.sql_udf import SQLUDFBaseline
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_QUERY,
+    ranking_accuracy,
+)
+from repro.models.base import ModelSuite
+
+
+def test_a4_kathdb_system(benchmark, bench_corpus):
+    db = fresh_loaded_db()
+
+    def run():
+        return db.query(FLAGSHIP_QUERY, user=make_flagship_user())
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    expected = [m.title for m in bench_corpus.ground_truth_ranking()]
+    accuracy = ranking_accuracy(result.titles(), expected, top_k=2)
+    assert accuracy == 1.0
+
+    benchmark.extra_info["system"] = "kathdb"
+    benchmark.extra_info["top2_accuracy"] = accuracy
+    benchmark.extra_info["query_tokens"] = result.total_tokens
+    benchmark.extra_info["manual_steps"] = 0
+    benchmark.extra_info["user_turns"] = result.transcript.user_turns()
+    benchmark.extra_info["explanation_artifacts"] = 5
+    print(f"\n[A4] KathDB        accuracy={accuracy:.2f} tokens={result.total_tokens} "
+          f"user_turns={result.transcript.user_turns()} explanations=5")
+
+
+def test_a4_sql_udf_baseline(benchmark, bench_corpus):
+    models = ModelSuite.create(seed=CORPUS_SEED)
+    baseline = SQLUDFBaseline(models)
+
+    result = benchmark.pedantic(lambda: baseline.flagship_query(bench_corpus),
+                                rounds=3, iterations=1)
+    expected = [m.title for m in bench_corpus.ground_truth_ranking()]
+    accuracy = ranking_accuracy(result.titles(), expected, top_k=2)
+    assert accuracy == 1.0
+    assert result.manual_operations >= 5
+
+    benchmark.extra_info["system"] = "sql_udf"
+    benchmark.extra_info["top2_accuracy"] = accuracy
+    benchmark.extra_info["query_tokens"] = result.tokens
+    benchmark.extra_info["manual_steps"] = result.manual_operations
+    benchmark.extra_info["user_turns"] = 0
+    benchmark.extra_info["explanation_artifacts"] = 2
+    print(f"\n[A4] SQL+UDF       accuracy={accuracy:.2f} tokens={result.tokens} "
+          f"manual_steps={result.manual_operations} explanations=2")
+
+
+def test_a4_blackbox_baseline(benchmark, bench_corpus):
+    models = ModelSuite.create(seed=CORPUS_SEED)
+    baseline = BlackBoxLLMBaseline(models)
+
+    result = benchmark.pedantic(
+        lambda: baseline.answer(FLAGSHIP_QUERY, bench_corpus,
+                                {"exciting": FLAGSHIP_CLARIFICATION}),
+        rounds=3, iterations=1)
+    expected = [m.title for m in bench_corpus.ground_truth_ranking()]
+    accuracy = ranking_accuracy(result.titles(), expected, top_k=2)
+    # The opaque baseline is systematically worse on the compositional query.
+    assert accuracy < 1.0
+    assert baseline.explanation_depth() == 1
+
+    benchmark.extra_info["system"] = "blackbox_llm"
+    benchmark.extra_info["top2_accuracy"] = accuracy
+    benchmark.extra_info["query_tokens"] = result.tokens
+    benchmark.extra_info["manual_steps"] = 0
+    benchmark.extra_info["user_turns"] = 1
+    benchmark.extra_info["explanation_artifacts"] = 1
+    print(f"\n[A4] black-box LLM accuracy={accuracy:.2f} tokens={result.tokens} "
+          f"per_record_calls={result.per_record_calls} explanations=1")
+
+
+def test_a4_shape_summary(benchmark, bench_corpus):
+    """Cross-system assertions on the comparison's overall shape."""
+    expected = [m.title for m in bench_corpus.ground_truth_ranking()]
+
+    def run_all():
+        db = fresh_loaded_db()
+        kathdb = db.query(FLAGSHIP_QUERY, user=make_flagship_user())
+        blackbox_run = BlackBoxLLMBaseline(ModelSuite.create(seed=CORPUS_SEED)).answer(
+            FLAGSHIP_QUERY, bench_corpus, {"exciting": FLAGSHIP_CLARIFICATION})
+        sql_run = SQLUDFBaseline(ModelSuite.create(seed=CORPUS_SEED)).flagship_query(bench_corpus)
+        return kathdb, blackbox_run, sql_run
+
+    kathdb_result, blackbox, sql_udf = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    kathdb_accuracy = ranking_accuracy(kathdb_result.titles(), expected, top_k=2)
+    blackbox_accuracy = ranking_accuracy(blackbox.titles(), expected, top_k=2)
+    sql_accuracy = ranking_accuracy(sql_udf.titles(), expected, top_k=2)
+
+    # Who wins, by roughly what factor.
+    assert kathdb_accuracy > blackbox_accuracy
+    assert sql_accuracy == kathdb_accuracy
+    assert blackbox.tokens > kathdb_result.total_tokens
+    assert sql_udf.manual_operations > 0
+
+    print("\n[A4] summary")
+    print(f"  {'system':<16} {'top2 acc':>8} {'tokens':>9} {'manual':>7} {'explanations':>13}")
+    print(f"  {'KathDB':<16} {kathdb_accuracy:>8.2f} {kathdb_result.total_tokens:>9} "
+          f"{0:>7} {5:>13}")
+    print(f"  {'SQL+UDF':<16} {sql_accuracy:>8.2f} {sql_udf.tokens:>9} "
+          f"{sql_udf.manual_operations:>7} {2:>13}")
+    print(f"  {'black-box LLM':<16} {blackbox_accuracy:>8.2f} {blackbox.tokens:>9} "
+          f"{0:>7} {1:>13}")

@@ -1,0 +1,47 @@
+"""Experiment F1 (paper Figure 1): the full end-to-end architecture walk-through.
+
+Measures one complete pass through every component shown in Figure 1 -- query
+parser (with the human-AI clarification/correction loop), logical plan
+generation and verification, cost-based physical planning with coder/profiler/
+critic, execution with lineage recording, and the explainer -- and records the
+per-stage token costs.
+"""
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+
+
+def test_figure1_end_to_end_pipeline(benchmark):
+    def run():
+        db = fresh_loaded_db()
+        population_tokens = db.total_tokens()
+        result = db.query(FLAGSHIP_QUERY, user=make_flagship_user())
+        explanation = db.explain_pipeline(result)
+        tuple_explanation = db.explain_tuple(result, result.rows()[0]["lid"])
+        return db, result, explanation, tuple_explanation, population_tokens
+
+    db, result, explanation, tuple_explanation, population_tokens = benchmark.pedantic(
+        run, rounds=3, iterations=1)
+
+    # Every Figure 1 component produced its artifact.
+    assert result.sketch is not None and len(result.sketch) == 11
+    assert result.logical_plan is not None and len(result.logical_plan) == 10
+    assert result.physical_plan is not None and len(result.physical_plan) == 10
+    assert result.titles()[:2] == ["Guilty by Suspicion", "Clean and Sober"]
+    assert result.lineage.summary()["total"] > 0
+    assert explanation.startswith("How KathDB answered")
+    assert tuple_explanation.produced_by == "combine_scores"
+
+    by_purpose = db.cost_meter.by_purpose()
+    benchmark.extra_info["population_tokens"] = population_tokens
+    benchmark.extra_info["query_tokens"] = result.total_tokens
+    benchmark.extra_info["total_tokens"] = db.total_tokens()
+    benchmark.extra_info["result_rows"] = len(result.final_table)
+
+    print("\n[F1] end-to-end pipeline over the flagship query")
+    print(f"  view population tokens : {population_tokens}")
+    print(f"  query execution tokens : {result.total_tokens}")
+    print(f"  grand total tokens     : {db.total_tokens()}")
+    print("  top tokens by purpose:")
+    for purpose, summary in sorted(by_purpose.items(), key=lambda kv: -kv[1].total_tokens)[:8]:
+        print(f"    {purpose:<28} {summary.total_tokens:>8}")

@@ -1,0 +1,55 @@
+"""Experiment T3/F2 (paper Table 3 + Figure 2): the lineage rows behind an output tuple.
+
+Regenerates the lineage-table excerpt of Figure 2: starting from the top
+output tuple of the flagship query, trace its full derivation and print the
+rows of the unified provenance schema
+``Lineage(lid, parent_lid, src_uri, func_id, ver_id, data_type, ts)``.
+The benchmark measures the lineage-trace lookup itself.
+"""
+
+
+def test_figure2_lineage_rows_for_top_tuple(benchmark, bench_flagship_result):
+    result = bench_flagship_result
+    top_lid = result.rows()[0]["lid"]
+
+    trace = benchmark(result.lineage.trace, top_lid, 16)
+
+    entries_by_lid = {entry.lid: entry for entry in trace}
+    # The chain reaches from the row produced by combine_scores back to the raw
+    # external sources (NULL parent + file:// src_uri), as in Figure 2.
+    assert entries_by_lid[top_lid].data_type == "row"
+    assert entries_by_lid[top_lid].func_id == "combine_scores"
+    roots = [entry for entry in trace if entry.parent_lid is None and entry.src_uri]
+    assert roots, "the trace must reach external sources"
+    assert any("movie_table" in entry.src_uri for entry in roots)
+    func_ids = {entry.func_id for entry in trace}
+    for expected in ("combine_scores", "gen_recency_score", "gen_excitement_score",
+                     "join_text_entities", "select_movie_columns", "load_data"):
+        assert expected in func_ids
+    # Narrow functions recorded row-level edges, wide ones table-level edges.
+    assert any(entry.data_type == "row" for entry in trace)
+    assert any(entry.data_type == "table" for entry in trace)
+
+    benchmark.extra_info["trace_length"] = len(trace)
+    benchmark.extra_info["total_lineage_entries"] = result.lineage.summary()["total"]
+
+    print(f"\n[F2] lineage rows for output tuple lid={top_lid} "
+          f"(store holds {result.lineage.summary()} entries)")
+    header = f"{'lid':>6} {'parent_lid':>10} {'func_id':<26} {'ver_id':>6} {'data_type':<9} {'ts':>8} src_uri"
+    print("  " + header)
+    for entry in trace:
+        parent = entry.parent_lid if entry.parent_lid is not None else "NULL"
+        print(f"  {entry.lid:>6} {parent:>10} {entry.func_id:<26} {entry.ver_id:>6} "
+              f"{entry.data_type:<9} {entry.ts:>8.3f} {entry.src_uri or ''}")
+
+
+def test_figure2_sql_over_lineage(benchmark, bench_db, bench_flagship_result):
+    """The lineage table is itself queryable with the relational engine."""
+    from repro.explain.lineage_query import LineageQueryInterface
+
+    qa = LineageQueryInterface(bench_db.models, bench_db.explainer)
+    sql = "SELECT data_type, count(*) AS n FROM lineage GROUP BY data_type ORDER BY data_type"
+    table = benchmark(qa.sql, sql, bench_flagship_result)
+    kinds = {row["data_type"]: row["n"] for row in table}
+    assert kinds.get("row", 0) > kinds.get("table", 0)
+    print("\n[F2] lineage entry counts by data_type:", kinds)

@@ -1,0 +1,44 @@
+"""Experiment F3 (paper Figure 3): the logical-plan node JSON emitted by the plan generator.
+
+Regenerates the function-signature JSON for ``classify_boring`` exactly in the
+paper's layout (name / description / inputs / output), plus the full 10-node
+logical plan, and measures the parse -> sketch -> plan -> verify path.
+"""
+
+import json
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+from repro.interaction.channel import InteractionChannel
+
+
+def test_figure3_logical_plan_signatures(benchmark):
+    db = fresh_loaded_db()
+
+    def parse_and_plan():
+        channel = InteractionChannel(make_flagship_user())
+        return db.parse_and_plan(FLAGSHIP_QUERY, channel)
+
+    outcome, plan, report = benchmark.pedantic(parse_and_plan, rounds=3, iterations=1)
+
+    assert report.approved
+    assert len(plan) == 10
+
+    classify = plan.node("classify_boring").signature_json()
+    # The exact JSON layout of Figure 3.
+    assert list(classify.keys()) == ["name", "description", "inputs", "output"]
+    assert classify["name"] == "classify_boring"
+    assert classify["inputs"] == ["films_with_image_scene"]
+    assert classify["output"] == "films_with_boring_flag"
+    assert "poster" in classify["description"].lower()
+
+    payload = json.loads(plan.to_json())
+    assert len(payload) == 10
+    assert all(set(node) == {"name", "description", "inputs", "output"} for node in payload)
+
+    benchmark.extra_info["plan_nodes"] = len(plan)
+    benchmark.extra_info["verifier_tool_calls"] = report.tool_calls
+
+    print("\n[F3] classify_boring signature emitted by the logical plan generator:")
+    print(json.dumps(classify, indent=2))
+    print(f"  (full plan: {len(plan)} nodes, verifier used {report.tool_calls} tool calls)")

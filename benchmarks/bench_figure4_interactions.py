@@ -1,0 +1,48 @@
+"""Experiment F4 (paper Figure 4): NL-parser interactions in both modes.
+
+Regenerates the proactive-clarification and reactive-correction dialogue of
+Figure 4: the parser asks what 'exciting' means, the user answers, an 8-step
+sketch is drafted, the user adds the recency preference, and an 11-step sketch
+(v2) replaces it.  The benchmark measures the full interactive parsing loop.
+"""
+
+from benchmarks.conftest import fresh_loaded_db, make_flagship_user
+from repro.data.workloads import FLAGSHIP_QUERY
+from repro.interaction.channel import InteractionChannel, InteractionKind
+from repro.parser.nl_parser import NLParser
+
+
+def test_figure4_clarification_and_correction(benchmark):
+    db = fresh_loaded_db()
+    parser = NLParser(db.models)
+
+    def parse():
+        channel = InteractionChannel(make_flagship_user())
+        outcome = parser.parse(FLAGSHIP_QUERY, channel)
+        return outcome, channel
+
+    outcome, channel = benchmark.pedantic(parse, rounds=3, iterations=1)
+
+    # Proactive clarification: exactly the paper's question about 'exciting'.
+    clarifications = channel.transcript.of_kind(InteractionKind.CLARIFICATION)
+    assert clarifications
+    assert "What does 'exciting' mean in this context?" in clarifications[0].system_message
+    assert "uncommon" in clarifications[0].user_reply
+
+    # Reactive correction: sketch v1 has 8 steps, v2 has 11 (paper Section 6).
+    assert len(outcome.sketch_history[0]) == 8
+    assert outcome.sketch.version == 2
+    assert len(outcome.sketch) == 11
+    assert outcome.clarification_rounds == 1
+    assert outcome.correction_rounds == 1
+    # The correction introduced the recency step.
+    assert any("recency" in step.description.lower() for step in outcome.sketch)
+
+    benchmark.extra_info["sketch_v1_steps"] = len(outcome.sketch_history[0])
+    benchmark.extra_info["sketch_v2_steps"] = len(outcome.sketch)
+    benchmark.extra_info["user_turns"] = channel.transcript.user_turns()
+
+    print("\n[F4] NL parser interactions (proactive clarification + reactive correction)")
+    print(channel.transcript.describe()[:600])
+    print(f"  sketch v1 steps: {len(outcome.sketch_history[0])}  ->  "
+          f"sketch v{outcome.sketch.version} steps: {len(outcome.sketch)}")

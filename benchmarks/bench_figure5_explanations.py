@@ -1,0 +1,64 @@
+"""Experiment F5 (paper Figure 5): coarse- and fine-grained result explanations.
+
+Regenerates both explanation modes over the flagship query result: the
+coarse pipeline overview (one entry per transformation, including the
+classify-boring and ranking steps the paper excerpts) and the fine-grained
+per-tuple explanation of the top result (lid, producing function, per-field
+derivations including the 0.7/0.3 weighted sum, and the derivation chain).
+"""
+
+
+def test_figure5_coarse_explanation(benchmark, bench_db, bench_flagship_result):
+    text = benchmark(bench_db.explain_pipeline, bench_flagship_result)
+    lines = text.splitlines()
+    assert lines[0].startswith("How KathDB answered")
+    # One numbered entry per executed operator (10 for the flagship plan).
+    assert len(lines) - 1 == len(bench_flagship_result.physical_plan)
+    lowered = text.lower()
+    assert "boring" in lowered and "rank" in lowered and "recency" in lowered
+    benchmark.extra_info["explanation_steps"] = len(lines) - 1
+    print("\n[F5-coarse] pipeline explanation")
+    print(text)
+
+
+def test_figure5_fine_grained_explanation(benchmark, bench_db, bench_flagship_result):
+    result = bench_flagship_result
+    top_lid = result.rows()[0]["lid"]
+
+    explanation = benchmark(bench_db.explain_tuple, result, top_lid)
+
+    assert explanation.lid == top_lid
+    assert explanation.produced_by == "combine_scores"
+    text = explanation.describe()
+    # The Figure 5 ingredients: the weighted sum with the paper's weights, the
+    # recency assignment, the keyword evidence, and the poster classification.
+    assert "weighted sum" in text and "0.7" in text and "0.3" in text
+    assert "recency_score" in text
+    assert "excitement_score" in text
+    assert "boring" in text
+    assert "derivation chain" in text
+    assert "def combine_scores" in text
+
+    benchmark.extra_info["field_derivations"] = len(explanation.field_derivations)
+    benchmark.extra_info["ancestry_depth"] = len(explanation.ancestry)
+
+    print(f"\n[F5-fine] explanation of tuple lid={top_lid}")
+    print(text)
+
+
+def test_figure5_nl_questions_over_lineage(benchmark, bench_db, bench_flagship_result):
+    """The NL channel over lineage that Figure 5's dialogue uses."""
+    result = bench_flagship_result
+    lid = result.rows()[0]["lid"]
+
+    def ask_all():
+        return (
+            bench_db.ask("Explain the full pipeline?", result),
+            bench_db.ask(f"Explain tuple {lid}?", result),
+            bench_db.ask("Which function produced 'final_score'?", result),
+        )
+
+    pipeline_answer, tuple_answer, column_answer = benchmark(ask_all)
+    assert pipeline_answer.startswith("How KathDB answered")
+    assert f"lid={lid}" in tuple_answer
+    assert "combine_scores" in column_answer

@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (T1, T2, F1-F6)
+or one ablation (A1-A6); see DESIGN.md section 4 for the experiment index and
+EXPERIMENTS.md for the recorded results.  Fixtures are session-scoped where
+the artifact is read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KathDB, KathDBConfig, ScriptedUser, build_movie_corpus
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_CORRECTION,
+    FLAGSHIP_QUERY,
+)
+from repro.models.base import ModelSuite
+
+CORPUS_SIZE = 20
+CORPUS_SEED = 7
+
+
+def make_flagship_user() -> ScriptedUser:
+    """The scripted user of the paper's Section 6 walk-through."""
+    return ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION])
+
+
+def fresh_loaded_db(**config_overrides) -> KathDB:
+    """A freshly loaded KathDB instance (own models, catalog, lineage)."""
+    corpus = build_movie_corpus(size=CORPUS_SIZE, seed=CORPUS_SEED)
+    db = KathDB(KathDBConfig(seed=CORPUS_SEED, **config_overrides))
+    db.load_corpus(corpus)
+    return db
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return build_movie_corpus(size=CORPUS_SIZE, seed=CORPUS_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_models():
+    return ModelSuite.create(seed=CORPUS_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_db(bench_corpus):
+    """A shared loaded instance for read-mostly benchmarks."""
+    db = KathDB(KathDBConfig(seed=CORPUS_SEED))
+    db.load_corpus(bench_corpus)
+    return db
+
+
+@pytest.fixture(scope="session")
+def bench_flagship_result(bench_db):
+    """The flagship query executed once on the shared instance."""
+    return bench_db.query(FLAGSHIP_QUERY, user=make_flagship_user())
+
+
+@pytest.fixture(scope="session")
+def flagship_query() -> str:
+    return FLAGSHIP_QUERY

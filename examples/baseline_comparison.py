@@ -1,0 +1,98 @@
+"""Compare KathDB against the two baseline paradigms from the paper's introduction.
+
+* **SQL + ML-UDF** -- an expert hand-writes the whole pipeline: accurate, but
+  every query costs manual developer effort and there is no NL interface.
+* **Black-box end-to-end LLM** -- one model call per record produces the answer
+  directly: no manual effort, but expensive, opaque (no lineage), and less
+  accurate on compositional queries (it folds the boring-poster *filter* into
+  the ranking, and it has no channel for the user's recency correction).
+* **KathDB** -- NL in, relational semantic layer + FAO plan in the middle,
+  lineage-backed explanations out.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from repro import KathDB, KathDBConfig, ScriptedUser, build_movie_corpus
+from repro.baselines import BlackBoxLLMBaseline, SQLUDFBaseline
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_CORRECTION,
+    FLAGSHIP_QUERY,
+    ranking_accuracy,
+)
+from repro.models.base import ModelSuite
+
+
+def main() -> None:
+    corpus = build_movie_corpus(size=20, seed=7)
+    expected = [m.title for m in corpus.ground_truth_ranking()]
+
+    # KathDB.
+    db = KathDB(KathDBConfig(seed=7))
+    db.load_corpus(corpus)
+    population_tokens = db.total_tokens()
+    user = ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION])
+    kathdb_result = db.query(FLAGSHIP_QUERY, user=user)
+    kathdb_query_tokens = db.total_tokens() - population_tokens
+
+    # SQL + UDF baseline (its own fresh model suite so token counts are isolated).
+    sql_models = ModelSuite.create(seed=7)
+    sql_result = SQLUDFBaseline(sql_models).flagship_query(corpus)
+
+    # Black-box end-to-end baseline.
+    blackbox_models = ModelSuite.create(seed=7)
+    blackbox_result = BlackBoxLLMBaseline(blackbox_models).answer(
+        FLAGSHIP_QUERY, corpus, {"exciting": FLAGSHIP_CLARIFICATION})
+
+    rows = [
+        {
+            "system": "KathDB",
+            "top-3 accuracy": ranking_accuracy(kathdb_result.titles(), expected, top_k=3),
+            "query tokens": kathdb_query_tokens,
+            "manual steps": 0,
+            "user turns": kathdb_result.transcript.user_turns(),
+            "explanation artifacts": 5,  # sketch, plan, records, lineage, per-field derivations
+        },
+        {
+            "system": "SQL + ML-UDF (expert)",
+            "top-3 accuracy": ranking_accuracy(sql_result.titles(), expected, top_k=3),
+            "query tokens": sql_result.tokens,
+            "manual steps": sql_result.manual_operations,
+            "user turns": 0,
+            "explanation artifacts": 2,  # the hand-written code and the final table
+        },
+        {
+            "system": "black-box end-to-end LLM",
+            "top-3 accuracy": ranking_accuracy(blackbox_result.titles(), expected, top_k=3),
+            "query tokens": blackbox_result.tokens,
+            "manual steps": 0,
+            "user turns": 1,
+            "explanation artifacts": 1,  # only the final answer
+        },
+    ]
+
+    print(f"flagship query: {FLAGSHIP_QUERY}")
+    print(f"ground-truth top-3: {expected[:3]}")
+    print()
+    header = (f"{'system':<28} {'top-3 acc':>9} {'tokens':>9} {'manual steps':>12} "
+              f"{'user turns':>10} {'explanations':>12}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['system']:<28} {row['top-3 accuracy']:>9.2f} {row['query tokens']:>9} "
+              f"{row['manual steps']:>12} {row['user turns']:>10} "
+              f"{row['explanation artifacts']:>12}")
+    print()
+    print("KathDB top-3:    ", kathdb_result.titles()[:3])
+    print("SQL+UDF top-3:   ", sql_result.titles()[:3])
+    print("black-box top-3: ", blackbox_result.titles()[:3])
+    print()
+    print("Note: KathDB's one-time view population cost "
+          f"({population_tokens} tokens) is shared across every later query, "
+          "while the black box pays its full per-record cost for each query.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Explore query provenance: NL questions and SQL over the lineage table.
+
+The lineage store is itself a relational table (paper Table 3), so provenance
+can be queried with exactly the same machinery as the data: this example runs
+the flagship query, then asks NL questions about it and issues SQL directly
+against the ``lineage`` relation.
+
+Run with::
+
+    python examples/lineage_exploration.py
+"""
+
+from repro import KathDB, KathDBConfig, ScriptedUser, build_movie_corpus
+from repro.data.workloads import FLAGSHIP_CLARIFICATION, FLAGSHIP_CORRECTION, FLAGSHIP_QUERY
+from repro.explain.lineage_query import LineageQueryInterface
+
+
+def main() -> None:
+    corpus = build_movie_corpus(size=20, seed=7)
+    db = KathDB(KathDBConfig(seed=7))
+    db.load_corpus(corpus)
+    user = ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION])
+    result = db.query(FLAGSHIP_QUERY, user=user)
+
+    top = result.rows()[0]
+    runner_up = result.rows()[1]
+    print(f"result head: {[r['title'] for r in result.rows()[:3]]}")
+    print(f"lineage entries recorded: {result.lineage.summary()}")
+    print()
+
+    print("=== NL questions over lineage ===")
+    questions = [
+        "Explain the full pipeline.",
+        f"Explain tuple {top['lid']}?",
+        f"How was tuple {runner_up['lid']} derived?",
+        "Which function produced 'excitement_score'?",
+        "Which function produced 'boring_poster'?",
+        "How many rows did classify_boring produce?",
+        "Which function versions were used?",
+    ]
+    for question in questions:
+        answer = db.ask(question, result)
+        first_lines = "\n    ".join(answer.splitlines()[:4])
+        print(f"Q: {question}\nA:  {first_lines}\n")
+
+    print("=== SQL directly over the lineage relation ===")
+    qa = LineageQueryInterface(db.models, db.explainer)
+    queries = [
+        "SELECT func_id, count(*) AS n FROM lineage GROUP BY func_id ORDER BY n DESC LIMIT 8",
+        "SELECT data_type, count(*) AS n FROM lineage GROUP BY data_type",
+        f"SELECT lid, parent_lid, func_id, ver_id, data_type FROM lineage "
+        f"WHERE lid = {top['lid']}",
+    ]
+    for sql in queries:
+        print(f"sql> {sql}")
+        print(qa.sql(sql, result).pretty(limit=10))
+        print()
+
+
+if __name__ == "__main__":
+    main()

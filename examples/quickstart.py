@@ -1,0 +1,51 @@
+"""Quickstart: load the synthetic MMQA-style corpus and run the paper's flagship query.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import KathDB, KathDBConfig, ScriptedUser, build_movie_corpus
+from repro.data.workloads import FLAGSHIP_CLARIFICATION, FLAGSHIP_CORRECTION, FLAGSHIP_QUERY
+
+
+def main() -> None:
+    # 1. Build the corpus (tables + plot text + synthetic posters) and load it.
+    #    Loading registers the base relations and populates the scene-graph /
+    #    text-graph views -- the paper's "pre-written view population" step.
+    corpus = build_movie_corpus(size=20, seed=7)
+    db = KathDB(KathDBConfig(seed=7))
+    report = db.load_corpus(corpus)
+    print(report.describe())
+    print()
+
+    # 2. The scripted user reproduces the paper's Section 6 dialogue: one
+    #    clarification answer plus one reactive correction.
+    user = ScriptedUser(
+        clarification_answers={"exciting": FLAGSHIP_CLARIFICATION},
+        corrections=[FLAGSHIP_CORRECTION],
+    )
+
+    # 3. Ask the NL query end to end.
+    result = db.query(FLAGSHIP_QUERY, user=user)
+
+    print("=== final ranked result (Figure 6) ===")
+    figure6 = result.final_table.select_columns(
+        ["lid", "title", "year", "final_score", "boring_poster"], name="figure6")
+    print(figure6.pretty(limit=5))
+    print()
+
+    print("=== how the answer was produced ===")
+    print(db.explain_pipeline(result))
+    print()
+
+    top_lid = result.rows()[0]["lid"]
+    print(f"=== fine-grained explanation of tuple lid={top_lid} ===")
+    print(db.explain_tuple(result, top_lid).describe())
+    print()
+
+    print(f"total model tokens spent: {db.total_tokens()}")
+
+
+if __name__ == "__main__":
+    main()

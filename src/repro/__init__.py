@@ -1,0 +1,44 @@
+"""KathDB reproduction: an explainable multimodal DBMS with human-AI collaboration.
+
+This package reproduces the system described in the CIDR 2026 vision paper
+*KathDB: Explainable Multimodal Database Management System with Human-AI
+Collaboration* (Xiao, Zhang, Sullivan, Hansen, Balazinska; University of
+Washington), built entirely on local, deterministic substrates (an embedded
+relational engine, simulated foundation models, and a synthetic MMQA-style
+corpus).  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced figures.
+
+Quick start::
+
+    from repro import KathDB, KathDBConfig, build_movie_corpus, ScriptedUser
+
+    db = KathDB(KathDBConfig(seed=7))
+    db.load_corpus(build_movie_corpus(size=20, seed=7))
+    user = ScriptedUser(
+        {"exciting": "the movie plot contains scenes that are uncommon in real life"},
+        ["I prefer more recent movies as well when scoring"])
+    result = db.query("Sort the films in the table by how exciting they are, "
+                      "but the poster should be 'boring'.", user=user)
+    print(result.final_table.pretty())
+"""
+
+from repro.core.config import KathDBConfig
+from repro.core.kathdb import KathDB
+from repro.data.mmqa import MovieCorpus, build_movie_corpus
+from repro.data.workloads import Workload, build_default_workload
+from repro.interaction.user import ConsoleUser, ScriptedUser, SilentUser
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "KathDB",
+    "KathDBConfig",
+    "MovieCorpus",
+    "build_movie_corpus",
+    "Workload",
+    "build_default_workload",
+    "ScriptedUser",
+    "SilentUser",
+    "ConsoleUser",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baseline systems KathDB is positioned against (paper Sections 1 and 7).
+
+* :class:`~repro.baselines.sql_udf.SQLUDFBaseline` -- the "AI-assisted SQL
+  engine" end of the trade-off: an expert manually composes the pipeline out
+  of SQL and ML UDF calls.  Accurate and cheap, but every query costs manual
+  developer effort and the user gets no NL interface.
+* :class:`~repro.baselines.blackbox_llm.BlackBoxLLMBaseline` -- the "powerful
+  but opaque multimodal system" end: the NL query plus every record is handed
+  to a single foundation-model call per row that directly emits the answer,
+  bypassing the relational layer.  No lineage, no intermediate views, no
+  explanation beyond the final answer.
+"""
+
+from repro.baselines.sql_udf import SQLUDFBaseline, SQLUDFResult
+from repro.baselines.blackbox_llm import BlackBoxLLMBaseline, BlackBoxResult
+
+__all__ = [
+    "SQLUDFBaseline",
+    "SQLUDFResult",
+    "BlackBoxLLMBaseline",
+    "BlackBoxResult",
+]

@@ -1,0 +1,139 @@
+"""Command-line interface for the KathDB reproduction.
+
+Examples
+--------
+Run the paper's flagship query with the scripted user from Section 6::
+
+    python -m repro.cli --flagship
+
+Run an arbitrary NL query with scripted clarifications::
+
+    python -m repro.cli --query "Which films have a boring poster?"
+    python -m repro.cli --query "Rank every film by how exciting its plot is." \
+        --clarify "exciting=the plot contains scenes that are uncommon in real life"
+
+Run interactively (KathDB asks *you* the clarification questions)::
+
+    python -m repro.cli --query "..." --interactive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro import KathDB, KathDBConfig, build_movie_corpus
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_CORRECTION,
+    FLAGSHIP_QUERY,
+)
+from repro.interaction.user import ConsoleUser, ScriptedUser, SilentUser, UserAgent
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="kathdb-repro",
+        description="Run NL queries over the synthetic multimodal movie corpus with KathDB.")
+    parser.add_argument("--query", help="the natural-language query to run")
+    parser.add_argument("--flagship", action="store_true",
+                        help="run the paper's flagship query with the Section 6 scripted user")
+    parser.add_argument("--size", type=int, default=20, help="corpus size (default: 20)")
+    parser.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+    parser.add_argument("--clarify", action="append", default=[], metavar="TERM=ANSWER",
+                        help="scripted answer to a clarification question (repeatable)")
+    parser.add_argument("--correction", action="append", default=[], metavar="TEXT",
+                        help="scripted reactive correction to the query sketch (repeatable)")
+    parser.add_argument("--interactive", action="store_true",
+                        help="answer clarification questions at the terminal instead of scripting them")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the coarse pipeline explanation after the result")
+    parser.add_argument("--explain-top", action="store_true",
+                        help="print the fine-grained explanation of the top result tuple")
+    parser.add_argument("--lineage-level", choices=["row", "table", "off"], default="row",
+                        help="provenance tracking granularity (default: row)")
+    parser.add_argument("--no-monitor", action="store_true",
+                        help="disable the semantic-anomaly monitor")
+    parser.add_argument("--limit", type=int, default=10, help="result rows to print (default: 10)")
+    return parser
+
+
+def parse_clarifications(pairs: Sequence[str]) -> Dict[str, str]:
+    """Parse repeated ``term=answer`` options into a dict."""
+    clarifications: Dict[str, str] = {}
+    for pair in pairs:
+        term, separator, answer = pair.partition("=")
+        if not separator:
+            raise ValueError(f"--clarify expects TERM=ANSWER, got {pair!r}")
+        clarifications[term.strip()] = answer.strip()
+    return clarifications
+
+
+def build_user(args: argparse.Namespace) -> UserAgent:
+    """Choose the user agent implied by the CLI options."""
+    if args.interactive:
+        return ConsoleUser()
+    if args.flagship:
+        return ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION])
+    clarifications = parse_clarifications(args.clarify)
+    corrections = list(args.correction)
+    if clarifications or corrections:
+        return ScriptedUser(clarifications, corrections)
+    return SilentUser()
+
+
+def run(args: argparse.Namespace, output=None) -> int:
+    """Execute the CLI request; returns a process exit code."""
+    output = output if output is not None else sys.stdout
+    query = FLAGSHIP_QUERY if args.flagship else args.query
+    if not query:
+        print("error: provide --query or --flagship", file=output)
+        return 2
+
+    corpus = build_movie_corpus(size=args.size, seed=args.seed)
+    config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
+                          monitor_enabled=not args.no_monitor)
+    db = KathDB(config)
+    print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
+          file=output)
+    db.load_corpus(corpus)
+
+    user = build_user(args)
+    result = db.query(query, user=user)
+
+    print(f"\nquery: {query}", file=output)
+    print(f"result rows: {len(result.final_table)}  "
+          f"(query tokens: {result.total_tokens}, "
+          f"interactions: {result.transcript.user_turns()})", file=output)
+    display_columns = [c for c in ("lid", "title", "year", "final_score",
+                                   "excitement_score", "boring_poster")
+                       if result.final_table.schema.has_column(c)]
+    table = result.final_table.select_columns(display_columns, name="result") \
+        if display_columns else result.final_table
+    print(table.pretty(limit=args.limit), file=output)
+
+    if args.explain:
+        print("\n" + db.explain_pipeline(result), file=output)
+    if args.explain_top and len(result.final_table) and \
+            result.final_table.schema.has_column("lid"):
+        top_lid = result.rows()[0]["lid"]
+        if top_lid is not None:
+            print("\n" + db.explain_tuple(result, top_lid).describe(), file=output)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

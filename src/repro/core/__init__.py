@@ -1,0 +1,6 @@
+"""The KathDB facade: configuration plus the top-level system object."""
+
+from repro.core.config import KathDBConfig
+from repro.core.kathdb import KathDB
+
+__all__ = ["KathDBConfig", "KathDB"]

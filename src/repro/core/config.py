@@ -1,0 +1,60 @@
+"""Configuration for a KathDB instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.datamodel.lineage import LINEAGE_LEVEL_OFF, LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE
+from repro.errors import KathDBError
+
+
+@dataclass
+class KathDBConfig:
+    """Everything tunable about a KathDB instance.
+
+    The defaults reproduce the paper's prototype behaviour; the benchmark
+    harness varies individual knobs (lineage level, rewrites, fusion, variant
+    overrides, interaction modes) for the ablations.
+    """
+
+    seed: int = 0
+    # Simulated-model noise.
+    vlm_error_rate: float = 0.05
+    ocr_error_rate: float = 0.02
+    # Lineage tracking level: "row", "table", or "off".
+    lineage_level: str = LINEAGE_LEVEL_ROW
+    # Optimizer behaviour.
+    enable_pushdown: bool = True
+    enable_fusion: bool = False
+    explore_variants: bool = True
+    max_variants: int = 3
+    parallel_codegen: bool = False
+    variant_overrides: Dict[str, str] = field(default_factory=dict)
+    optimizer_sample_size: int = 4
+    min_accuracy: float = 0.88
+    # Offline profiling: reuse per-(family, variant) profiling statistics across
+    # queries instead of re-profiling every candidate on sample rows.
+    enable_profile_cache: bool = False
+    profile_cache_path: Optional[Union[str, Path]] = None
+    # Parser interaction modes.
+    proactive_clarification: bool = True
+    reactive_correction: bool = True
+    max_correction_rounds: int = 4
+    # Execution behaviour.
+    monitor_enabled: bool = True
+    monitor_sample_size: int = 5
+    max_repair_rounds: int = 3
+    # Fault injection for repair demonstrations (node name -> fault kind).
+    fault_injection: Dict[str, str] = field(default_factory=dict)
+    # Where generated functions are persisted (None = in-memory only).
+    workspace: Optional[Union[str, Path]] = None
+
+    def __post_init__(self):
+        if self.lineage_level not in (LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE, LINEAGE_LEVEL_OFF):
+            raise KathDBError(f"invalid lineage_level: {self.lineage_level!r}")
+        if not 0.0 <= self.vlm_error_rate <= 1.0:
+            raise KathDBError("vlm_error_rate must be in [0, 1]")
+        if self.max_variants < 1:
+            raise KathDBError("max_variants must be at least 1")

@@ -1,0 +1,222 @@
+"""The KathDB system facade.
+
+Wires together every subsystem described in the paper (Figure 1): the
+simulated foundation models, the relational catalog with its multimodal
+views, the interactive NL parser, the plan writer/verifier loop, the
+cost-based optimizer with its coder/profiler/critic agents, the execution
+engine with lineage + on-the-fly repair + semantic monitoring, and the
+result explainer.
+
+Typical use::
+
+    db = KathDB(KathDBConfig(seed=7))
+    db.load_corpus(build_movie_corpus(size=20, seed=7))
+    user = ScriptedUser({"exciting": "...uncommon scenes..."},
+                        ["I prefer more recent movies as well when scoring"])
+    result = db.query("Sort the films in the table by how exciting they are, "
+                      "but the poster should be 'boring'.", user=user)
+    print(result.final_table.pretty())
+    print(db.explain_pipeline(result))
+    print(db.explain_tuple(result, result.rows()[0]["lid"]).describe())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import KathDBConfig
+from repro.data.mmqa import MovieCorpus
+from repro.datamodel.lineage import LineageStore
+from repro.datamodel.views import PopulationReport, ViewPopulator
+from repro.errors import PlanVerificationError
+from repro.executor.engine import ExecutionEngine
+from repro.executor.monitor import ExecutionMonitor
+from repro.executor.result import QueryResult
+from repro.explain.explainer import Explainer, TupleExplanation
+from repro.explain.lineage_query import LineageQueryInterface
+from repro.fao.codegen import Coder
+from repro.fao.registry import FunctionRegistry
+from repro.interaction.channel import InteractionChannel, Transcript
+from repro.interaction.user import SilentUser, UserAgent
+from repro.models.base import ModelSuite
+from repro.optimizer.optimizer import OptimizationReport, QueryOptimizer
+from repro.optimizer.physical_plan import PhysicalOperator, PhysicalPlan
+from repro.optimizer.profile_cache import ProfileCache
+from repro.parser.nl_parser import NLParser, ParseOutcome
+from repro.parser.plan_generator import LogicalPlanGenerator
+from repro.parser.plan_verifier import PlanVerifier, VerificationReport
+from repro.parser.logical_plan import LogicalPlan
+from repro.relational.catalog import Catalog
+
+
+class KathDB:
+    """The explainable multimodal DBMS with human-AI collaboration."""
+
+    def __init__(self, config: Optional[KathDBConfig] = None):
+        self.config = config or KathDBConfig()
+        self.models = ModelSuite.create(seed=self.config.seed,
+                                        vlm_error_rate=self.config.vlm_error_rate,
+                                        ocr_error_rate=self.config.ocr_error_rate)
+        self.catalog = Catalog()
+        self.lineage = LineageStore(level=self.config.lineage_level)
+        self.registry = FunctionRegistry(workspace=self.config.workspace)
+        self.coder = Coder(self.models, fault_injection=dict(self.config.fault_injection))
+        self.populator = ViewPopulator(self.models, self.catalog, self.lineage)
+        self.parser = NLParser(self.models,
+                               proactive=self.config.proactive_clarification,
+                               reactive=self.config.reactive_correction,
+                               max_correction_rounds=self.config.max_correction_rounds)
+        self.plan_generator = LogicalPlanGenerator(self.models, self.catalog)
+        self.plan_verifier = PlanVerifier(self.models, self.catalog)
+        self.profile_cache = (ProfileCache(path=self.config.profile_cache_path)
+                              if self.config.enable_profile_cache else None)
+        self.optimizer = QueryOptimizer(
+            self.models, self.catalog, self.registry, coder=self.coder,
+            enable_pushdown=self.config.enable_pushdown,
+            enable_fusion=self.config.enable_fusion,
+            explore_variants=self.config.explore_variants,
+            max_variants=self.config.max_variants,
+            parallel=self.config.parallel_codegen,
+            variant_overrides=dict(self.config.variant_overrides),
+            sample_size=self.config.optimizer_sample_size,
+            max_repair_rounds=self.config.max_repair_rounds,
+            min_accuracy=self.config.min_accuracy,
+            profile_cache=self.profile_cache)
+        self.engine = ExecutionEngine(
+            self.models, self.catalog, self.lineage, self.registry, coder=self.coder,
+            monitor=ExecutionMonitor(self.models, sample_size=self.config.monitor_sample_size,
+                                     enabled=self.config.monitor_enabled),
+            max_repair_rounds=self.config.max_repair_rounds)
+        self.explainer = Explainer(self.models, registry=self.registry)
+        self.lineage_qa = LineageQueryInterface(self.models, self.explainer)
+        self.population_report: Optional[PopulationReport] = None
+        self.last_result: Optional[QueryResult] = None
+
+    # -- data loading ------------------------------------------------------------------
+    def load_corpus(self, corpus: MovieCorpus, populate_views: bool = True) -> PopulationReport:
+        """Load a multimodal corpus: base tables plus the modality views.
+
+        This is the paper's "pre-written view-population function" step: it is
+        the only part of the pipeline that is not generated per query.
+        """
+        self.population_report = self.populator.load_corpus(corpus, populate_views=populate_views)
+        return self.population_report
+
+    # -- querying --------------------------------------------------------------------------
+    def query(self, nl_query: str, user: Optional[UserAgent] = None,
+              transcript: Optional[Transcript] = None) -> QueryResult:
+        """Answer one NL query end to end (parse -> plan -> optimize -> execute)."""
+        channel = InteractionChannel(user or SilentUser(), transcript)
+        parse_outcome, logical_plan, verification = self.parse_and_plan(nl_query, channel)
+        physical_plan, optimization = self.optimizer.optimize(logical_plan)
+        result = self.engine.execute(physical_plan, channel, nl_query=nl_query)
+        result.sketch = parse_outcome.sketch
+        result.intent = parse_outcome.intent
+        result.logical_plan = logical_plan
+        self.last_result = result
+        return result
+
+    def parse_and_plan(self, nl_query: str,
+                       channel: InteractionChannel,
+                       max_plan_rounds: int = 3
+                       ) -> Tuple[ParseOutcome, LogicalPlan, VerificationReport]:
+        """Run the parser and the plan writer/verifier loop for one query."""
+        parse_outcome = self.parser.parse(nl_query, channel)
+        plan = self.plan_generator.generate(parse_outcome.sketch, parse_outcome.intent)
+        report = self.plan_verifier.verify(plan)
+        rounds = 0
+        while not report.approved and rounds < max_plan_rounds:
+            plan = self.plan_generator.revise(plan, report.hints)
+            report = self.plan_verifier.verify(plan)
+            rounds += 1
+        if not report.approved:
+            raise PlanVerificationError(
+                "the plan verifier rejected the logical plan after "
+                f"{max_plan_rounds} revision rounds: {report.problems}")
+        return parse_outcome, plan, report
+
+    # -- explanation -----------------------------------------------------------------------
+    def explain_pipeline(self, result: Optional[QueryResult] = None) -> str:
+        """Coarse-grained explanation of the latest (or given) query."""
+        return self.explainer.explain_pipeline(self._result(result))
+
+    def explain_tuple(self, result: Optional[QueryResult], lid: int) -> TupleExplanation:
+        """Fine-grained explanation of one output tuple by lineage id."""
+        return self.explainer.explain_tuple(self._result(result), lid)
+
+    def ask(self, question: str, result: Optional[QueryResult] = None) -> str:
+        """Free-form NL question over the latest (or given) query's lineage."""
+        resolved = self._result(result)
+        answer = self.lineage_qa.ask(question, resolved)
+        if resolved.transcript is not None:
+            channel = InteractionChannel(SilentUser(), resolved.transcript)
+            channel.record_explanation_request(question, answer)
+        return answer
+
+    def _result(self, result: Optional[QueryResult]) -> QueryResult:
+        resolved = result or self.last_result
+        if resolved is None:
+            raise ValueError("no query has been executed yet")
+        return resolved
+
+    # -- versioning: roll-backs and iterative refinement --------------------------------------
+    def rollback_function(self, name: str):
+        """Return the previous version of a generated function (paper Section 4).
+
+        Versions are immutable; this only *selects* the earlier implementation.
+        Combine with :meth:`rerun_with_versions` to re-execute the last query
+        using it.
+        """
+        return self.registry.rollback(name)
+
+    def rerun_with_versions(self, result: Optional[QueryResult] = None,
+                            versions: Optional[Dict[str, int]] = None,
+                            user: Optional[UserAgent] = None) -> QueryResult:
+        """Re-execute a query's physical plan with specific function versions.
+
+        ``versions`` maps function names to the version id to use (e.g. the one
+        returned by :meth:`rollback_function`); unmentioned operators keep the
+        implementation the optimizer chose.  This is the paper's "safe
+        roll-backs to a prior version" / iterative-refinement workflow.
+        """
+        source = self._result(result)
+        if source.physical_plan is None:
+            raise ValueError("the result carries no physical plan to re-run")
+        versions = versions or {}
+        operators = []
+        for operator in source.physical_plan.operators:
+            function = operator.function
+            if operator.name in versions:
+                function = self.registry.get(operator.name, versions[operator.name])
+            operators.append(PhysicalOperator(
+                node=operator.node, function=function,
+                estimated_tokens=operator.estimated_tokens,
+                estimated_runtime_s=operator.estimated_runtime_s,
+                estimated_cardinality=operator.estimated_cardinality))
+        plan = PhysicalPlan(operators=operators, logical_plan=source.logical_plan,
+                            rewrites_applied=list(source.physical_plan.rewrites_applied))
+        channel = InteractionChannel(user or SilentUser())
+        rerun = self.engine.execute(plan, channel, nl_query=source.nl_query)
+        rerun.sketch = source.sketch
+        rerun.intent = source.intent
+        rerun.logical_plan = source.logical_plan
+        self.last_result = rerun
+        return rerun
+
+    # -- introspection ----------------------------------------------------------------------
+    @property
+    def cost_meter(self):
+        """The shared token/cost ledger."""
+        return self.models.cost_meter
+
+    def total_tokens(self) -> int:
+        """Total tokens spent by this instance so far."""
+        return self.models.cost_meter.total_tokens
+
+    def function_versions(self) -> Dict[str, int]:
+        """function name -> number of generated versions."""
+        return {name: self.registry.version_count(name) for name in self.registry.names()}
+
+    def describe_catalog(self, kinds: Optional[List[str]] = None) -> str:
+        """The system-catalog description handed to the agents."""
+        return self.catalog.describe(kinds=kinds)

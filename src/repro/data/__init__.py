@@ -1,0 +1,28 @@
+"""Synthetic multimodal data.
+
+The paper evaluates on MMQA (tables + text + images crawled from Wikipedia).
+Without access to that corpus, this package generates an MMQA-shaped movie
+dataset: a relational movie table, plot documents, and synthetic poster
+"images" (structured pixel arrays with known ground-truth objects), including
+the two movies shown in the paper's Figure 6.  Ground-truth labels
+(excitement, boring poster) make accuracy measurable for the benchmark
+harness.
+"""
+
+from repro.data.images import ImageObject, SyntheticImage, PosterGenerator
+from repro.data.text import PlotGenerator
+from repro.data.mmqa import MovieRecord, MovieCorpus, build_movie_corpus
+from repro.data.workloads import Workload, WorkloadQuery, build_default_workload
+
+__all__ = [
+    "ImageObject",
+    "SyntheticImage",
+    "PosterGenerator",
+    "PlotGenerator",
+    "MovieRecord",
+    "MovieCorpus",
+    "build_movie_corpus",
+    "Workload",
+    "WorkloadQuery",
+    "build_default_workload",
+]

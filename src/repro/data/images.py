@@ -1,0 +1,194 @@
+"""Synthetic poster images.
+
+A :class:`SyntheticImage` is the reproduction's stand-in for a poster file on
+disk: it has a URI, pixel data (a numpy ``H x W x 3`` array rendered from its
+objects), and ground-truth scene content (objects, relationships, attributes,
+text overlay).  The simulated VLM reads the ground truth (with configurable
+noise); the pixel-statistics detector and the OCR extractor read only the
+rendered pixels / text overlay, giving the optimizer genuinely different
+physical implementations to choose between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.seed import SeededRNG
+
+# Colors are (R, G, B) in 0..255.
+_MUTED_COLORS: Dict[str, Tuple[int, int, int]] = {
+    "gray": (128, 128, 128),
+    "beige": (222, 210, 180),
+    "slate": (90, 100, 110),
+    "charcoal": (54, 57, 63),
+    "cream": (240, 235, 220),
+}
+
+_VIVID_COLORS: Dict[str, Tuple[int, int, int]] = {
+    "red": (220, 40, 40),
+    "orange": (255, 140, 20),
+    "yellow": (250, 220, 40),
+    "green": (40, 180, 80),
+    "blue": (40, 90, 220),
+    "purple": (150, 60, 200),
+    "cyan": (40, 200, 220),
+    "magenta": (230, 50, 160),
+}
+
+# Object classes available to the poster generator, split by visual style.
+BORING_OBJECT_CLASSES = ["person", "face", "suit", "chair", "wall", "window", "letter"]
+VIVID_OBJECT_CLASSES = [
+    "gun", "motorcycle", "explosion", "car", "helicopter", "fire",
+    "crowd", "knife", "cityscape", "monster", "robot", "lightning",
+]
+POSTER_PREDICATES = ["holding", "next_to", "behind", "chasing", "riding", "above"]
+
+
+@dataclass
+class ImageObject:
+    """One ground-truth object inside a synthetic image."""
+
+    class_name: str
+    bbox: Tuple[int, int, int, int]  # x1, y1, x2, y2
+    color_name: str = "gray"
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def area(self) -> int:
+        x1, y1, x2, y2 = self.bbox
+        return max(0, x2 - x1) * max(0, y2 - y1)
+
+
+@dataclass
+class SyntheticImage:
+    """A synthetic poster: URI + ground truth + renderable pixels."""
+
+    uri: str
+    width: int = 96
+    height: int = 128
+    background_color: Tuple[int, int, int] = (128, 128, 128)
+    objects: List[ImageObject] = field(default_factory=list)
+    relationships: List[Tuple[int, str, int]] = field(default_factory=list)
+    text_overlay: str = ""
+    style: str = "boring"  # ground-truth style label ("boring" | "vivid")
+    _pixels: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def render_pixels(self) -> np.ndarray:
+        """Render (and cache) the poster as an ``H x W x 3`` uint8 array."""
+        if self._pixels is not None:
+            return self._pixels
+        pixels = np.zeros((self.height, self.width, 3), dtype=np.uint8)
+        pixels[:, :] = self.background_color
+        palette = {**_MUTED_COLORS, **_VIVID_COLORS}
+        for obj in self.objects:
+            x1, y1, x2, y2 = obj.bbox
+            x1, x2 = max(0, x1), min(self.width, x2)
+            y1, y2 = max(0, y1), min(self.height, y2)
+            if x2 <= x1 or y2 <= y1:
+                continue
+            color = palette.get(obj.color_name, (200, 200, 200))
+            pixels[y1:y2, x1:x2] = color
+        self._pixels = pixels
+        return pixels
+
+    # -- pixel statistics (what the cheap detector can see) --------------------
+    def color_variance(self) -> float:
+        """Mean per-channel variance of the rendered pixels."""
+        pixels = self.render_pixels().astype(float)
+        return float(pixels.var(axis=(0, 1)).mean())
+
+    def saturation(self) -> float:
+        """Mean (max-min)/255 channel spread — a cheap 'vividness' proxy."""
+        pixels = self.render_pixels().astype(float)
+        spread = pixels.max(axis=2) - pixels.min(axis=2)
+        return float(spread.mean() / 255.0)
+
+    def coverage(self) -> float:
+        """Fraction of the poster covered by objects."""
+        total = self.width * self.height
+        if total == 0:
+            return 0.0
+        covered = sum(obj.area for obj in self.objects)
+        return min(1.0, covered / total)
+
+    def object_class_names(self) -> List[str]:
+        """Ground-truth object class names (with duplicates)."""
+        return [obj.class_name for obj in self.objects]
+
+
+class PosterGenerator:
+    """Generates synthetic posters in a "boring" or "vivid" style."""
+
+    def __init__(self, seed: object = 0, width: int = 96, height: int = 128):
+        self._rng = SeededRNG(("poster", seed))
+        self.width = width
+        self.height = height
+
+    def generate(self, title: str, style: str, uri: Optional[str] = None) -> SyntheticImage:
+        """Generate one poster.
+
+        Parameters
+        ----------
+        title:
+            Movie title; becomes the text overlay (what OCR can read).
+        style:
+            ``"boring"`` (plain background, few muted objects) or ``"vivid"``
+            (colorful background, many bright action objects).
+        uri:
+            Optional URI; defaults to a ``file://posters/...`` path.
+        """
+        if style not in ("boring", "vivid"):
+            raise ValueError(f"style must be 'boring' or 'vivid', got {style!r}")
+        rng = self._rng.fork(title, style)
+        uri = uri or "file://posters/" + "_".join(title.lower().split()) + ".png"
+        if style == "boring":
+            background_name = rng.choice(sorted(_MUTED_COLORS))
+            background = _MUTED_COLORS[background_name]
+            object_count = rng.randint(0, 2)
+            classes = BORING_OBJECT_CLASSES
+            colors = sorted(_MUTED_COLORS)
+        else:
+            background_name = rng.choice(sorted(_VIVID_COLORS))
+            background = _VIVID_COLORS[background_name]
+            object_count = rng.randint(4, 8)
+            classes = VIVID_OBJECT_CLASSES
+            colors = sorted(_VIVID_COLORS)
+
+        objects: List[ImageObject] = []
+        for _ in range(object_count):
+            class_name = rng.choice(classes)
+            w = rng.randint(self.width // 8, self.width // 2)
+            h = rng.randint(self.height // 8, self.height // 2)
+            x1 = rng.randint(0, max(1, self.width - w))
+            y1 = rng.randint(0, max(1, self.height - h))
+            color_name = rng.choice(colors)
+            objects.append(ImageObject(
+                class_name=class_name,
+                bbox=(x1, y1, x1 + w, y1 + h),
+                color_name=color_name,
+                attributes={"color": color_name},
+            ))
+
+        relationships: List[Tuple[int, str, int]] = []
+        if len(objects) >= 2:
+            pair_count = min(len(objects) - 1, rng.randint(1, 3))
+            for _ in range(pair_count):
+                subject = rng.randint(0, len(objects) - 1)
+                target = rng.randint(0, len(objects) - 1)
+                if subject == target:
+                    continue
+                relationships.append((subject, rng.choice(POSTER_PREDICATES), target))
+
+        return SyntheticImage(
+            uri=uri,
+            width=self.width,
+            height=self.height,
+            background_color=background,
+            objects=objects,
+            relationships=relationships,
+            text_overlay=title,
+            style=style,
+        )

@@ -1,0 +1,191 @@
+"""Benchmark workloads: NL queries plus scripted user behaviour and ground truth.
+
+Each :class:`WorkloadQuery` bundles an NL request, the clarification answers a
+scripted user would give, and a function that computes the ground-truth answer
+from the corpus labels -- which is what the accuracy side of the baseline and
+ablation benchmarks needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.data.mmqa import MovieCorpus
+
+
+@dataclass
+class WorkloadQuery:
+    """One NL query with scripted user context and ground truth."""
+
+    name: str
+    nl_query: str
+    clarification_answers: Dict[str, str] = field(default_factory=dict)
+    corrections: List[str] = field(default_factory=list)
+    ground_truth: Optional[Callable[[MovieCorpus], List[str]]] = None
+    description: str = ""
+
+    def expected_titles(self, corpus: MovieCorpus) -> List[str]:
+        """Ground-truth answer (list of titles, best first) for this query."""
+        if self.ground_truth is None:
+            return []
+        return self.ground_truth(corpus)
+
+
+@dataclass
+class Workload:
+    """A named list of workload queries."""
+
+    name: str
+    queries: List[WorkloadQuery] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def query(self, name: str) -> WorkloadQuery:
+        """Look up a query by name."""
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise KeyError(f"no workload query named {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth functions
+# ---------------------------------------------------------------------------
+def _gt_flagship(corpus: MovieCorpus) -> List[str]:
+    """Exciting movies (0.7) + recency (0.3), boring posters only, best first."""
+    return [m.title for m in corpus.ground_truth_ranking(0.7, 0.3, boring_only=True)]
+
+
+def _gt_flagship_no_recency(corpus: MovieCorpus) -> List[str]:
+    """Exciting movies, boring posters only, without the recency correction."""
+    return [m.title for m in corpus.ground_truth_ranking(1.0, 0.0, boring_only=True)]
+
+
+def _gt_exciting_all(corpus: MovieCorpus) -> List[str]:
+    """All movies ranked purely by excitement."""
+    ranked = sorted(corpus.movies, key=lambda m: (-m.gt_excitement, m.title))
+    return [m.title for m in ranked]
+
+
+def _gt_boring_posters(corpus: MovieCorpus) -> List[str]:
+    """Titles of movies whose posters are boring (unordered set semantics)."""
+    return sorted(m.title for m in corpus.movies if m.gt_boring_poster)
+
+
+def _gt_recent_exciting(corpus: MovieCorpus) -> List[str]:
+    """Movies released after 2000 with genuinely exciting plots."""
+    hits = [m for m in corpus.movies if m.year > 2000 and m.gt_excitement >= 0.6]
+    hits.sort(key=lambda m: (-m.gt_excitement, m.title))
+    return [m.title for m in hits]
+
+
+def _gt_calm_old(corpus: MovieCorpus) -> List[str]:
+    """Movies released before 1995 with calm plots."""
+    hits = [m for m in corpus.movies if m.year < 1995 and m.gt_excitement <= 0.4]
+    hits.sort(key=lambda m: (m.year, m.title))
+    return [m.title for m in hits]
+
+
+# ---------------------------------------------------------------------------
+# Default workload
+# ---------------------------------------------------------------------------
+FLAGSHIP_QUERY = (
+    "Sort the films in the table by how exciting they are, but the poster should be 'boring'."
+)
+
+FLAGSHIP_CLARIFICATION = "the movie plot contains scenes that are uncommon (e.g., gun fight) in real life"
+FLAGSHIP_CORRECTION = "I prefer more recent movies as well when scoring"
+
+
+def build_default_workload() -> Workload:
+    """The default benchmark workload (flagship query plus five more)."""
+    queries = [
+        WorkloadQuery(
+            name="flagship_exciting_boring",
+            nl_query=FLAGSHIP_QUERY,
+            clarification_answers={"exciting": FLAGSHIP_CLARIFICATION},
+            corrections=[FLAGSHIP_CORRECTION],
+            ground_truth=_gt_flagship,
+            description="The paper's running example (Figures 1, 4, 5, 6).",
+        ),
+        WorkloadQuery(
+            name="flagship_without_correction",
+            nl_query=FLAGSHIP_QUERY,
+            clarification_answers={"exciting": FLAGSHIP_CLARIFICATION},
+            corrections=[],
+            ground_truth=_gt_flagship_no_recency,
+            description="Flagship query without the reactive recency correction.",
+        ),
+        WorkloadQuery(
+            name="rank_all_by_excitement",
+            nl_query="Rank every film by how exciting its plot is.",
+            clarification_answers={"exciting": FLAGSHIP_CLARIFICATION},
+            corrections=[],
+            ground_truth=_gt_exciting_all,
+            description="Ranking without the image-side filter.",
+        ),
+        WorkloadQuery(
+            name="find_boring_posters",
+            nl_query="Which films have a boring poster?",
+            clarification_answers={},
+            corrections=[],
+            ground_truth=_gt_boring_posters,
+            description="Pure image-side classification query.",
+        ),
+        WorkloadQuery(
+            name="recent_exciting",
+            nl_query="List films released after 2000 whose plots are exciting.",
+            clarification_answers={"exciting": FLAGSHIP_CLARIFICATION},
+            corrections=[],
+            ground_truth=_gt_recent_exciting,
+            description="Relational predicate combined with a semantic text predicate.",
+        ),
+        WorkloadQuery(
+            name="calm_classics",
+            nl_query="Show films released before 1995 with calm, quiet plots.",
+            clarification_answers={},
+            corrections=[],
+            ground_truth=_gt_calm_old,
+            description="Relational predicate combined with the opposite semantic predicate.",
+        ),
+    ]
+    return Workload(name="default", queries=queries)
+
+
+# ---------------------------------------------------------------------------
+# Accuracy metrics shared by the benchmarks
+# ---------------------------------------------------------------------------
+def ranking_accuracy(predicted: Sequence[str], expected: Sequence[str], top_k: int = 5) -> float:
+    """Top-k agreement between a predicted and an expected ranking.
+
+    Measures the fraction of the first ``top_k`` expected items that appear in
+    the first ``top_k`` predicted items, which is tolerant of ties deeper in
+    the ranking while still rewarding getting the head right.
+    """
+    if not expected:
+        return 1.0 if not predicted else 0.0
+    k = min(top_k, len(expected))
+    expected_head = list(expected[:k])
+    predicted_head = set(predicted[:k])
+    hits = sum(1 for title in expected_head if title in predicted_head)
+    return hits / k
+
+
+def set_f1(predicted: Sequence[str], expected: Sequence[str]) -> float:
+    """F1 between predicted and expected sets of titles."""
+    predicted_set, expected_set = set(predicted), set(expected)
+    if not predicted_set and not expected_set:
+        return 1.0
+    if not predicted_set or not expected_set:
+        return 0.0
+    true_positives = len(predicted_set & expected_set)
+    if true_positives == 0:
+        return 0.0
+    precision = true_positives / len(predicted_set)
+    recall = true_positives / len(expected_set)
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,38 @@
+"""KathDB's unified multimodal data model (paper Section 3).
+
+* :mod:`~repro.datamodel.scene_graph` -- images/videos as scene graphs
+  (Objects, Relationships, Attributes, Frames; paper Table 1).
+* :mod:`~repro.datamodel.text_graph` -- text as a semantic graph
+  (Entities, Mentions, Relationships, Attributes, Texts; paper Table 2).
+* :mod:`~repro.datamodel.lineage` -- the unified provenance schema
+  (Lineage(lid, parent_lid, src_uri, func_id, ver_id, data_type, ts);
+  paper Table 3 and Figure 2).
+* :mod:`~repro.datamodel.views` -- the view populator that loads raw data and
+  materializes the modality views, recording lineage for every step.
+"""
+
+from repro.datamodel.lineage import (
+    DependencyPattern,
+    LineageEntry,
+    LineageStore,
+    LINEAGE_LEVEL_OFF,
+    LINEAGE_LEVEL_ROW,
+    LINEAGE_LEVEL_TABLE,
+)
+from repro.datamodel.scene_graph import SceneGraphTables, populate_scene_graph
+from repro.datamodel.text_graph import TextGraphTables, populate_text_graph
+from repro.datamodel.views import ViewPopulator
+
+__all__ = [
+    "DependencyPattern",
+    "LineageEntry",
+    "LineageStore",
+    "LINEAGE_LEVEL_OFF",
+    "LINEAGE_LEVEL_ROW",
+    "LINEAGE_LEVEL_TABLE",
+    "SceneGraphTables",
+    "populate_scene_graph",
+    "TextGraphTables",
+    "populate_text_graph",
+    "ViewPopulator",
+]

@@ -1,0 +1,254 @@
+"""The unified provenance model (paper Table 3, Figure 2).
+
+Every derived artifact in KathDB -- a loaded base table, a materialized
+intermediate view, or an individual output row -- gets a lineage id (``lid``).
+Each lineage entry records one edge of the provenance graph:
+
+``Lineage(lid, parent_lid, src_uri, func_id, ver_id, data_type, ts)``
+
+Functions are classified by their *dependency pattern* (one_to_one,
+one_to_many, many_to_one, many_to_many); the first two allow row-level
+lineage, the last two fall back to table-level lineage where every input
+table is recorded as a parent of the output table (exactly the paper's
+policy).  The store supports three tracking levels so the lineage-overhead
+ablation (A1) can compare them:
+
+* ``row``   -- full row- and table-level tracking (default),
+* ``table`` -- only table-level entries,
+* ``off``   -- no tracking at all.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import LineageError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+LINEAGE_LEVEL_ROW = "row"
+LINEAGE_LEVEL_TABLE = "table"
+LINEAGE_LEVEL_OFF = "off"
+
+#: Name of the hidden column carrying a row's lineage id inside data tables.
+LID_COLUMN = "lid"
+#: Name of the hidden column carrying a row's parent lineage id.
+PARENT_LID_COLUMN = "parent_lid"
+
+
+class DependencyPattern(enum.Enum):
+    """How a function's outputs depend on its inputs (paper Section 3)."""
+
+    ONE_TO_ONE = "one_to_one"
+    ONE_TO_MANY = "one_to_many"
+    MANY_TO_ONE = "many_to_one"
+    MANY_TO_MANY = "many_to_many"
+
+    @property
+    def is_narrow(self) -> bool:
+        """Narrow (single-tuple) dependencies support row-level lineage."""
+        return self in (DependencyPattern.ONE_TO_ONE, DependencyPattern.ONE_TO_MANY)
+
+    @classmethod
+    def from_string(cls, name: str) -> "DependencyPattern":
+        normalized = (name or "").strip().lower()
+        for pattern in cls:
+            if pattern.value == normalized:
+                return pattern
+        raise LineageError(f"unknown dependency pattern: {name!r}")
+
+
+@dataclass
+class LineageEntry:
+    """One row of the lineage table."""
+
+    lid: int
+    parent_lid: Optional[int]
+    src_uri: Optional[str]
+    func_id: str
+    ver_id: int
+    data_type: str  # "row" or "table"
+    ts: float
+
+    def to_row(self) -> Dict[str, object]:
+        """Serialize to a relational row dict."""
+        return {
+            "lid": self.lid,
+            "parent_lid": self.parent_lid,
+            "src_uri": self.src_uri,
+            "func_id": self.func_id,
+            "ver_id": self.ver_id,
+            "data_type": self.data_type,
+            "ts": self.ts,
+        }
+
+
+LINEAGE_SCHEMA = Schema([
+    Column("lid", DataType.INTEGER, nullable=False, description="derived artifact id"),
+    Column("parent_lid", DataType.INTEGER, description="input artifact id (NULL for external data)"),
+    Column("src_uri", DataType.TEXT, description="external source path (NULL for derived artifacts)"),
+    Column("func_id", DataType.TEXT, description="function that produced the artifact"),
+    Column("ver_id", DataType.INTEGER, description="version of that function"),
+    Column("data_type", DataType.TEXT, description="'row' or 'table'"),
+    Column("ts", DataType.FLOAT, description="seconds since the store was created"),
+])
+
+
+class LineageStore:
+    """Assigns lineage ids and records provenance edges."""
+
+    def __init__(self, level: str = LINEAGE_LEVEL_ROW, start_lid: int = 1):
+        if level not in (LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE, LINEAGE_LEVEL_OFF):
+            raise LineageError(f"unknown lineage level: {level!r}")
+        self.level = level
+        self._next_lid = start_lid
+        self._entries: List[LineageEntry] = []
+        self._by_lid: Dict[int, List[LineageEntry]] = {}
+        self._children: Dict[int, List[LineageEntry]] = {}
+        self._created_at = time.perf_counter()
+
+    # -- id allocation -----------------------------------------------------------
+    def new_lid(self) -> int:
+        """Allocate a fresh lineage id (monotonically increasing)."""
+        lid = self._next_lid
+        self._next_lid += 1
+        return lid
+
+    @property
+    def row_tracking_enabled(self) -> bool:
+        """Whether row-level entries are being recorded."""
+        return self.level == LINEAGE_LEVEL_ROW
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any tracking is happening."""
+        return self.level != LINEAGE_LEVEL_OFF
+
+    def _now(self) -> float:
+        return round(time.perf_counter() - self._created_at, 3)
+
+    # -- recording ----------------------------------------------------------------
+    def record(self, lid: int, parent_lid: Optional[int], func_id: str, ver_id: int,
+               data_type: str, src_uri: Optional[str] = None) -> Optional[LineageEntry]:
+        """Record one provenance edge (low-level API)."""
+        if not self.enabled:
+            return None
+        if data_type == "row" and not self.row_tracking_enabled:
+            return None
+        entry = LineageEntry(lid=lid, parent_lid=parent_lid, src_uri=src_uri,
+                             func_id=func_id, ver_id=ver_id, data_type=data_type,
+                             ts=self._now())
+        self._entries.append(entry)
+        self._by_lid.setdefault(lid, []).append(entry)
+        if parent_lid is not None:
+            self._children.setdefault(parent_lid, []).append(entry)
+        return entry
+
+    def record_source(self, src_uri: str, func_id: str = "load_data", ver_id: int = 1) -> int:
+        """Record the ingestion of an external source; returns its table lid."""
+        lid = self.new_lid()
+        self.record(lid, None, func_id, ver_id, data_type="table", src_uri=src_uri)
+        return lid
+
+    def record_table(self, func_id: str, ver_id: int,
+                     parent_lids: Sequence[Optional[int]]) -> int:
+        """Record a table-level derivation with one edge per parent table."""
+        lid = self.new_lid()
+        parents = [p for p in parent_lids if p is not None] or [None]
+        for parent in parents:
+            self.record(lid, parent, func_id, ver_id, data_type="table")
+        return lid
+
+    def record_row(self, func_id: str, ver_id: int, parent_lid: Optional[int]) -> int:
+        """Record a row-level derivation; returns the new row lid."""
+        lid = self.new_lid()
+        self.record(lid, parent_lid, func_id, ver_id, data_type="row")
+        return lid
+
+    # -- queries ---------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[LineageEntry]:
+        """All recorded entries in insertion order."""
+        return list(self._entries)
+
+    def entries_for(self, lid: int) -> List[LineageEntry]:
+        """All entries whose child is ``lid``."""
+        return list(self._by_lid.get(lid, []))
+
+    def has_lid(self, lid: int) -> bool:
+        """Whether any entry was recorded for this lid."""
+        return lid in self._by_lid
+
+    def parents_of(self, lid: int) -> List[int]:
+        """Parent lids of ``lid`` (empty for external sources)."""
+        return [e.parent_lid for e in self._by_lid.get(lid, []) if e.parent_lid is not None]
+
+    def children_of(self, lid: int) -> List[int]:
+        """Lids directly derived from ``lid``."""
+        return [e.lid for e in self._children.get(lid, [])]
+
+    def producing_function(self, lid: int) -> Optional[tuple]:
+        """The ``(func_id, ver_id)`` that produced ``lid``, if known."""
+        entries = self._by_lid.get(lid)
+        if not entries:
+            return None
+        return entries[0].func_id, entries[0].ver_id
+
+    def trace(self, lid: int, max_depth: int = 32) -> List[LineageEntry]:
+        """The full derivation of ``lid``: its entries plus all ancestors' entries.
+
+        Entries are returned child-first (the paper's Figure 2 layout).  Raises
+        :class:`LineageError` for an unknown lid.
+        """
+        if lid not in self._by_lid:
+            raise LineageError(f"unknown lineage id: {lid}")
+        seen: set = set()
+        ordered: List[LineageEntry] = []
+        frontier = [lid]
+        depth = 0
+        while frontier and depth < max_depth:
+            next_frontier: List[int] = []
+            for current in frontier:
+                if current in seen:
+                    continue
+                seen.add(current)
+                for entry in self._by_lid.get(current, []):
+                    ordered.append(entry)
+                    if entry.parent_lid is not None and entry.parent_lid not in seen:
+                        next_frontier.append(entry.parent_lid)
+            frontier = next_frontier
+            depth += 1
+        return ordered
+
+    def ancestors_of(self, lid: int, max_depth: int = 32) -> List[int]:
+        """All ancestor lids of ``lid`` (nearest first, deduplicated)."""
+        ordered: List[int] = []
+        for entry in self.trace(lid, max_depth=max_depth):
+            if entry.parent_lid is not None and entry.parent_lid not in ordered:
+                ordered.append(entry.parent_lid)
+        return ordered
+
+    def to_table(self, name: str = "lineage") -> Table:
+        """Export the lineage store as a relational table.
+
+        This is what makes lineage itself queryable with the same machinery as
+        any other table (used by the NL-over-lineage explainer).
+        """
+        table = Table(name, Schema(list(LINEAGE_SCHEMA.columns)),
+                      description="Unified provenance table (paper Table 3).")
+        for entry in self._entries:
+            table.insert(entry.to_row())
+        return table
+
+    def summary(self) -> Dict[str, int]:
+        """Counts by data_type plus the total number of entries."""
+        row_entries = sum(1 for e in self._entries if e.data_type == "row")
+        table_entries = sum(1 for e in self._entries if e.data_type == "table")
+        return {"total": len(self._entries), "row": row_entries, "table": table_entries}

@@ -1,0 +1,132 @@
+"""Exception hierarchy for the KathDB reproduction.
+
+The paper distinguishes *syntactic* runtime errors (exceptions raised while a
+generated function runs -- KathDB self-repairs these) from *semantic* anomalies
+(the code runs but the output plausibly does not match user intent -- KathDB
+escalates these to the user).  That distinction is encoded here so the
+execution monitor can dispatch on exception type.
+"""
+
+from __future__ import annotations
+
+
+class KathDBError(Exception):
+    """Base class for every error raised by the reproduction."""
+
+
+# --------------------------------------------------------------------------
+# Relational engine errors
+# --------------------------------------------------------------------------
+class RelationalError(KathDBError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed or a value does not match its column type."""
+
+
+class UnknownTableError(RelationalError):
+    """A referenced table or view does not exist in the catalog."""
+
+
+class UnknownColumnError(RelationalError):
+    """A referenced column does not exist in a table's schema."""
+
+
+class DuplicateTableError(RelationalError):
+    """Attempted to register a table name that already exists."""
+
+
+class ExpressionError(RelationalError):
+    """An expression could not be evaluated (bad operand types, etc.)."""
+
+
+class SQLSyntaxError(RelationalError):
+    """The mini-SQL parser could not parse a statement."""
+
+
+class StorageError(RelationalError):
+    """Persisting or loading a table from disk failed."""
+
+
+# --------------------------------------------------------------------------
+# Parsing / planning errors
+# --------------------------------------------------------------------------
+class ParseError(KathDBError):
+    """The NL parser could not produce a query sketch."""
+
+
+class AmbiguousQueryError(ParseError):
+    """The NL parser needs a clarification from the user before proceeding."""
+
+    def __init__(self, question: str, term: str = ""):
+        super().__init__(question)
+        self.question = question
+        self.term = term
+
+
+class PlanError(KathDBError):
+    """A logical or physical plan is structurally invalid."""
+
+
+class PlanVerificationError(PlanError):
+    """The plan verifier rejected a draft logical plan."""
+
+
+# --------------------------------------------------------------------------
+# FAO / execution errors
+# --------------------------------------------------------------------------
+class FunctionGenerationError(KathDBError):
+    """The coder agent could not produce an executable function body."""
+
+
+class FunctionExecutionError(KathDBError):
+    """A *syntactic* runtime fault inside a generated function.
+
+    The execution monitor catches these, invokes the reviewer/rewriter loop,
+    and resumes from the failed operator (paper Section 5).
+    """
+
+    def __init__(self, message: str, function_name: str = "", cause: Exception = None):
+        super().__init__(message)
+        self.function_name = function_name
+        self.cause = cause
+
+
+class SemanticAnomalyError(KathDBError):
+    """A *semantic* anomaly: the code ran but the output looks wrong.
+
+    The execution monitor escalates these to the user rather than silently
+    repairing them (paper Section 5).
+    """
+
+    def __init__(self, message: str, function_name: str = "", evidence: object = None):
+        super().__init__(message)
+        self.function_name = function_name
+        self.evidence = evidence
+
+
+class RepairFailedError(KathDBError):
+    """The reviewer/rewriter loop exhausted its repair budget."""
+
+
+# --------------------------------------------------------------------------
+# Lineage / explanation errors
+# --------------------------------------------------------------------------
+class LineageError(KathDBError):
+    """Lineage bookkeeping failed (unknown lid, broken parent chain, ...)."""
+
+
+class ExplanationError(KathDBError):
+    """A requested explanation could not be produced."""
+
+
+# --------------------------------------------------------------------------
+# Interaction errors
+# --------------------------------------------------------------------------
+class InteractionError(KathDBError):
+    """A user-interaction channel failed (e.g. no user attached)."""
+
+
+class UserAbortError(InteractionError):
+    """The user explicitly aborted the current query."""

@@ -1,0 +1,24 @@
+"""The execution engine (paper Sections 2.3 and 5).
+
+Executes a physical plan operator by operator while:
+
+* recording lineage (row-level for narrow functions, table-level for wide
+  ones) through the :class:`~repro.datamodel.lineage.LineageStore`;
+* catching *syntactic* faults and repairing them on the fly with the
+  reviewer/rewriter loop (a new function version is registered and execution
+  resumes from the failed operator);
+* watching for *semantic anomalies* with the agentic monitor and escalating
+  them to the user over the interaction channel.
+"""
+
+from repro.executor.result import ExecutionRecord, QueryResult
+from repro.executor.monitor import Anomaly, ExecutionMonitor
+from repro.executor.engine import ExecutionEngine
+
+__all__ = [
+    "ExecutionRecord",
+    "QueryResult",
+    "Anomaly",
+    "ExecutionMonitor",
+    "ExecutionEngine",
+]

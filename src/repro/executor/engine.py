@@ -1,0 +1,198 @@
+"""The execution engine: runs physical plans with lineage, repair, and monitoring."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datamodel.lineage import DependencyPattern, LineageStore
+from repro.errors import FunctionExecutionError, RepairFailedError
+from repro.executor.monitor import ANOMALY_OPTIONS, ExecutionMonitor
+from repro.executor.result import ExecutionRecord, QueryResult
+from repro.fao.codegen import Coder
+from repro.fao.function import FunctionContext, GeneratedFunction
+from repro.fao.registry import FunctionRegistry
+from repro.interaction.channel import InteractionChannel
+from repro.models.base import ModelSuite
+from repro.optimizer.physical_plan import PhysicalOperator, PhysicalPlan
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+from repro.utils.timer import Timer
+
+#: Hidden per-row lineage column name.
+LID_COLUMN = "lid"
+
+
+class ExecutionEngine:
+    """Executes physical plans operator by operator."""
+
+    def __init__(self, models: ModelSuite, catalog: Catalog, lineage: LineageStore,
+                 registry: FunctionRegistry, coder: Optional[Coder] = None,
+                 monitor: Optional[ExecutionMonitor] = None,
+                 max_repair_rounds: int = 3, register_intermediates: bool = True):
+        self.models = models
+        self.catalog = catalog
+        self.lineage = lineage
+        self.registry = registry
+        self.coder = coder or Coder(models)
+        self.monitor = monitor or ExecutionMonitor(models)
+        self.max_repair_rounds = max_repair_rounds
+        self.register_intermediates = register_intermediates
+
+    # -- public API -----------------------------------------------------------------
+    def execute(self, plan: PhysicalPlan, channel: InteractionChannel,
+                nl_query: str = "") -> QueryResult:
+        """Execute one physical plan and return the full query result."""
+        result = QueryResult(nl_query=nl_query, final_table=Table("empty", Schema([])),
+                             physical_plan=plan, logical_plan=plan.logical_plan,
+                             lineage=self.lineage, transcript=channel.transcript)
+        intermediates: Dict[str, Table] = {}
+        table_lids: Dict[str, int] = {}
+        for name in self.catalog.table_names():
+            entry = self.catalog.entry(name)
+            if entry.lineage_id is not None:
+                table_lids[name.lower()] = entry.lineage_id
+
+        total_timer = Timer()
+        marker = self.models.cost_meter.snapshot()
+        with total_timer:
+            for operator in plan.operators:
+                record = self._execute_operator(operator, intermediates, table_lids,
+                                                channel, result)
+                result.records.append(record)
+
+        result.intermediates = intermediates
+        result.table_lids = dict(table_lids)
+        final_name = plan.final_output()
+        result.final_table = intermediates.get(final_name, Table(final_name, Schema([])))
+        result.total_tokens = self.models.cost_meter.tokens_since(marker)
+        result.total_runtime_s = total_timer.elapsed
+        return result
+
+    # -- per-operator execution ---------------------------------------------------------
+    def _resolve_inputs(self, operator: PhysicalOperator,
+                        intermediates: Dict[str, Table]) -> Dict[str, Table]:
+        inputs: Dict[str, Table] = {}
+        for name in operator.node.inputs:
+            if name in intermediates:
+                inputs[name] = intermediates[name]
+            elif self.catalog.has_table(name):
+                inputs[name] = self.catalog.table(name)
+            else:
+                inputs[name] = Table(name, Schema([]))
+        return inputs
+
+    def _execute_operator(self, operator: PhysicalOperator, intermediates: Dict[str, Table],
+                          table_lids: Dict[str, int], channel: InteractionChannel,
+                          result: QueryResult) -> ExecutionRecord:
+        node = operator.node
+        function = operator.function
+        inputs = self._resolve_inputs(operator, intermediates)
+        context = FunctionContext(models=self.models, catalog=self.catalog)
+        primary = inputs.get(node.inputs[0]) if node.inputs else None
+        rows_in = len(primary) if primary is not None else 0
+
+        record = ExecutionRecord(
+            operator_name=node.name, function_variant=function.variant,
+            function_version=function.version, rows_in=rows_in, rows_out=0,
+            runtime_s=0.0, tokens=0, lineage_data_type="off", output_table=node.output)
+
+        marker = self.models.cost_meter.snapshot()
+        timer = Timer()
+        with timer:
+            output, function = self._run_with_repair(node, function, inputs, context,
+                                                     channel, record)
+            operator.function = function
+
+            # Semantic monitoring: escalate anomalies to the user and, when asked,
+            # adjust the implementation and reprocess the operator.
+            anomalies = self.monitor.inspect(node, function, inputs, output)
+            for anomaly in anomalies:
+                decision = channel.escalate_anomaly(
+                    anomaly.describe() + " How should KathDB proceed?", ANOMALY_OPTIONS)
+                anomaly.decision = decision
+                record.anomalies.append(anomaly.describe())
+                if decision in ("adjust", "rewrite"):
+                    hint = anomaly.likely_cause or anomaly.message
+                    function = self.coder.repair(node, function, hint)
+                    self.registry.register(function)
+                    operator.function = function
+                    record.repairs.append(f"adjusted after anomaly: {hint}")
+                    output, function = self._run_with_repair(node, function, inputs, context,
+                                                             channel, record)
+                    operator.function = function
+
+        record.runtime_s = timer.elapsed
+        record.tokens = self.models.cost_meter.tokens_since(marker)
+        record.function_version = function.version
+        record.function_variant = function.variant
+
+        # Lineage recording.
+        record.lineage_data_type = self._record_lineage(node, function, inputs, output,
+                                                        table_lids, record)
+        record.rows_out = len(output)
+
+        intermediates[node.output] = output
+        if self.register_intermediates:
+            self.catalog.register(output, kind="intermediate", replace=True,
+                                  lineage_id=table_lids.get(node.output.lower()),
+                                  compute_stats=False)
+        return record
+
+    def _run_with_repair(self, node, function: GeneratedFunction, inputs, context,
+                         channel: InteractionChannel, record: ExecutionRecord):
+        """Run a function, self-repairing syntactic faults (reviewer/rewriter loop)."""
+        attempts = 0
+        current = function
+        while True:
+            try:
+                return current.execute(inputs, context), current
+            except FunctionExecutionError as error:
+                attempts += 1
+                if attempts > self.max_repair_rounds:
+                    raise RepairFailedError(
+                        f"operator {node.name!r} still fails after "
+                        f"{self.max_repair_rounds} repair attempts: {error}") from error
+                hint = str(error)
+                channel.notify(
+                    f"runtime error in {node.name!r} (v{current.version}): {hint}; "
+                    f"KathDB is generating a patched implementation and resuming.")
+                try:
+                    current = self.coder.repair(node, current, hint)
+                except Exception as generation_error:  # noqa: BLE001 - surface as repair failure
+                    raise RepairFailedError(
+                        f"operator {node.name!r} could not be regenerated after a runtime "
+                        f"error: {generation_error}") from generation_error
+                self.registry.register(current)
+                record.repairs.append(f"syntactic repair v{current.version}: {hint}")
+
+    # -- lineage ------------------------------------------------------------------------
+    def _record_lineage(self, node, function: GeneratedFunction, inputs, output: Table,
+                        table_lids: Dict[str, int], record: ExecutionRecord) -> str:
+        """Record lineage for one operator; returns the data_type recorded."""
+        if not self.lineage.enabled:
+            return "off"
+        input_lids = [table_lids.get(name.lower()) for name in node.inputs]
+        narrow = function.dependency_pattern.is_narrow and self.lineage.row_tracking_enabled
+
+        if narrow:
+            primary_name = node.inputs[0] if node.inputs else None
+            primary_lid = table_lids.get(primary_name.lower()) if primary_name else None
+            if not output.schema.has_column(LID_COLUMN):
+                output.schema = output.schema.add(Column(LID_COLUMN, DataType.INTEGER))
+            for row in output.rows:
+                inherited = row.get(LID_COLUMN)
+                parent = inherited if inherited is not None else primary_lid
+                new_lid = self.lineage.record_row(function.func_id, function.version, parent)
+                row[LID_COLUMN] = new_lid
+            # The output table itself also gets a table-level handle so later
+            # wide operators can reference it as a parent.
+            table_lid = self.lineage.record_table(function.func_id, function.version,
+                                                  input_lids)
+            table_lids[node.output.lower()] = table_lid
+            return "row"
+
+        table_lid = self.lineage.record_table(function.func_id, function.version, input_lids)
+        table_lids[node.output.lower()] = table_lid
+        return "table"

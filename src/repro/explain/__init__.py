@@ -1,0 +1,20 @@
+"""Result explanation over lineage (paper Section 5, Figure 5).
+
+Two explanation modes are supported:
+
+* **coarse-grained** -- a high-level overview of the transformations the query
+  performed (one entry per executed operator);
+* **fine-grained** -- given a specific ``lid``, inspect the function signature
+  and implementation, trace parent tuples through the lineage graph, and show
+  how every output field was derived.
+
+The :class:`~repro.explain.lineage_query.LineageQueryInterface` additionally
+answers free-form NL questions over the lineage ("explain tuple 1621",
+"which function produced final_score", "how many rows did classify_boring
+produce").
+"""
+
+from repro.explain.explainer import Explainer, TupleExplanation
+from repro.explain.lineage_query import LineageQueryInterface
+
+__all__ = ["Explainer", "TupleExplanation", "LineageQueryInterface"]

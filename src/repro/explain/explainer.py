@@ -1,0 +1,161 @@
+"""Coarse- and fine-grained explanations of query results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExplanationError
+from repro.executor.result import QueryResult
+from repro.fao.registry import FunctionRegistry
+from repro.models.base import ModelSuite
+from repro.relational.table import Table
+
+
+@dataclass
+class TupleExplanation:
+    """A fine-grained explanation of one output tuple."""
+
+    lid: int
+    row: Dict[str, Any]
+    produced_by: str
+    produced_by_version: int
+    field_derivations: List[str] = field(default_factory=list)
+    ancestry: List[str] = field(default_factory=list)
+    source_text: str = ""
+
+    def describe(self) -> str:
+        lines = [f"tuple lid={self.lid} (produced by {self.produced_by} "
+                 f"v{self.produced_by_version})"]
+        display_row = {k: v for k, v in self.row.items()
+                       if not isinstance(v, (list, dict)) or len(str(v)) < 120}
+        lines.append(f"  row: {display_row}")
+        if self.field_derivations:
+            lines.append("  field derivations:")
+            lines.extend(f"    - {d}" for d in self.field_derivations)
+        if self.ancestry:
+            lines.append("  derivation chain (nearest parent first):")
+            lines.extend(f"    {a}" for a in self.ancestry)
+        if self.source_text:
+            lines.append("  implementation of the producing function:")
+            lines.extend("    " + line for line in self.source_text.rstrip().splitlines())
+        return "\n".join(lines)
+
+
+class Explainer:
+    """Builds explanations from a query result, its plan, and its lineage."""
+
+    def __init__(self, models: ModelSuite, registry: Optional[FunctionRegistry] = None):
+        self.models = models
+        self.registry = registry
+
+    # -- coarse-grained --------------------------------------------------------------
+    def explain_pipeline(self, result: QueryResult) -> str:
+        """A numbered, high-level overview of what the query did (Figure 5 left)."""
+        if result.physical_plan is None:
+            raise ExplanationError("the query result carries no physical plan to explain")
+        lines = [f"How KathDB answered: {result.nl_query}"]
+        for index, operator in enumerate(result.physical_plan.operators, start=1):
+            record = result.record_for(operator.name)
+            rows = f" ({record.rows_in} -> {record.rows_out} rows)" if record else ""
+            description = operator.node.description.rstrip(".")
+            lines.append(f"{index}: {description}{rows}.")
+        summary = "\n".join(lines)
+        self.models.llm.render_text("{text}", purpose="coarse_explanation", text=summary)
+        return summary
+
+    # -- fine-grained -------------------------------------------------------------------
+    def explain_tuple(self, result: QueryResult, lid: int) -> TupleExplanation:
+        """Explain how the tuple with lineage id ``lid`` was derived (Figure 5 right)."""
+        if result.lineage is None:
+            raise ExplanationError("the query result carries no lineage store")
+        row, table_name = self._find_row(result, lid)
+        if row is None:
+            raise ExplanationError(f"no materialized tuple with lid={lid}")
+        producer = result.lineage.producing_function(lid)
+        produced_by, version = producer if producer else ("unknown", 0)
+
+        explanation = TupleExplanation(lid=lid, row=dict(row), produced_by=produced_by,
+                                       produced_by_version=version)
+        explanation.field_derivations = self._derive_fields(result, row)
+        explanation.ancestry = self._ancestry(result, lid)
+        if self.registry is not None and self.registry.has(produced_by):
+            try:
+                explanation.source_text = self.registry.get(produced_by, version).source_text
+            except Exception:  # noqa: BLE001 - explanation must not fail on registry gaps
+                explanation.source_text = self.registry.latest(produced_by).source_text
+        self.models.llm.render_text("{text}", purpose="fine_explanation",
+                                    text=explanation.describe()[:400])
+        return explanation
+
+    # -- helpers -----------------------------------------------------------------------------
+    def _find_row(self, result: QueryResult, lid: int) -> Tuple[Optional[Dict[str, Any]], str]:
+        """Locate the materialized row carrying ``lid`` (final table first)."""
+        tables: List[Tuple[str, Table]] = [(result.final_table.name, result.final_table)]
+        tables.extend(result.intermediates.items())
+        for name, table in tables:
+            if not table.schema.has_column("lid"):
+                continue
+            for row in table:
+                if row.get("lid") == lid:
+                    return row, name
+        return None, ""
+
+    def _derive_fields(self, result: QueryResult, row: Dict[str, Any]) -> List[str]:
+        """Explain how each derived field of the row got its value."""
+        derivations: List[str] = []
+        plan = result.physical_plan
+        functions = plan.functions() if plan else {}
+
+        # Semantic scores: show which entity terms matched the keyword list.
+        for name, function in functions.items():
+            parameters = function.parameters
+            score_column = parameters.get("score_column")
+            if score_column and score_column in row and parameters.get("keywords"):
+                keywords = [str(k) for k in parameters["keywords"]]
+                terms = [str(t) for t in (row.get("entity_terms") or [])]
+                matched = sorted(set(t for t in terms if t in set(keywords)))
+                value = row.get(score_column)
+                derivations.append(
+                    f"{score_column}: plot entities matched the generated keyword list "
+                    f"({', '.join(matched[:8]) or 'via embedding similarity'}); score = {value}.")
+            elif score_column == "recency_score" and "recency_score" in row:
+                derivations.append(
+                    f"recency_score: assigned {row.get('recency_score')} from release year "
+                    f"{row.get('year')} (newer films score higher).")
+
+        # Final score: reconstruct the weighted sum from the combine function.
+        for name, function in functions.items():
+            weights = function.parameters.get("weights")
+            output_column = function.parameters.get("output_column", "final_score")
+            if weights and output_column in row:
+                terms = []
+                for column, weight in weights.items():
+                    if row.get(column) is not None:
+                        terms.append(f"{weight} * {row.get(column)}")
+                derivations.append(
+                    f"{output_column}: weighted sum: {' + '.join(terms)} "
+                    f"= {row.get(output_column)}.")
+
+        # Poster classification: explain the flag from the visual evidence.
+        for column in row:
+            if column.endswith("_poster") and row.get(column) is not None:
+                classes = row.get("object_classes") or []
+                derivations.append(
+                    f"{column}: {row.get(column)} -- the poster shows "
+                    f"{len(classes)} detected object(s) "
+                    f"({', '.join(str(c) for c in classes[:5]) or 'none'}) with saturation "
+                    f"{round(float(row.get('saturation') or 0.0), 3)}; posters lacking color, "
+                    f"detail, or action are flagged as boring.")
+        return derivations
+
+    def _ancestry(self, result: QueryResult, lid: int) -> List[str]:
+        """Readable lineage chain entries for ``lid`` (nearest parents first)."""
+        lines: List[str] = []
+        for entry in result.lineage.trace(lid, max_depth=16):
+            parent = entry.parent_lid if entry.parent_lid is not None else "NULL"
+            source = f", src={entry.src_uri}" if entry.src_uri else ""
+            lines.append(
+                f"lid={entry.lid} <- parent={parent} via {entry.func_id} v{entry.ver_id} "
+                f"[{entry.data_type}{source}]")
+        return lines

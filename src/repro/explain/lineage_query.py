@@ -1,0 +1,111 @@
+"""NL questions over lineage.
+
+KathDB "exposes the full provenance of query results and makes it queryable in
+NL".  The interface routes a small family of question shapes onto the lineage
+store, the physical plan, and the materialized intermediates, and falls back
+to a lineage summary for anything it cannot parse.  Because the lineage store
+exports itself as a relational table, structured questions can also be
+answered with the ordinary SQL front end (see :meth:`LineageQueryInterface.sql`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import ExplanationError
+from repro.executor.result import QueryResult
+from repro.explain.explainer import Explainer
+from repro.models.base import ModelSuite
+from repro.relational.catalog import Catalog
+from repro.relational.sql import execute_sql
+from repro.relational.table import Table
+
+_TUPLE_RE = re.compile(r"(?:tuple|lid|row)\s*(?:=|\s)\s*#?(\d+)", re.IGNORECASE)
+_COLUMN_RE = re.compile(r"produced\s+(?:the\s+)?(?:column\s+)?['\"]?([A-Za-z_][A-Za-z_0-9]*)['\"]?",
+                        re.IGNORECASE)
+_ROWS_RE = re.compile(r"how many rows did\s+['\"]?([A-Za-z_][A-Za-z_0-9]*)['\"]?", re.IGNORECASE)
+
+
+class LineageQueryInterface:
+    """Answers NL questions about how a query result was derived."""
+
+    def __init__(self, models: ModelSuite, explainer: Explainer):
+        self.models = models
+        self.explainer = explainer
+
+    def ask(self, question: str, result: QueryResult) -> str:
+        """Answer one NL question about ``result``."""
+        lowered = question.lower()
+
+        tuple_match = _TUPLE_RE.search(question)
+        if tuple_match and any(word in lowered for word in ("explain", "derive", "how", "why")):
+            lid = int(tuple_match.group(1))
+            explanation = self.explainer.explain_tuple(result, lid)
+            answer = explanation.describe()
+        elif "pipeline" in lowered or "full" in lowered or "overview" in lowered \
+                or "all steps" in lowered:
+            answer = self.explainer.explain_pipeline(result)
+        elif _COLUMN_RE.search(question) or "which function" in lowered:
+            answer = self._which_function(question, result)
+        elif _ROWS_RE.search(question):
+            answer = self._row_count(question, result)
+        elif "version" in lowered:
+            answer = self._version_history(result)
+        else:
+            summary = result.lineage.summary() if result.lineage else {}
+            answer = (f"I tracked {summary.get('total', 0)} lineage entries for this query "
+                      f"({summary.get('row', 0)} row-level, {summary.get('table', 0)} "
+                      f"table-level). Ask me to 'explain the pipeline' or to "
+                      f"'explain tuple <lid>' for details.")
+        self.models.llm.render_text("{text}", purpose="lineage_qa", text=answer[:200])
+        return answer
+
+    def sql(self, query: str, result: QueryResult) -> Table:
+        """Run a SQL query directly over the lineage table (power-user path)."""
+        if result.lineage is None:
+            raise ExplanationError("no lineage store attached to this result")
+        catalog = Catalog()
+        catalog.register(result.lineage.to_table("lineage"))
+        return execute_sql(query, catalog)
+
+    # -- question handlers ---------------------------------------------------------
+    def _which_function(self, question: str, result: QueryResult) -> str:
+        match = _COLUMN_RE.search(question)
+        column = match.group(1) if match else ""
+        plan = result.physical_plan
+        if plan is None:
+            return "No physical plan is attached to this result."
+        for operator in plan.operators:
+            parameters = operator.function.parameters
+            produced = {parameters.get("score_column"), parameters.get("output_column"),
+                        parameters.get("flag_column")}
+            if column and column in produced:
+                return (f"Column {column!r} was produced by {operator.name} "
+                        f"(v{operator.function.version}, "
+                        f"{operator.function.implementation_kind}/{operator.function.variant}): "
+                        f"{operator.node.description}")
+        if column:
+            return (f"No operator declares {column!r} as its output column; it most likely "
+                    f"comes from a base relation.")
+        lines = ["Operators and what they produce:"]
+        for operator in plan.operators:
+            lines.append(f"  {operator.name} -> {operator.node.output}")
+        return "\n".join(lines)
+
+    def _row_count(self, question: str, result: QueryResult) -> str:
+        match = _ROWS_RE.search(question)
+        name = match.group(1) if match else ""
+        record = result.record_for(name)
+        if record is None:
+            return f"I have no execution record for an operator named {name!r}."
+        return (f"{name} consumed {record.rows_in} rows and produced {record.rows_out} rows "
+                f"(lineage recorded at {record.lineage_data_type} granularity).")
+
+    def _version_history(self, result: QueryResult) -> str:
+        lines = ["Function versions used by this query:"]
+        for record in result.records:
+            repaired = " (repaired during execution)" if record.repairs else ""
+            lines.append(f"  {record.operator_name}: v{record.function_version}"
+                         f" [{record.function_variant}]{repaired}")
+        return "\n".join(lines)

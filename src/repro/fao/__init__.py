@@ -1,0 +1,32 @@
+"""Function-as-operator (FAO) -- the paper's Section 4.
+
+Every logical-plan node is compiled into a *function*: a signature (name,
+description, inputs, output) plus one or more generated *implementations*,
+each stamped with a monotonically increasing version id.  Implementations are
+produced by the coder agent from a library of templates, profiled on sample
+rows by the profiler agent, and checked by the critic agent; the registry
+persists every version to disk so lineage queries and roll-backs can refer to
+them later.
+"""
+
+from repro.fao.signature import FunctionSignature
+from repro.fao.function import FunctionContext, GeneratedFunction
+from repro.fao.registry import FunctionRegistry
+from repro.fao.library import ImplementationLibrary, ImplementationSpec
+from repro.fao.codegen import Coder
+from repro.fao.profiler import Profiler, ProfileResult
+from repro.fao.critic import Critic, CriticVerdict
+
+__all__ = [
+    "FunctionSignature",
+    "FunctionContext",
+    "GeneratedFunction",
+    "FunctionRegistry",
+    "ImplementationLibrary",
+    "ImplementationSpec",
+    "Coder",
+    "Profiler",
+    "ProfileResult",
+    "Critic",
+    "CriticVerdict",
+]

@@ -1,0 +1,77 @@
+"""The critic agent: judges whether an implementation is semantically right.
+
+The critic inspects the function source, the sampled input records, the
+produced output records, and the node description, and decides whether the
+results plausibly satisfy the intended semantics (paper Section 4, "Ensuring
+function semantic correctness").  When a mismatch is detected it returns a
+corrective hint; the coder iterates until the output is acceptable (or the
+repair budget runs out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fao.codegen import Coder
+from repro.fao.function import FunctionContext, GeneratedFunction
+from repro.fao.profiler import Profiler, ProfileResult
+from repro.models.base import ModelSuite
+from repro.parser.logical_plan import LogicalPlanNode
+from repro.relational.table import Table
+
+
+@dataclass
+class CriticVerdict:
+    """The critic's judgement of one profiled implementation."""
+
+    ok: bool
+    hint: str = ""
+    checked_semantics: bool = False
+
+    def describe(self) -> str:
+        if self.ok:
+            return "critic: accepted"
+        return f"critic: rejected -- {self.hint}"
+
+
+class Critic:
+    """Checks executability and semantic plausibility of generated functions."""
+
+    def __init__(self, models: ModelSuite):
+        self.models = models
+
+    def review(self, function: GeneratedFunction, profile: ProfileResult,
+               node: LogicalPlanNode) -> CriticVerdict:
+        """Review one implementation given its profiling results."""
+        if not profile.success:
+            return CriticVerdict(ok=False, hint=profile.error or "the function raised an exception")
+        ok, hint = self.models.llm.judge_output(
+            node.description, profile.input_sample, profile.output_sample,
+            purpose="critic_semantic_check")
+        return CriticVerdict(ok=ok, hint=hint, checked_semantics=True)
+
+    def review_and_repair(self, node: LogicalPlanNode, function: GeneratedFunction,
+                          inputs, context: FunctionContext, coder: Coder,
+                          profiler: Profiler, registry=None, max_rounds: int = 3
+                          ) -> Tuple[GeneratedFunction, ProfileResult, int, CriticVerdict]:
+        """Run the profile -> review -> repair loop until acceptance.
+
+        Returns the accepted (or last attempted) function, its profile, the
+        number of repair rounds used, and the final verdict.  New versions are
+        registered in ``registry`` when one is provided.
+        """
+        current = function
+        profile = profiler.profile(current, inputs, context)
+        rounds = 0
+        verdict = self.review(current, profile, node)
+        while not verdict.ok and rounds < max_rounds:
+            rounds += 1
+            current = coder.repair(node, current, verdict.hint,
+                                   input_samples={name: table.head(2)
+                                                  for name, table in inputs.items()})
+            if registry is not None:
+                registry.register(current)
+            profile = profiler.profile(current, inputs, context)
+            verdict = self.review(current, profile, node)
+        return current, profile, rounds, verdict

@@ -1,0 +1,101 @@
+"""The profiler agent: executes freshly generated functions on sample rows.
+
+The profiler checks that an implementation actually runs, measures its
+runtime, and counts the tokens its model calls consumed, so the optimizer can
+attach cost statistics to each implementation (paper Section 4, "Ensuring
+function executability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import FunctionExecutionError
+from repro.fao.function import FunctionContext, GeneratedFunction
+from repro.models.base import ModelSuite
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.utils.timer import Timer
+
+
+@dataclass
+class ProfileResult:
+    """What the profiler observed for one implementation."""
+
+    function_name: str
+    variant: str
+    success: bool
+    runtime_s: float = 0.0
+    tokens_used: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    error: Optional[str] = None
+    input_sample: List[Dict[str, Any]] = field(default_factory=list)
+    output_sample: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def tokens_per_row(self) -> float:
+        """Measured model tokens per input row (0 when nothing ran)."""
+        if self.rows_in == 0:
+            return float(self.tokens_used)
+        return self.tokens_used / self.rows_in
+
+    def describe(self) -> str:
+        status = "ok" if self.success else f"FAILED ({self.error})"
+        return (f"profile {self.function_name}/{self.variant}: {status}, "
+                f"{self.rows_in}->{self.rows_out} rows, {self.runtime_s * 1000:.2f} ms, "
+                f"{self.tokens_used} tokens")
+
+
+class Profiler:
+    """Runs implementations on truncated sample inputs and records statistics."""
+
+    def __init__(self, models: ModelSuite, sample_size: int = 3):
+        self.models = models
+        self.sample_size = sample_size
+
+    def profile(self, function: GeneratedFunction, inputs: Dict[str, Table],
+                context: FunctionContext, sample_size: Optional[int] = None) -> ProfileResult:
+        """Execute ``function`` on a sample of its primary input.
+
+        The primary (first) input is truncated to ``sample_size`` rows; side
+        inputs (lookup relations) are passed whole because the implementations
+        use them as dictionaries.
+        """
+        size = sample_size or self.sample_size
+        primary_name = function.signature.inputs[0] if function.signature.inputs else None
+        sampled_inputs: Dict[str, Table] = {}
+        for name, table in inputs.items():
+            if name == primary_name and len(table) > size:
+                sample = Table(table.name, Schema(list(table.schema.columns)))
+                sample.rows.extend(dict(row) for row in table.rows[:size])
+                sampled_inputs[name] = sample
+            else:
+                sampled_inputs[name] = table
+
+        rows_in = len(sampled_inputs.get(primary_name, Table("empty", Schema([])))) \
+            if primary_name else 0
+        marker = self.models.cost_meter.snapshot()
+        result = ProfileResult(function_name=function.name, variant=function.variant,
+                               success=False, rows_in=rows_in)
+        if primary_name and primary_name in sampled_inputs:
+            result.input_sample = sampled_inputs[primary_name].head(size)
+
+        timer = Timer()
+        try:
+            with timer:
+                output = function.execute(sampled_inputs, context)
+        except FunctionExecutionError as error:
+            result.runtime_s = timer.elapsed
+            result.error = str(error)
+            result.tokens_used = self.models.cost_meter.tokens_since(marker)
+            return result
+
+        result.success = True
+        result.runtime_s = timer.elapsed
+        result.rows_out = len(output)
+        result.output_sample = output.head(size)
+        result.tokens_used = self.models.cost_meter.tokens_since(marker)
+        function.profile_runtime_s = result.runtime_s
+        return result

@@ -1,0 +1,40 @@
+"""Function signatures: the logical half of an FAO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.parser.logical_plan import LogicalPlanNode
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """The declaration of a function: what it reads, produces, and means.
+
+    A signature is the *logical operator*; its generated implementations (one
+    per version) are the *physical operators* the optimizer chooses among.
+    """
+
+    name: str
+    description: str
+    inputs: tuple
+    output: str
+
+    @classmethod
+    def from_node(cls, node: LogicalPlanNode) -> "FunctionSignature":
+        """Build a signature from a logical-plan node."""
+        return cls(name=node.name, description=node.description,
+                   inputs=tuple(node.inputs), output=node.output)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The paper's Figure 3 JSON layout."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "inputs": list(self.inputs),
+            "output": self.output,
+        }
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.inputs)}) -> {self.output}"

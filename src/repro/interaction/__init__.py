@@ -1,0 +1,26 @@
+"""Human-AI interaction channels (paper Section 5).
+
+KathDB keeps users in the loop at three stages: query interpretation
+(proactive clarification + reactive correction), execution (semantic-anomaly
+escalation), and result explanation.  This package provides the channel
+abstraction, several user implementations (scripted, simulated-policy,
+console, silent), and a transcript that records every exchange.
+"""
+
+from repro.interaction.channel import InteractionChannel, Interaction, Transcript
+from repro.interaction.user import (
+    ConsoleUser,
+    ScriptedUser,
+    SilentUser,
+    UserAgent,
+)
+
+__all__ = [
+    "InteractionChannel",
+    "Interaction",
+    "Transcript",
+    "UserAgent",
+    "ScriptedUser",
+    "SilentUser",
+    "ConsoleUser",
+]

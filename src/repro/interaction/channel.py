@@ -1,0 +1,118 @@
+"""Interaction transcripts and the channel wrapper.
+
+Every question KathDB asks and every answer the user gives flows through an
+:class:`InteractionChannel`, which pairs a user agent with a
+:class:`Transcript`.  The transcript is what the Figure 4 benchmark replays
+and what the effort metrics (number of user turns) are computed from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import InteractionError
+
+
+class InteractionKind(enum.Enum):
+    """Which stage of the pipeline an interaction belongs to."""
+
+    CLARIFICATION = "clarification"          # proactive, during parsing
+    SKETCH_REVIEW = "sketch_review"          # reactive correction, during parsing
+    SEMANTIC_ANOMALY = "semantic_anomaly"    # during execution
+    EXPLANATION_REQUEST = "explanation"      # after execution
+    NOTICE = "notice"                        # system -> user, no reply expected
+
+
+@dataclass
+class Interaction:
+    """One system/user exchange."""
+
+    kind: InteractionKind
+    system_message: str
+    user_reply: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        reply = self.user_reply if self.user_reply is not None else "<no reply>"
+        return f"[{self.kind.value}] system: {self.system_message}\n  user: {reply}"
+
+
+@dataclass
+class Transcript:
+    """An ordered record of all interactions in one query session."""
+
+    interactions: List[Interaction] = field(default_factory=list)
+
+    def add(self, interaction: Interaction) -> Interaction:
+        self.interactions.append(interaction)
+        return interaction
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    def __iter__(self):
+        return iter(self.interactions)
+
+    def of_kind(self, kind: InteractionKind) -> List[Interaction]:
+        """All interactions of one kind."""
+        return [i for i in self.interactions if i.kind == kind]
+
+    def user_turns(self) -> int:
+        """How many times the user actually replied (the effort metric)."""
+        return sum(1 for i in self.interactions if i.user_reply not in (None, ""))
+
+    def describe(self) -> str:
+        """Multi-line rendering of the whole conversation."""
+        if not self.interactions:
+            return "(no interactions)"
+        return "\n".join(i.describe() for i in self.interactions)
+
+
+class InteractionChannel:
+    """Pairs a user agent with a transcript and exposes typed ask/notify calls."""
+
+    def __init__(self, user: "UserAgent", transcript: Optional[Transcript] = None):
+        from repro.interaction.user import UserAgent  # local import to avoid a cycle
+
+        if not isinstance(user, UserAgent):
+            raise InteractionError(f"expected a UserAgent, got {type(user).__name__}")
+        self.user = user
+        # ``or`` would discard an *empty* shared transcript (it is falsy), so
+        # test for None explicitly.
+        self.transcript = transcript if transcript is not None else Transcript()
+
+    # -- parsing stage ---------------------------------------------------------
+    def ask_clarification(self, question: str, term: str) -> str:
+        """Ask a proactive clarification question about an ambiguous term."""
+        reply = self.user.answer_clarification(question, term)
+        self.transcript.add(Interaction(InteractionKind.CLARIFICATION, question, reply,
+                                        metadata={"term": term}))
+        return reply
+
+    def review_sketch(self, sketch_text: str, version: int) -> str:
+        """Show the query sketch to the user; returns a correction or "OK"."""
+        reply = self.user.review_sketch(sketch_text, version)
+        self.transcript.add(Interaction(InteractionKind.SKETCH_REVIEW,
+                                        f"(sketch v{version})\n{sketch_text}", reply,
+                                        metadata={"version": version}))
+        return reply
+
+    # -- execution stage -----------------------------------------------------------
+    def escalate_anomaly(self, message: str, options: List[str]) -> str:
+        """Report a suspected semantic anomaly; returns the chosen option."""
+        reply = self.user.resolve_anomaly(message, options)
+        self.transcript.add(Interaction(InteractionKind.SEMANTIC_ANOMALY, message, reply,
+                                        metadata={"options": options}))
+        return reply
+
+    # -- explanation stage -----------------------------------------------------------
+    def record_explanation_request(self, question: str, answer: str) -> None:
+        """Log an explanation question and the produced answer."""
+        self.transcript.add(Interaction(InteractionKind.EXPLANATION_REQUEST, question, answer))
+
+    def notify(self, message: str) -> None:
+        """One-way notice to the user (e.g. on-the-fly repair reports)."""
+        self.user.notify(message)
+        self.transcript.add(Interaction(InteractionKind.NOTICE, message, None))

@@ -1,0 +1,104 @@
+"""User agents: the humans (real or simulated) on the other end of the channel.
+
+The paper itself simulates user replies in its Section 6 walk-through; the
+:class:`ScriptedUser` reproduces exactly that behaviour (fixed clarification
+answers, a fixed list of corrections issued one at a time, then "OK").  The
+:class:`SilentUser` never engages (it accepts defaults), which is the no-
+interaction arm of the clarification ablation.  :class:`ConsoleUser` asks a
+real person at the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class UserAgent:
+    """Base class: default behaviour is a silent, accepting user."""
+
+    def answer_clarification(self, question: str, term: str) -> str:
+        """Answer a proactive clarification question (empty = no answer)."""
+        return ""
+
+    def review_sketch(self, sketch_text: str, version: int) -> str:
+        """React to a query sketch: a correction, or "OK" to accept."""
+        return "OK"
+
+    def resolve_anomaly(self, message: str, options: Sequence[str]) -> str:
+        """Choose how to handle a reported semantic anomaly."""
+        return options[0] if options else "accept"
+
+    def notify(self, message: str) -> None:
+        """Receive a one-way notice (default: ignore)."""
+
+
+class SilentUser(UserAgent):
+    """A user who never answers anything; KathDB proceeds with defaults."""
+
+
+class ScriptedUser(UserAgent):
+    """A user following a fixed script (the paper's simulated user).
+
+    Parameters
+    ----------
+    clarification_answers:
+        Mapping from ambiguous term to the reply ("exciting" -> "the movie plot
+        contains scenes that are uncommon ...").  Terms not in the mapping get
+        an empty reply.
+    corrections:
+        Replies to successive sketch reviews; once exhausted the user answers
+        "OK".  (The paper's user adds the recency preference after seeing v1.)
+    anomaly_choice:
+        Which option to pick when the monitor escalates an anomaly
+        ("adjust" by default, matching the paper's example).
+    """
+
+    def __init__(self, clarification_answers: Optional[Dict[str, str]] = None,
+                 corrections: Optional[Sequence[str]] = None,
+                 anomaly_choice: str = "adjust"):
+        self.clarification_answers = dict(clarification_answers or {})
+        self._corrections = list(corrections or [])
+        self._correction_index = 0
+        self.anomaly_choice = anomaly_choice
+        self.notices: List[str] = []
+
+    def answer_clarification(self, question: str, term: str) -> str:
+        return self.clarification_answers.get(term, "")
+
+    def review_sketch(self, sketch_text: str, version: int) -> str:
+        if self._correction_index < len(self._corrections):
+            correction = self._corrections[self._correction_index]
+            self._correction_index += 1
+            return correction
+        return "OK"
+
+    def resolve_anomaly(self, message: str, options: Sequence[str]) -> str:
+        for option in options:
+            if option == self.anomaly_choice:
+                return option
+        return options[0] if options else self.anomaly_choice
+
+    def notify(self, message: str) -> None:
+        self.notices.append(message)
+
+
+class ConsoleUser(UserAgent):
+    """A real user at a terminal (used by the interactive example script)."""
+
+    def answer_clarification(self, question: str, term: str) -> str:
+        print(f"\nKathDB asks: {question}")
+        return input("your answer (enter to skip): ").strip()
+
+    def review_sketch(self, sketch_text: str, version: int) -> str:
+        print(f"\nKathDB drafted this query sketch (v{version}):\n{sketch_text}")
+        reply = input("corrections? (enter or OK to accept): ").strip()
+        return reply or "OK"
+
+    def resolve_anomaly(self, message: str, options: Sequence[str]) -> str:
+        print(f"\nKathDB flagged a possible issue: {message}")
+        print("options: " + ", ".join(options))
+        reply = input("your choice: ").strip()
+        return reply or (options[0] if options else "accept")
+
+    def notify(self, message: str) -> None:
+        print(f"[KathDB] {message}")

@@ -1,0 +1,71 @@
+"""The model suite: one object bundling every simulated model.
+
+KathDB's agents need an LLM, a VLM, an embedding model, an entity extractor,
+and the cheaper physical alternatives (pixel detector, OCR), all sharing one
+cost meter and one lexicon.  :class:`ModelSuite` wires them together so the
+rest of the system takes a single dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models.cost import CostMeter
+from repro.models.detector import PixelObjectDetector
+from repro.models.embeddings import EmbeddingModel
+from repro.models.lexicon import Lexicon, default_lexicon
+from repro.models.llm import SimulatedLLM
+from repro.models.ner import EntityExtractor
+from repro.models.ocr import OCRTextExtractor
+from repro.models.vlm import SimulatedVLM
+
+
+@dataclass
+class ModelSuite:
+    """All simulated models plus the shared cost meter and lexicon."""
+
+    cost_meter: CostMeter
+    lexicon: Lexicon
+    llm: SimulatedLLM
+    vlm: SimulatedVLM
+    embeddings: EmbeddingModel
+    ner: EntityExtractor
+    detector: PixelObjectDetector
+    ocr: OCRTextExtractor
+
+    @classmethod
+    def create(cls, seed: object = 0, vlm_error_rate: float = 0.05,
+               ocr_error_rate: float = 0.02, lexicon: Optional[Lexicon] = None,
+               cost_meter: Optional[CostMeter] = None) -> "ModelSuite":
+        """Build a fully wired model suite.
+
+        Parameters
+        ----------
+        seed:
+            Seed shared (after forking) by every stochastic component.
+        vlm_error_rate / ocr_error_rate:
+            Noise levels of the perception models; the defaults keep accuracy
+            high but imperfect.
+        lexicon:
+            A custom lexicon; user clarifications may extend it at runtime, so
+            every suite gets its own copy by default.
+        cost_meter:
+            A shared cost meter; a fresh one is created when omitted.
+        """
+        meter = cost_meter or CostMeter()
+        lex = lexicon or default_lexicon()
+        return cls(
+            cost_meter=meter,
+            lexicon=lex,
+            llm=SimulatedLLM(cost_meter=meter, lexicon=lex, seed=seed),
+            vlm=SimulatedVLM(cost_meter=meter, lexicon=lex, seed=seed, error_rate=vlm_error_rate),
+            embeddings=EmbeddingModel(lexicon=lex, cost_meter=meter),
+            ner=EntityExtractor(cost_meter=meter, lexicon=lex),
+            detector=PixelObjectDetector(cost_meter=meter),
+            ocr=OCRTextExtractor(cost_meter=meter, seed=seed, error_rate=ocr_error_rate),
+        )
+
+    def reset_costs(self) -> None:
+        """Clear the shared cost meter."""
+        self.cost_meter.reset()

@@ -1,0 +1,79 @@
+"""Model cascades: cheap implementation first, escalate on low confidence.
+
+The paper lists "model cascades" among the physical choices KathDB's optimizer
+can make.  A :class:`ModelCascade` chains :class:`CascadeStage`s; each stage
+returns a prediction and a confidence, and the cascade stops at the first
+stage whose confidence clears its threshold.  Because every stage charges its
+own tokens to the shared cost meter, the cascade's cost/accuracy trade-off is
+measurable in the ablation benchmark (A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class CascadeStage:
+    """One stage of a cascade.
+
+    ``predict`` maps an input item to ``(prediction, confidence)`` with
+    confidence in [0, 1].  ``threshold`` is the minimum confidence at which the
+    cascade accepts this stage's answer instead of escalating.
+    """
+
+    name: str
+    predict: Callable[[Any], Tuple[Any, float]]
+    threshold: float = 0.8
+
+
+@dataclass
+class CascadeDecision:
+    """The outcome of running a cascade on one item."""
+
+    prediction: Any
+    confidence: float
+    stage_name: str
+    stages_used: int
+
+
+class ModelCascade:
+    """Runs items through stages until one is confident enough."""
+
+    def __init__(self, stages: Sequence[CascadeStage]):
+        if not stages:
+            raise ValueError("a cascade needs at least one stage")
+        self.stages = list(stages)
+
+    def run(self, item: Any) -> CascadeDecision:
+        """Classify one item, escalating through stages as needed.
+
+        The final stage's answer is always accepted, regardless of threshold.
+        """
+        decision: Optional[CascadeDecision] = None
+        for index, stage in enumerate(self.stages):
+            prediction, confidence = stage.predict(item)
+            decision = CascadeDecision(prediction=prediction, confidence=confidence,
+                                       stage_name=stage.name, stages_used=index + 1)
+            if confidence >= stage.threshold:
+                return decision
+        return decision  # type: ignore[return-value]
+
+    def run_many(self, items: Sequence[Any]) -> List[CascadeDecision]:
+        """Classify a batch of items."""
+        return [self.run(item) for item in items]
+
+    def escalation_rate(self, items: Sequence[Any]) -> float:
+        """Fraction of items that needed more than the first stage."""
+        if not items:
+            return 0.0
+        decisions = self.run_many(items)
+        return sum(1 for d in decisions if d.stages_used > 1) / len(items)
+
+    def stage_usage(self, items: Sequence[Any]) -> Dict[str, int]:
+        """How many items were answered by each stage."""
+        usage: Dict[str, int] = {stage.name: 0 for stage in self.stages}
+        for decision in self.run_many(items):
+            usage[decision.stage_name] += 1
+        return usage

@@ -1,0 +1,152 @@
+"""Token and latency accounting for simulated model calls.
+
+KathDB's optimizer "attaches cost and accuracy statistics to individual FAO
+implementations and compares alternatives under a unified cost model".  The
+:class:`CostMeter` is the ledger those statistics are drawn from: every
+simulated model call reports its prompt/completion token counts and a
+synthetic latency, tagged with the model name and a free-form *purpose*
+(e.g. ``"sketch_generation"``, ``"classify_boring"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ModelCall:
+    """One recorded model invocation."""
+
+    model: str
+    purpose: str
+    prompt_tokens: int
+    completion_tokens: int
+    latency_s: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt + completion tokens."""
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class CostSummary:
+    """Aggregated view over a set of calls."""
+
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    latency_s: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def add(self, call: ModelCall) -> None:
+        self.calls += 1
+        self.prompt_tokens += call.prompt_tokens
+        self.completion_tokens += call.completion_tokens
+        self.latency_s += call.latency_s
+
+
+class CostMeter:
+    """Accumulates :class:`ModelCall` records and summarizes them."""
+
+    # Synthetic per-token latency (seconds) by model family; only relative
+    # magnitudes matter for the benchmarks.
+    LATENCY_PER_TOKEN = {
+        "llm": 0.00002,
+        "vlm": 0.00004,
+        "embedding": 0.000002,
+        "ner": 0.000004,
+        "detector": 0.00001,
+        "ocr": 0.000003,
+    }
+
+    def __init__(self):
+        self._calls: List[ModelCall] = []
+
+    # -- recording ------------------------------------------------------------
+    def record(self, model: str, purpose: str, prompt_tokens: int,
+               completion_tokens: int, latency_s: Optional[float] = None) -> ModelCall:
+        """Record one call and return it."""
+        if latency_s is None:
+            family = model.split(":", 1)[0]
+            per_token = self.LATENCY_PER_TOKEN.get(family, 0.00002)
+            latency_s = per_token * (prompt_tokens + completion_tokens)
+        call = ModelCall(model=model, purpose=purpose,
+                         prompt_tokens=max(0, int(prompt_tokens)),
+                         completion_tokens=max(0, int(completion_tokens)),
+                         latency_s=latency_s)
+        self._calls.append(call)
+        return call
+
+    def reset(self) -> None:
+        """Forget all recorded calls."""
+        self._calls = []
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def calls(self) -> List[ModelCall]:
+        """All recorded calls, in order."""
+        return list(self._calls)
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total tokens across all calls."""
+        return sum(c.total_tokens for c in self._calls)
+
+    @property
+    def total_latency_s(self) -> float:
+        """Total synthetic latency across all calls."""
+        return sum(c.latency_s for c in self._calls)
+
+    def summary(self) -> CostSummary:
+        """Aggregate over every call."""
+        summary = CostSummary()
+        for call in self._calls:
+            summary.add(call)
+        return summary
+
+    def by_model(self) -> Dict[str, CostSummary]:
+        """Aggregate per model name."""
+        out: Dict[str, CostSummary] = {}
+        for call in self._calls:
+            out.setdefault(call.model, CostSummary()).add(call)
+        return out
+
+    def by_purpose(self) -> Dict[str, CostSummary]:
+        """Aggregate per purpose tag."""
+        out: Dict[str, CostSummary] = {}
+        for call in self._calls:
+            out.setdefault(call.purpose, CostSummary()).add(call)
+        return out
+
+    def tokens_for_purpose(self, purpose: str) -> int:
+        """Total tokens charged against one purpose tag."""
+        return sum(c.total_tokens for c in self._calls if c.purpose == purpose)
+
+    def snapshot(self) -> int:
+        """Return a marker (call count) for later :meth:`tokens_since`."""
+        return len(self._calls)
+
+    def tokens_since(self, marker: int) -> int:
+        """Tokens recorded after a :meth:`snapshot` marker."""
+        return sum(c.total_tokens for c in self._calls[marker:])
+
+    def report(self) -> str:
+        """Human-readable multi-line cost report."""
+        lines = ["model call cost report", "----------------------"]
+        for model, summary in sorted(self.by_model().items()):
+            lines.append(
+                f"{model:<24} calls={summary.calls:<4} tokens={summary.total_tokens:<8}"
+                f" latency={summary.latency_s:.3f}s"
+            )
+        total = self.summary()
+        lines.append(f"{'TOTAL':<24} calls={total.calls:<4} tokens={total.total_tokens:<8}"
+                     f" latency={total.latency_s:.3f}s")
+        return "\n".join(lines)

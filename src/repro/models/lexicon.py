@@ -1,0 +1,255 @@
+"""The semantic lexicon that grounds every simulated model.
+
+The simulated LLM, VLM, and embedding model all need a shared notion of what
+words *mean* so that, e.g., the keyword list generated for "exciting" actually
+matches the entities extracted from an exciting plot, and a poster full of
+weapons scores high on excitement.  A :class:`Lexicon` is a set of named
+concept clusters; cluster membership drives embeddings, keyword generation,
+and scoring.
+
+This is the reproduction's stand-in for the world knowledge a real foundation
+model brings.  The default lexicon covers the paper's running example (movie
+excitement, boring posters, recency) plus enough extra domains (healthcare,
+science, media) to support additional workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.utils.text import content_words, normalize, tokenize
+
+
+@dataclass
+class Concept:
+    """One concept cluster: a canonical name plus member terms."""
+
+    name: str
+    terms: Set[str] = field(default_factory=set)
+    description: str = ""
+
+    def __post_init__(self):
+        self.terms = {normalize(t) for t in self.terms}
+        self.terms.add(normalize(self.name))
+
+    def contains(self, term: str) -> bool:
+        """Whether ``term`` belongs to this concept (exact, normalized)."""
+        return normalize(term) in self.terms
+
+
+class Lexicon:
+    """A collection of concept clusters with membership and affinity queries."""
+
+    def __init__(self, concepts: Optional[Iterable[Concept]] = None):
+        self._concepts: Dict[str, Concept] = {}
+        for concept in concepts or []:
+            self.add(concept)
+
+    # -- construction -----------------------------------------------------------
+    def add(self, concept: Concept) -> None:
+        """Register a concept cluster."""
+        self._concepts[concept.name] = concept
+
+    def add_terms(self, concept_name: str, terms: Sequence[str]) -> None:
+        """Add extra terms to an existing concept (creating it if needed).
+
+        This is how user feedback updates the system's interpretation of a
+        subjective term (paper Figure 4): clarifications extend the cluster.
+        """
+        concept = self._concepts.get(concept_name)
+        if concept is None:
+            concept = Concept(concept_name, set(terms))
+            self._concepts[concept_name] = concept
+        else:
+            concept.terms.update(normalize(t) for t in terms)
+
+    # -- queries -----------------------------------------------------------------
+    def concept_names(self) -> List[str]:
+        """All registered concept names."""
+        return sorted(self._concepts)
+
+    def concept(self, name: str) -> Optional[Concept]:
+        """Look up one concept by name."""
+        return self._concepts.get(name)
+
+    def terms_for(self, concept_name: str) -> List[str]:
+        """All member terms of one concept (empty list if unknown)."""
+        concept = self._concepts.get(concept_name)
+        return sorted(concept.terms) if concept else []
+
+    def concepts_of_term(self, term: str) -> List[str]:
+        """All concepts a term belongs to."""
+        normalized = normalize(term)
+        return sorted(name for name, c in self._concepts.items() if normalized in c.terms)
+
+    def membership_vector(self, term: str) -> Dict[str, float]:
+        """Concept-membership weights for a term (1.0 per containing concept)."""
+        return {name: 1.0 for name in self.concepts_of_term(term)}
+
+    def affinity(self, term_a: str, term_b: str) -> float:
+        """Jaccard affinity between the concept sets of two terms.
+
+        Returns 1.0 for identical normalized terms, 0.0 when they share no
+        concept.
+        """
+        a, b = normalize(term_a), normalize(term_b)
+        if a == b:
+            return 1.0
+        concepts_a = set(self.concepts_of_term(a))
+        concepts_b = set(self.concepts_of_term(b))
+        if not concepts_a or not concepts_b:
+            return 0.0
+        intersection = concepts_a & concepts_b
+        union = concepts_a | concepts_b
+        return len(intersection) / len(union)
+
+    def text_affinity(self, text: str, concept_name: str) -> float:
+        """Fraction of a text's content words that belong to a concept.
+
+        Used by the simulated scoring functions ("how exciting is this plot")
+        and by the black-box LLM baseline.
+        """
+        words = content_words(text)
+        if not words:
+            return 0.0
+        concept = self._concepts.get(concept_name)
+        if concept is None:
+            return 0.0
+        hits = sum(1 for w in words if w in concept.terms)
+        return hits / len(words)
+
+    def matching_terms(self, text: str, concept_name: str) -> List[str]:
+        """Which words of ``text`` belong to ``concept_name`` (deduplicated)."""
+        concept = self._concepts.get(concept_name)
+        if concept is None:
+            return []
+        seen: Set[str] = set()
+        out: List[str] = []
+        for word in tokenize(text):
+            if word in concept.terms and word not in seen:
+                seen.add(word)
+                out.append(word)
+        return out
+
+    def best_concept(self, term: str) -> Optional[str]:
+        """The first concept (alphabetically) containing ``term``, if any."""
+        concepts = self.concepts_of_term(term)
+        return concepts[0] if concepts else None
+
+
+# ---------------------------------------------------------------------------
+# The default lexicon
+# ---------------------------------------------------------------------------
+def _default_concepts() -> List[Concept]:
+    return [
+        Concept(
+            "excitement",
+            {
+                "gun", "guns", "gunfight", "shootout", "murder", "kill", "killed", "killing",
+                "weapon", "weapons", "knife", "bomb", "explosion", "explode", "chase", "chased",
+                "fight", "fighting", "battle", "war", "attack", "attacked", "threat", "threatened",
+                "danger", "dangerous", "death", "dead", "die", "dies", "escape", "escapes",
+                "heist", "robbery", "hostage", "crash", "crashes", "conspiracy", "betrayal",
+                "spy", "assassin", "motorcycle", "stunt", "violent", "violence", "terror",
+                "blackmail", "interrogation", "accused", "suspicion", "fugitive", "pursuit",
+                "shooting", "shot", "criminal", "crime", "gangster", "uncommon",
+            },
+            description="Things that make a plot or scene exciting / dangerous / action-heavy.",
+        ),
+        Concept(
+            "calm",
+            {
+                "quiet", "calm", "peaceful", "gentle", "walk", "walking", "garden", "tea",
+                "conversation", "dinner", "routine", "ordinary", "everyday", "mundane",
+                "meeting", "office", "paperwork", "slow", "serene", "nap", "reading",
+                "friendship", "recovery", "healing", "support", "counseling", "sober",
+            },
+            description="Calm, everyday, low-stakes activities.",
+        ),
+        Concept(
+            "boring_visual",
+            {
+                "plain", "blank", "empty", "monochrome", "gray", "grey", "beige", "dull",
+                "minimal", "sparse", "text", "letters", "portrait", "face", "suit", "wall",
+                "background", "still", "static", "muted",
+            },
+            description="Visual features of a boring poster: plain background, few objects, muted colors.",
+        ),
+        Concept(
+            "vivid_visual",
+            {
+                "explosion", "fire", "flames", "neon", "colorful", "bright", "vibrant",
+                "crowd", "cityscape", "helicopter", "car", "motorcycle", "gun", "weapon",
+                "lightning", "spaceship", "monster", "robot", "burst", "action",
+            },
+            description="Visual features of a vivid, busy, action-heavy poster.",
+        ),
+        Concept(
+            "recency",
+            {"recent", "new", "newer", "latest", "modern", "current", "release", "released"},
+            description="Terms about how recent something is.",
+        ),
+        Concept(
+            "person",
+            {
+                "man", "woman", "person", "he", "she", "actor", "actress", "director",
+                "detective", "agent", "doctor", "lawyer", "writer", "producer",
+            },
+            description="Person-like entity classes.",
+        ),
+        Concept(
+            "romance",
+            {
+                "love", "romance", "romantic", "kiss", "wedding", "marriage", "heart",
+                "relationship", "affair", "passion", "date", "dating",
+            },
+            description="Romantic themes.",
+        ),
+        Concept(
+            "comedy",
+            {
+                "funny", "comedy", "laugh", "laughs", "joke", "jokes", "hilarious",
+                "prank", "awkward", "silly",
+            },
+            description="Comedic themes.",
+        ),
+        Concept(
+            "science",
+            {
+                "experiment", "laboratory", "research", "scientist", "data", "measurement",
+                "hypothesis", "cell", "protein", "genome", "telescope", "quantum",
+            },
+            description="Scientific themes (extra domain for non-movie workloads).",
+        ),
+        Concept(
+            "healthcare",
+            {
+                "patient", "hospital", "diagnosis", "treatment", "surgery", "nurse",
+                "doctor", "clinic", "symptom", "therapy", "recovery", "medication",
+            },
+            description="Healthcare themes (extra domain for non-movie workloads).",
+        ),
+        Concept(
+            "subjective",
+            {
+                "exciting", "boring", "interesting", "good", "best", "nice", "beautiful",
+                "scary", "funny", "sad", "happy", "dramatic", "thrilling", "memorable",
+                "notable", "cool", "great", "bad", "worst", "weird", "unusual",
+            },
+            description="Subjective / user-dependent terms that trigger clarification questions.",
+        ),
+        Concept(
+            "award",
+            {"award", "awards", "oscar", "winner", "winning", "nominated", "nomination", "prize"},
+            description="Award-related terms (an alternative interpretation of 'exciting').",
+        ),
+    ]
+
+
+DEFAULT_LEXICON = Lexicon(_default_concepts())
+
+
+def default_lexicon() -> Lexicon:
+    """A fresh copy of the default lexicon (mutating it will not affect others)."""
+    return Lexicon(_default_concepts())

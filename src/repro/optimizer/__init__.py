@@ -1,0 +1,31 @@
+"""The query optimizer (paper Sections 2.2 and 4).
+
+The optimizer turns an approved logical plan into a physical plan:
+
+* **logical rewrites** (:mod:`~repro.optimizer.rewrites`): predicate pushdown
+  and operator fusion over the logical plan;
+* **physical choice** (:mod:`~repro.optimizer.optimizer`): for each node the
+  coder generates candidate implementations, the profiler measures them on
+  sampled data, the critic checks their semantics, and the cost model
+  (:mod:`~repro.optimizer.cost_model`) picks the cheapest acceptable one.
+"""
+
+from repro.optimizer.physical_plan import PhysicalOperator, PhysicalPlan
+from repro.optimizer.cost_model import CostEstimate, CostModel
+from repro.optimizer.profile_cache import CachedProfile, ProfileCache
+from repro.optimizer.rewrites import predicate_pushdown, fuse_score_chain, applied_rewrites
+from repro.optimizer.optimizer import OptimizationReport, QueryOptimizer
+
+__all__ = [
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "CostEstimate",
+    "CostModel",
+    "CachedProfile",
+    "ProfileCache",
+    "predicate_pushdown",
+    "fuse_score_chain",
+    "applied_rewrites",
+    "OptimizationReport",
+    "QueryOptimizer",
+]

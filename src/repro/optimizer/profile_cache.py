@@ -1,0 +1,135 @@
+"""Offline profiling cache.
+
+The paper notes that profiling function implementations on the fly slows query
+planning down and asks how the effort could be reduced "e.g., through offline
+profiling".  The :class:`ProfileCache` answers that question's engineering
+half: per-(family, variant) statistics from earlier profiling runs are kept
+(optionally persisted to disk) and reused by the optimizer, so repeated
+queries skip the per-candidate execution of sample rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.fao.profiler import ProfileResult
+
+
+@dataclass
+class CachedProfile:
+    """Aggregated profiling statistics for one (family, variant) pair."""
+
+    tokens_per_row: float = 0.0
+    runtime_per_row_s: float = 0.0
+    success_rate: float = 1.0
+    samples: int = 0
+
+    def update(self, profile: ProfileResult) -> None:
+        """Fold one fresh profile into the running averages."""
+        rows = max(1, profile.rows_in)
+        tokens_per_row = profile.tokens_used / rows
+        runtime_per_row = profile.runtime_s / rows
+        success = 1.0 if profile.success else 0.0
+        total = self.samples + 1
+        self.tokens_per_row = (self.tokens_per_row * self.samples + tokens_per_row) / total
+        self.runtime_per_row_s = (self.runtime_per_row_s * self.samples + runtime_per_row) / total
+        self.success_rate = (self.success_rate * self.samples + success) / total
+        self.samples = total
+
+    def as_profile(self, function_name: str, variant: str, rows_in: int) -> ProfileResult:
+        """Materialize a synthetic ProfileResult from the cached statistics."""
+        return ProfileResult(
+            function_name=function_name,
+            variant=variant,
+            success=self.success_rate >= 0.5,
+            runtime_s=self.runtime_per_row_s * rows_in,
+            tokens_used=int(round(self.tokens_per_row * rows_in)),
+            rows_in=rows_in,
+            rows_out=rows_in,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "tokens_per_row": self.tokens_per_row,
+            "runtime_per_row_s": self.runtime_per_row_s,
+            "success_rate": self.success_rate,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "CachedProfile":
+        return cls(
+            tokens_per_row=float(payload.get("tokens_per_row", 0.0)),
+            runtime_per_row_s=float(payload.get("runtime_per_row_s", 0.0)),
+            success_rate=float(payload.get("success_rate", 1.0)),
+            samples=int(payload.get("samples", 0)),
+        )
+
+
+class ProfileCache:
+    """A (family, variant)-keyed cache of profiling statistics."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None, min_samples: int = 1):
+        self.path = Path(path) if path else None
+        self.min_samples = min_samples
+        self._entries: Dict[Tuple[str, str], CachedProfile] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    # -- lookups -----------------------------------------------------------------
+    def get(self, family: str, variant: str) -> Optional[CachedProfile]:
+        """A usable cached profile, or None (counts hit/miss)."""
+        entry = self._entries.get((family, variant))
+        if entry is not None and entry.samples >= self.min_samples:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def record(self, family: str, variant: str, profile: ProfileResult) -> CachedProfile:
+        """Fold a freshly measured profile into the cache."""
+        entry = self._entries.setdefault((family, variant), CachedProfile())
+        entry.update(profile)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, tuple) and key in self._entries
+
+    # -- persistence ----------------------------------------------------------------
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Persist the cache as JSON; returns the path written."""
+        target = Path(path) if path else self.path
+        if target is None:
+            raise ValueError("no path configured for the profile cache")
+        payload = {f"{family}::{variant}": entry.to_dict()
+                   for (family, variant), entry in self._entries.items()}
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        return target
+
+    def load(self, path: Optional[Union[str, Path]] = None) -> int:
+        """Load entries from JSON; returns how many entries were loaded."""
+        source = Path(path) if path else self.path
+        if source is None or not source.exists():
+            return 0
+        payload = json.loads(source.read_text(encoding="utf-8"))
+        for key, value in payload.items():
+            family, _, variant = key.partition("::")
+            self._entries[(family, variant)] = CachedProfile.from_dict(value)
+        return len(payload)
+
+    def describe(self) -> str:
+        lines = [f"profile cache ({len(self._entries)} entries, "
+                 f"{self.hits} hits / {self.misses} misses)"]
+        for (family, variant), entry in sorted(self._entries.items()):
+            lines.append(f"  {family}/{variant}: {entry.tokens_per_row:.1f} tokens/row, "
+                         f"{entry.samples} samples")
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""The query parser (paper Section 2.1 and Section 5).
+
+The parser converts an NL request into an executable logical plan in two
+stages, both with a human in the loop:
+
+1. :class:`~repro.parser.nl_parser.NLParser` -- reviewer + sketch-generator
+   agents: detect ambiguity, ask proactive clarification questions, emit a
+   chain-of-thought *query sketch*, and run the reactive correction loop.
+2. :class:`~repro.parser.plan_generator.LogicalPlanGenerator` /
+   :class:`~repro.parser.plan_verifier.PlanVerifier` -- plan writer, tool user,
+   and verifier agents: expand each sketch step into logical-plan nodes with
+   function signatures (Figure 3's JSON layout) and verify them against the
+   catalog.
+"""
+
+from repro.parser.sketch import QuerySketch, SketchStep
+from repro.parser.nl_parser import NLParser, ParseOutcome
+from repro.parser.logical_plan import LogicalPlan, LogicalPlanNode
+from repro.parser.plan_generator import LogicalPlanGenerator
+from repro.parser.plan_verifier import PlanVerifier, VerificationReport, CatalogToolUser
+
+__all__ = [
+    "QuerySketch",
+    "SketchStep",
+    "NLParser",
+    "ParseOutcome",
+    "LogicalPlan",
+    "LogicalPlanNode",
+    "LogicalPlanGenerator",
+    "PlanVerifier",
+    "VerificationReport",
+    "CatalogToolUser",
+]

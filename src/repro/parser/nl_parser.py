@@ -1,0 +1,198 @@
+"""The interactive NL parser: reviewer + sketch-generator agents.
+
+The parser implements both interaction modes from the paper's Figure 4:
+
+* **Proactive clarification** -- the reviewer agent inspects the NL query; if
+  it finds a high-priority ambiguous term it asks the user a focused question
+  before drafting anything.
+* **Reactive correction** -- after showing the drafted sketch, the user may
+  reply with a correction ("I prefer more recent movies as well when
+  scoring"); the sketch generator folds the correction in, bumps the sketch
+  version, and submits it for another review, until the user answers "OK".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.interaction.channel import InteractionChannel
+from repro.models.base import ModelSuite
+from repro.models.llm import QueryIntent
+from repro.parser.sketch import QuerySketch
+from repro.utils.text import join_names
+
+
+@dataclass
+class ParseOutcome:
+    """What the NL parser produced for one query."""
+
+    sketch: QuerySketch
+    intent: QueryIntent
+    clarification_rounds: int = 0
+    correction_rounds: int = 0
+    sketch_history: List[QuerySketch] = field(default_factory=list)
+
+
+class NLParser:
+    """Translates NL queries into query sketches, interacting with the user."""
+
+    def __init__(self, models: ModelSuite, ambiguity_threshold: float = 0.5,
+                 max_correction_rounds: int = 4, proactive: bool = True,
+                 reactive: bool = True):
+        self.models = models
+        self.ambiguity_threshold = ambiguity_threshold
+        self.max_correction_rounds = max_correction_rounds
+        self.proactive = proactive
+        self.reactive = reactive
+
+    # -- public API --------------------------------------------------------------
+    def parse(self, nl_query: str, channel: InteractionChannel) -> ParseOutcome:
+        """Run the full clarify -> sketch -> correct loop for one query."""
+        llm = self.models.llm
+        clarifications: Dict[str, str] = {}
+        clarification_rounds = 0
+
+        # Proactive clarification (reviewer agent).
+        if self.proactive:
+            for report in llm.detect_ambiguity(nl_query):
+                if report.priority < self.ambiguity_threshold:
+                    continue
+                answer = channel.ask_clarification(report.question, report.term)
+                clarification_rounds += 1
+                if answer:
+                    clarifications[report.term] = answer
+                    # The clarification teaches the system what the subjective
+                    # term means; remember it in the lexicon for keyword reuse.
+                    self.models.lexicon.add_terms(
+                        report.term, llm.generate_keywords(report.term, answer))
+
+        corrections: List[str] = []
+        intent = llm.interpret_query(nl_query, clarifications, corrections)
+        sketch = self.generate_sketch(nl_query, intent, clarifications, corrections, version=1)
+        history = [sketch]
+        correction_rounds = 0
+
+        # Reactive correction loop (query writer + user review).
+        if self.reactive:
+            while correction_rounds < self.max_correction_rounds:
+                reply = channel.review_sketch(sketch.describe(), sketch.version)
+                if not reply or reply.strip().upper() == "OK":
+                    break
+                corrections.append(reply)
+                correction_rounds += 1
+                intent = llm.interpret_query(nl_query, clarifications, corrections)
+                sketch = self.generate_sketch(nl_query, intent, clarifications, corrections,
+                                              version=sketch.version + 1)
+                history.append(sketch)
+
+        return ParseOutcome(sketch=sketch, intent=intent,
+                            clarification_rounds=clarification_rounds,
+                            correction_rounds=correction_rounds,
+                            sketch_history=history)
+
+    # -- sketch generation -------------------------------------------------------------
+    def generate_sketch(self, nl_query: str, intent: QueryIntent,
+                        clarifications: Dict[str, str], corrections: List[str],
+                        version: int = 1) -> QuerySketch:
+        """Generate the chain-of-thought query sketch for an interpreted query.
+
+        The step structure mirrors the paper's Section 6 walk-through: view
+        population first, column selection, one join per needed modality, one
+        step per semantic score, classification/filtering over images,
+        combination, and final ranking -- 8 steps for the flagship query
+        without the recency correction and 11 with it.
+        """
+        sketch = QuerySketch(nl_query=nl_query, version=version,
+                             clarifications=dict(clarifications),
+                             corrections=list(corrections))
+        llm = self.models.llm
+
+        sketch.add_step(
+            "Populate the relational views over the raw text and images "
+            "(scene graphs for posters, semantic graphs for plot documents) so that "
+            "later steps can operate on relational data.",
+            purpose="populate_views")
+
+        sketch.add_step(
+            "Select the relevant columns (title, release year) from the movie table.",
+            purpose="select_columns")
+
+        if intent.needs_text:
+            sketch.add_step(
+                "Join the relational view over text (extracted entities per plot document) "
+                "with the movie table so each film is associated with the entities "
+                "mentioned in its plot.",
+                purpose="join_text")
+        if intent.needs_images:
+            sketch.add_step(
+                "Check the Objects table associated with each poster image so each film is "
+                "associated with the objects and visual statistics of its poster.",
+                purpose="join_images")
+
+        for score in intent.semantic_scores:
+            keywords = join_names(score.keywords[:6]) or score.concept
+            sketch.add_step(
+                llm.render_text(
+                    "Assign a \"{name}\" to each film: generate a keyword list for the "
+                    "concept (e.g., {keywords}), embed the keywords and the entities "
+                    "extracted from the plot, and aggregate their vector similarity into "
+                    "a score per movie.",
+                    purpose="sketch_step_generation",
+                    name=score.name.replace("_", " "), keywords=keywords),
+                purpose=f"score:{score.name}")
+
+        if intent.include_recency:
+            sketch.add_step(
+                "Assign a \"recency score\" to each film based on its release date, so that "
+                "more recent films score higher.",
+                purpose="score:recency_score")
+            sketch.add_step(
+                llm.render_text(
+                    "Combine the individual scores into a final score per film using the "
+                    "weights {weights}.",
+                    purpose="sketch_step_generation",
+                    weights=intent.score_weights),
+                purpose="combine_scores")
+
+        for predicate in intent.image_predicates:
+            sketch.add_step(
+                llm.render_text(
+                    "Analyze poster visual features using both extracted objects and image "
+                    "pixels to determine if the poster appears '{name}' (e.g., lacks vivid "
+                    "colors, few objects, little action, plain background).",
+                    purpose="sketch_step_generation", name=predicate.name),
+                purpose=f"classify:{predicate.name}")
+            if predicate.mode == "filter":
+                keep = "keep only" if predicate.keep_if_true else "remove"
+                sketch.add_step(
+                    f"Filter the films so as to {keep} those whose poster is classified "
+                    f"as '{predicate.name}'.",
+                    purpose=f"filter:{predicate.name}")
+
+        for relational_filter in intent.relational_filters:
+            sketch.add_step(
+                f"Keep only films where {relational_filter.column} {relational_filter.op} "
+                f"{relational_filter.value}.",
+                purpose=f"relational_filter:{relational_filter.column}")
+
+        if intent.include_recency or len(intent.semantic_scores) > 1:
+            sketch.add_step(
+                "Join all intermediate results so every film carries its scores and "
+                "classification flags.",
+                purpose="join_results")
+
+        if intent.ranking:
+            target = "final score" if intent.include_recency else (
+                intent.semantic_scores[0].name.replace("_", " ") if intent.semantic_scores
+                else "relevance")
+            sketch.add_step(
+                f"Rank the remaining films by their {target}, highest first, and return "
+                "the ranked list.",
+                purpose="rank")
+        else:
+            sketch.add_step(
+                "Return the films that satisfy all conditions.",
+                purpose="project_result")
+
+        return sketch

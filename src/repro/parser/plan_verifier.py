@@ -1,0 +1,193 @@
+"""The agentic plan verifier (paper Section 4).
+
+Three roles collaborate on every draft logical plan:
+
+* the **plan writer** (:class:`~repro.parser.plan_generator.LogicalPlanGenerator`)
+  drafts a tree of logical-plan nodes;
+* the **verifier** reads the draft together with initial sample data from the
+  related relations; if that snapshot is enough it approves, otherwise it
+  names the specific relations it needs more information about;
+* the **tool user** owns a small set of database utilities (row sampler,
+  joinability tester, column profiler) and fetches the requested information
+  so the verifier can judge again.
+
+If the verifier finds problems it returns hints; the writer is expected to
+redraft and resubmit (the loop is driven by whoever owns both agents --
+in this reproduction the :class:`~repro.core.kathdb.KathDB` facade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.models.base import ModelSuite
+from repro.parser.logical_plan import LogicalPlan, LogicalPlanNode
+from repro.relational.catalog import Catalog
+
+
+@dataclass
+class VerificationReport:
+    """The verifier's judgement on one draft plan."""
+
+    approved: bool
+    problems: List[str] = field(default_factory=list)
+    hints: List[str] = field(default_factory=list)
+    inspected_relations: List[str] = field(default_factory=list)
+    tool_calls: int = 0
+
+    def describe(self) -> str:
+        status = "APPROVED" if self.approved else "REJECTED"
+        lines = [f"plan verification: {status}"]
+        lines.extend(f"  problem: {p}" for p in self.problems)
+        lines.extend(f"  hint: {h}" for h in self.hints)
+        if self.inspected_relations:
+            lines.append(f"  inspected: {', '.join(self.inspected_relations)} "
+                         f"({self.tool_calls} tool calls)")
+        return "\n".join(lines)
+
+
+class CatalogToolUser:
+    """The tool-user agent: a small set of database utilities over the catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.calls = 0
+
+    def sample_rows(self, table_name: str, n: int = 3) -> List[Dict[str, Any]]:
+        """Row sampler."""
+        self.calls += 1
+        return self.catalog.sample_rows(table_name, n)
+
+    def column_names(self, table_name: str) -> List[str]:
+        """Schema lookup."""
+        self.calls += 1
+        return self.catalog.schema(table_name).column_names()
+
+    def joinability(self, left: str, right: str) -> List[str]:
+        """Joinability tester: columns shared by two tables."""
+        self.calls += 1
+        return self.catalog.joinable_columns(left, right)
+
+    def row_count(self, table_name: str) -> int:
+        """Cardinality lookup."""
+        self.calls += 1
+        return len(self.catalog.table(table_name))
+
+
+class PlanVerifier:
+    """Checks a draft logical plan against the catalog."""
+
+    def __init__(self, models: ModelSuite, catalog: Catalog):
+        self.models = models
+        self.catalog = catalog
+        self.tool_user = CatalogToolUser(catalog)
+
+    def verify(self, plan: LogicalPlan) -> VerificationReport:
+        """Verify one draft plan.
+
+        The checks performed:
+
+        1. structural validity (every input resolvable, unique outputs);
+        2. every *base* input relation exists in the catalog -- when a node
+           reads a catalog relation the verifier asks the tool user for sample
+           rows and confirms the columns the node's parameters mention exist;
+        3. join nodes reading two catalog relations must have at least one
+           joinable column (tool-user joinability test);
+        4. the final node must produce an output.
+        """
+        report = VerificationReport(approved=True)
+        catalog_names = {name.lower() for name in self.catalog.table_names()}
+
+        problems = plan.validate(self.catalog.table_names())
+        for problem in problems:
+            report.problems.append(problem)
+            report.hints.append(f"redraft: {problem}")
+
+        produced = set()
+        for node in plan.nodes:
+            catalog_inputs = [name for name in node.inputs
+                              if name.lower() in catalog_names and name.lower() not in produced]
+            for relation in catalog_inputs:
+                if relation not in report.inspected_relations:
+                    report.inspected_relations.append(relation)
+                columns = set(c.lower() for c in self.tool_user.column_names(relation))
+                self.tool_user.sample_rows(relation, 2)
+                for mentioned in self._columns_mentioned(node):
+                    # A mentioned column must exist in *some* input of the node,
+                    # not necessarily this one; only flag when absent everywhere.
+                    if not self._column_available(node, mentioned, catalog_names):
+                        message = (f"node {node.name!r} refers to column {mentioned!r} "
+                                   f"which none of its catalog inputs provide")
+                        if message not in report.problems:
+                            report.problems.append(message)
+                            report.hints.append(
+                                f"check the schema of {', '.join(node.inputs)} for {mentioned!r}")
+                # Joinability: a node that reads two or more catalog relations
+                # should either share a column with the first relation or carry
+                # an explicit join-key mapping for both sides.
+                if len(catalog_inputs) >= 2 and relation != catalog_inputs[0]:
+                    shared = self.tool_user.joinability(catalog_inputs[0], relation)
+                    if not shared and not self._has_explicit_join_keys(
+                            node, catalog_inputs[0], relation):
+                        report.problems.append(
+                            f"node {node.name!r} joins {catalog_inputs[0]!r} and {relation!r} "
+                            f"but they share no column")
+                        report.hints.append(
+                            f"add an explicit join key for {catalog_inputs[0]!r} and {relation!r}")
+            produced.add(node.output.lower())
+
+        if plan.nodes and not plan.nodes[-1].output:
+            report.problems.append("the final node does not declare an output table")
+
+        report.tool_calls = self.tool_user.calls
+        report.approved = not report.problems
+        # Charge the verifier's reasoning to the LLM budget.
+        self.models.llm.render_text(
+            "verified plan with {n} nodes: {status}",
+            purpose="plan_verification",
+            n=len(plan.nodes), status="approved" if report.approved else "rejected")
+        return report
+
+    def _has_explicit_join_keys(self, node: LogicalPlanNode, left: str, right: str) -> bool:
+        """Whether the node declares join keys for both relations and they exist."""
+        join_keys = node.parameters.get("join_keys") or {}
+        left_key, right_key = join_keys.get(left), join_keys.get(right)
+        if not left_key or not right_key:
+            return False
+        left_columns = {c.lower() for c in self.catalog.schema(left).column_names()}
+        right_columns = {c.lower() for c in self.catalog.schema(right).column_names()}
+        return left_key.lower() in left_columns and right_key.lower() in right_columns
+
+    def _columns_mentioned(self, node: LogicalPlanNode) -> List[str]:
+        """Columns a node's parameters explicitly reference on its *inputs*."""
+        mentioned: List[str] = []
+        parameters = node.parameters
+        for key in ("columns", "input_columns"):
+            for column in parameters.get(key, []) or []:
+                mentioned.append(column)
+        for key in ("year_column", "column", "join_key", "source_column"):
+            value = parameters.get(key)
+            if value:
+                mentioned.append(value)
+        # Columns the node itself creates are not input requirements.
+        created = {parameters.get("score_column"), parameters.get("flag_column"),
+                   parameters.get("output_column")}
+        return [c for c in mentioned if c not in created]
+
+    def _column_available(self, node: LogicalPlanNode, column: str,
+                          catalog_names: set) -> bool:
+        """Whether any of the node's inputs could provide ``column``.
+
+        Catalog relations are checked against their schemas; outputs of earlier
+        nodes are assumed to carry whatever their producers computed (their
+        schemas are only known after code generation), so they satisfy any
+        column requirement at this stage.
+        """
+        lowered = column.lower()
+        for source in node.inputs:
+            if source.lower() not in catalog_names:
+                return True
+            if lowered in {c.lower() for c in self.catalog.schema(source).column_names()}:
+                return True
+        return False

@@ -1,0 +1,69 @@
+"""Query sketches: the chain-of-thought decomposition of an NL query.
+
+A query sketch is "a step-by-step description of the intended execution logic
+expressed entirely in NL" (paper Section 2.1).  It deliberately stays one
+abstraction level above the logical plan: no function signatures, no schemas,
+just numbered natural-language steps the user can inspect and correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SketchStep:
+    """One step of a query sketch."""
+
+    index: int
+    description: str
+    purpose: str = ""  # machine-readable tag linking the step to plan nodes
+
+    def describe(self) -> str:
+        return f"{self.index}. {self.description}"
+
+
+@dataclass
+class QuerySketch:
+    """A versioned, ordered list of sketch steps."""
+
+    nl_query: str
+    steps: List[SketchStep] = field(default_factory=list)
+    version: int = 1
+    clarifications: Dict[str, str] = field(default_factory=dict)
+    corrections: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def add_step(self, description: str, purpose: str = "") -> SketchStep:
+        """Append a step with the next index."""
+        step = SketchStep(index=len(self.steps) + 1, description=description, purpose=purpose)
+        self.steps.append(step)
+        return step
+
+    def step_by_purpose(self, purpose: str) -> Optional[SketchStep]:
+        """The first step tagged with ``purpose``, if any."""
+        for step in self.steps:
+            if step.purpose == purpose:
+                return step
+        return None
+
+    def purposes(self) -> List[str]:
+        """All purpose tags, in step order."""
+        return [s.purpose for s in self.steps]
+
+    def describe(self) -> str:
+        """The full sketch as numbered natural-language lines."""
+        header = f"query sketch v{self.version} for: {self.nl_query}"
+        return "\n".join([header] + [step.describe() for step in self.steps])
+
+    def revised(self) -> "QuerySketch":
+        """A new, empty sketch with the version bumped (used on correction)."""
+        return QuerySketch(nl_query=self.nl_query, steps=[], version=self.version + 1,
+                           clarifications=dict(self.clarifications),
+                           corrections=list(self.corrections))

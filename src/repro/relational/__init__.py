@@ -1,0 +1,44 @@
+"""A small embedded relational engine.
+
+KathDB's unified semantic layer sits on top of relational semantics: typed
+tables, a system catalog, materialized views, and classic relational-algebra
+operators.  This package provides that substrate without any external database
+dependency.
+
+Public entry points
+-------------------
+* :class:`~repro.relational.schema.Schema` / :class:`~repro.relational.schema.Column`
+* :class:`~repro.relational.table.Table`
+* :class:`~repro.relational.catalog.Catalog`
+* :mod:`~repro.relational.operators` -- relational algebra
+* :mod:`~repro.relational.expressions` -- scalar expression AST
+* :func:`~repro.relational.sql.execute_sql` -- the mini-SQL front end
+"""
+
+from repro.relational.types import DataType
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.catalog import Catalog, TableStats
+from repro.relational import expressions as expr
+from repro.relational import operators as ops
+from repro.relational.sql import execute_sql, parse_sql
+from repro.relational.view import View, MaterializedView
+from repro.relational.indexes import HashIndex
+from repro.relational.storage import TableStorage
+
+__all__ = [
+    "DataType",
+    "Column",
+    "Schema",
+    "Table",
+    "Catalog",
+    "TableStats",
+    "expr",
+    "ops",
+    "execute_sql",
+    "parse_sql",
+    "View",
+    "MaterializedView",
+    "HashIndex",
+    "TableStorage",
+]

@@ -1,0 +1,165 @@
+"""The system catalog: table/view registry plus lightweight statistics.
+
+The catalog plays two roles in KathDB: it is the classic DBMS metadata store,
+and it is the *context provider* for the LLM agents (plan writer, verifier,
+coder), which receive schemas, sample rows, and statistics drawn from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import DuplicateTableError, UnknownTableError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+@dataclass
+class TableStats:
+    """Per-table statistics used by the cost model and the plan verifier."""
+
+    row_count: int = 0
+    column_cardinality: Dict[str, int] = field(default_factory=dict)
+    null_fraction: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def compute(cls, table: Table) -> "TableStats":
+        """Compute statistics for a table (full scan; tables are small)."""
+        stats = cls(row_count=len(table))
+        for column in table.column_names():
+            stats.column_cardinality[column] = table.cardinality(column)
+            stats.null_fraction[column] = table.null_fraction(column)
+        return stats
+
+
+@dataclass
+class CatalogEntry:
+    """One catalog record: a table (base or derived) with metadata."""
+
+    table: Table
+    kind: str = "base"  # "base", "view", "intermediate"
+    stats: Optional[TableStats] = None
+    lineage_id: Optional[int] = None
+    source_uri: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+
+class Catalog:
+    """A registry of named tables, views, and intermediate results."""
+
+    def __init__(self):
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    # -- registration ---------------------------------------------------------
+    def register(self, table: Table, kind: str = "base", *, replace: bool = False,
+                 lineage_id: Optional[int] = None, source_uri: Optional[str] = None,
+                 compute_stats: bool = True) -> CatalogEntry:
+        """Register a table.
+
+        Raises :class:`DuplicateTableError` unless ``replace=True``.
+        """
+        key = table.name.lower()
+        if key in self._entries and not replace:
+            raise DuplicateTableError(f"table {table.name!r} already registered")
+        entry = CatalogEntry(
+            table=table,
+            kind=kind,
+            stats=TableStats.compute(table) if compute_stats else None,
+            lineage_id=lineage_id,
+            source_uri=source_uri,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        key = name.lower()
+        if key not in self._entries:
+            raise UnknownTableError(f"unknown table: {name!r}")
+        del self._entries[key]
+
+    def refresh_stats(self, name: str) -> TableStats:
+        """Recompute statistics for a table."""
+        entry = self.entry(name)
+        entry.stats = TableStats.compute(entry.table)
+        return entry.stats
+
+    # -- lookup -----------------------------------------------------------------
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name is registered."""
+        return name.lower() in self._entries
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The catalog entry for ``name``."""
+        key = name.lower()
+        if key not in self._entries:
+            raise UnknownTableError(
+                f"unknown table: {name!r} (registered: {sorted(self.table_names())})"
+            )
+        return self._entries[key]
+
+    def table(self, name: str) -> Table:
+        """The table object for ``name``."""
+        return self.entry(name).table
+
+    def schema(self, name: str) -> Schema:
+        """The schema for ``name``."""
+        return self.table(name).schema
+
+    def table_names(self, kind: Optional[str] = None) -> List[str]:
+        """All registered table names (optionally filtered by kind)."""
+        return [e.table.name for e in self._entries.values() if kind is None or e.kind == kind]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_table(name)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterable[CatalogEntry]:
+        return iter(self._entries.values())
+
+    # -- agent context ------------------------------------------------------------
+    def sample_rows(self, name: str, n: int = 3) -> List[Dict[str, Any]]:
+        """Sample rows handed to the agentic plan verifier / coder."""
+        return self.table(name).head(n)
+
+    def describe_table(self, name: str, sample_rows: int = 2) -> str:
+        """A textual description of one table: schema, stats, sample rows."""
+        entry = self.entry(name)
+        table = entry.table
+        lines = [f"table {table.name} ({entry.kind}, {len(table)} rows)"]
+        if table.description:
+            lines.append(f"  description: {table.description}")
+        for column in table.schema:
+            cardinality = entry.stats.column_cardinality.get(column.name) if entry.stats else None
+            extra = f", {cardinality} distinct" if cardinality is not None else ""
+            desc = f" -- {column.description}" if column.description else ""
+            lines.append(f"  {column.name}: {column.data_type.value}{extra}{desc}")
+        if sample_rows and len(table):
+            lines.append("  sample rows:")
+            for row in table.head(sample_rows):
+                rendered = {k: (str(v)[:40] if v is not None else None) for k, v in row.items()}
+                lines.append(f"    {rendered}")
+        return "\n".join(lines)
+
+    def describe(self, sample_rows: int = 2, kinds: Optional[Iterable[str]] = None) -> str:
+        """Describe every registered table (the LLM 'system catalog' context)."""
+        wanted = set(kinds) if kinds else None
+        parts = []
+        for entry in self._entries.values():
+            if wanted is not None and entry.kind not in wanted:
+                continue
+            parts.append(self.describe_table(entry.table.name, sample_rows=sample_rows))
+        return "\n\n".join(parts)
+
+    def joinable_columns(self, left: str, right: str) -> List[str]:
+        """Columns that appear (by name) in both tables — the 'joinability
+        tester' database utility owned by the plan verifier's tool user."""
+        left_cols = {c.lower() for c in self.schema(left).column_names()}
+        right_cols = {c.lower() for c in self.schema(right).column_names()}
+        return sorted(left_cols & right_cols)

@@ -1,0 +1,345 @@
+"""Scalar expression AST evaluated over row dictionaries.
+
+The mini-SQL front end and the relational operators both use this AST.  It is
+deliberately small: column references, literals, comparison/boolean/arithmetic
+operators, NULL tests, LIKE / IN, and a handful of scalar functions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExpressionError
+from repro.relational.types import compare_values
+
+
+class Expression:
+    """Base class for all scalar expressions."""
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        """Evaluate against one row dict."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> List[str]:
+        """All column names referenced anywhere inside this expression."""
+        return []
+
+    def describe(self) -> str:
+        """A SQL-ish rendering used in plan explanations."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()
+
+
+@dataclass
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return self.value
+
+    def describe(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A reference to a column by name (case-insensitive lookup)."""
+
+    name: str
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        if self.name in row:
+            return row[self.name]
+        lowered = self.name.lower()
+        for key, value in row.items():
+            if key.lower() == lowered:
+                return value
+        raise ExpressionError(f"row has no column {self.name!r} (keys: {sorted(row)})")
+
+    def referenced_columns(self) -> List[str]:
+        return [self.name]
+
+    def describe(self) -> str:
+        return self.name
+
+
+_COMPARISONS: Dict[str, Callable[[Optional[int]], bool]] = {
+    "=": lambda c: c == 0,
+    "==": lambda c: c == 0,
+    "!=": lambda c: c is not None and c != 0,
+    "<>": lambda c: c is not None and c != 0,
+    "<": lambda c: c == -1,
+    "<=": lambda c: c in (-1, 0),
+    ">": lambda c: c == 1,
+    ">=": lambda c: c in (0, 1),
+}
+
+_ARITHMETIC: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b not in (0, 0.0) else None,
+    "%": lambda a, b: a % b if b not in (0, 0.0) else None,
+}
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary comparison, arithmetic, or boolean operator."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        op = self.op.upper() if self.op.isalpha() else self.op
+        if op in ("AND", "OR"):
+            left = bool(self.left.evaluate(row))
+            if op == "AND":
+                return left and bool(self.right.evaluate(row))
+            return left or bool(self.right.evaluate(row))
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if self.op in _COMPARISONS:
+            if left is None or right is None:
+                return False
+            comparison = compare_values(left, right)
+            if comparison is None:
+                comparison = compare_values(str(left), str(right))
+            return _COMPARISONS[self.op](comparison)
+        if self.op in _ARITHMETIC:
+            if left is None or right is None:
+                return None
+            try:
+                return _ARITHMETIC[self.op](left, right)
+            except TypeError as error:
+                raise ExpressionError(
+                    f"cannot apply {self.op!r} to {type(left).__name__} and {type(right).__name__}"
+                ) from error
+        raise ExpressionError(f"unknown binary operator: {self.op!r}")
+
+    def referenced_columns(self) -> List[str]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+@dataclass
+class UnaryOp(Expression):
+    """NOT and unary minus."""
+
+    op: str
+    operand: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        op = self.op.upper()
+        if op == "NOT":
+            return not bool(value)
+        if self.op == "-":
+            return -value if value is not None else None
+        raise ExpressionError(f"unknown unary operator: {self.op!r}")
+
+    def referenced_columns(self) -> List[str]:
+        return self.operand.referenced_columns()
+
+    def describe(self) -> str:
+        return f"({self.op} {self.operand.describe()})"
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        return (value is not None) if self.negated else (value is None)
+
+    def referenced_columns(self) -> List[str]:
+        return self.operand.referenced_columns()
+
+    def describe(self) -> str:
+        return f"({self.operand.describe()} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass
+class Like(Expression):
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-insensitive)."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def _regex(self) -> "re.Pattern":
+        parts = []
+        for char in self.pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        return re.compile("^" + "".join(parts) + "$", re.IGNORECASE)
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        matched = bool(self._regex().match(str(value)))
+        return (not matched) if self.negated else matched
+
+    def referenced_columns(self) -> List[str]:
+        return self.operand.referenced_columns()
+
+    def describe(self) -> str:
+        return f"({self.operand.describe()} {'NOT ' if self.negated else ''}LIKE '{self.pattern}')"
+
+
+@dataclass
+class InList(Expression):
+    """``expr IN (v1, v2, ...)``."""
+
+    operand: Expression
+    options: List[Expression]
+    negated: bool = False
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        members = [opt.evaluate(row) for opt in self.options]
+        found = any(compare_values(value, m) == 0 for m in members)
+        return (not found) if self.negated else found
+
+    def referenced_columns(self) -> List[str]:
+        cols = self.operand.referenced_columns()
+        for opt in self.options:
+            cols.extend(opt.referenced_columns())
+        return cols
+
+    def describe(self) -> str:
+        inner = ", ".join(o.describe() for o in self.options)
+        return f"({self.operand.describe()} {'NOT ' if self.negated else ''}IN ({inner}))"
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "abs": lambda x: abs(x) if x is not None else None,
+    "round": lambda x, digits=0: round(x, int(digits)) if x is not None else None,
+    "floor": lambda x: math.floor(x) if x is not None else None,
+    "ceil": lambda x: math.ceil(x) if x is not None else None,
+    "sqrt": lambda x: math.sqrt(x) if x is not None and x >= 0 else None,
+    "length": lambda x: len(x) if x is not None else None,
+    "lower": lambda x: str(x).lower() if x is not None else None,
+    "upper": lambda x: str(x).upper() if x is not None else None,
+    "trim": lambda x: str(x).strip() if x is not None else None,
+    "concat": lambda *xs: "".join(str(x) for x in xs if x is not None),
+    "coalesce": _fn_coalesce,
+    "min2": lambda a, b: min(a, b) if a is not None and b is not None else None,
+    "max2": lambda a, b: max(a, b) if a is not None and b is not None else None,
+}
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A scalar function call (``round(score, 2)``)."""
+
+    name: str
+    args: List[Expression] = field(default_factory=list)
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        fn = _SCALAR_FUNCTIONS.get(self.name.lower())
+        if fn is None:
+            raise ExpressionError(f"unknown scalar function: {self.name!r}")
+        values = [arg.evaluate(row) for arg in self.args]
+        try:
+            return fn(*values)
+        except (TypeError, ValueError) as error:
+            raise ExpressionError(f"error evaluating {self.name}(...): {error}") from error
+
+    def referenced_columns(self) -> List[str]:
+        cols: List[str] = []
+        for arg in self.args:
+            cols.extend(arg.referenced_columns())
+        return cols
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(a.describe() for a in self.args)})"
+
+
+@dataclass
+class Lambda(Expression):
+    """Wrap an arbitrary Python callable as an expression.
+
+    Generated FAO functions often need computations (vector similarity,
+    model calls) that the SQL expression language does not cover; they use
+    ``Lambda`` so that the result still flows through the same operator tree.
+    """
+
+    fn: Callable[[Dict[str, Any]], Any]
+    label: str = "python_lambda"
+    columns: List[str] = field(default_factory=list)
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return self.fn(row)
+
+    def referenced_columns(self) -> List[str]:
+        return list(self.columns)
+
+    def describe(self) -> str:
+        return f"<{self.label}>"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used heavily by generated code and tests.
+# ---------------------------------------------------------------------------
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def eq(left: Expression, right: Expression) -> BinaryOp:
+    """``left = right``."""
+    return BinaryOp("=", left, right)
+
+
+def and_(*terms: Expression) -> Expression:
+    """Conjunction of one or more terms."""
+    if not terms:
+        return Literal(True)
+    result = terms[0]
+    for term in terms[1:]:
+        result = BinaryOp("AND", result, term)
+    return result
+
+
+def or_(*terms: Expression) -> Expression:
+    """Disjunction of one or more terms."""
+    if not terms:
+        return Literal(False)
+    result = terms[0]
+    for term in terms[1:]:
+        result = BinaryOp("OR", result, term)
+    return result

@@ -1,0 +1,69 @@
+"""Simple secondary indexes for the relational engine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import UnknownColumnError
+from repro.relational.table import Table
+
+
+class HashIndex:
+    """A hash index mapping one column's values to row positions.
+
+    KathDB's lineage queries repeatedly look up tuples by ``lid``; a hash
+    index keeps those lookups constant-time even when lineage tables grow.
+    """
+
+    def __init__(self, table: Table, column: str):
+        if not table.schema.has_column(column):
+            raise UnknownColumnError(f"cannot index unknown column {column!r} on {table.name!r}")
+        self.table = table
+        self.column = table.schema.column(column).name
+        self._positions: Dict[Any, List[int]] = {}
+        self._built_size = 0
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the index from scratch."""
+        self._positions = {}
+        for position, row in enumerate(self.table.rows):
+            key = self._key(row.get(self.column))
+            self._positions.setdefault(key, []).append(position)
+        self._built_size = len(self.table)
+
+    def _key(self, value: Any) -> Any:
+        try:
+            hash(value)
+            return value
+        except TypeError:
+            return repr(value)
+
+    def _maybe_refresh(self) -> None:
+        # The table only grows (append-only inserts); index the new suffix.
+        if len(self.table) < self._built_size:
+            self.rebuild()
+            return
+        for position in range(self._built_size, len(self.table)):
+            row = self.table.rows[position]
+            self._positions.setdefault(self._key(row.get(self.column)), []).append(position)
+        self._built_size = len(self.table)
+
+    def lookup(self, value: Any) -> List[Dict[str, Any]]:
+        """All rows whose indexed column equals ``value``."""
+        self._maybe_refresh()
+        positions = self._positions.get(self._key(value), [])
+        return [self.table.rows[p] for p in positions]
+
+    def lookup_one(self, value: Any) -> Optional[Dict[str, Any]]:
+        """The first matching row, or None."""
+        rows = self.lookup(value)
+        return rows[0] if rows else None
+
+    def __contains__(self, value: object) -> bool:
+        self._maybe_refresh()
+        return self._key(value) in self._positions
+
+    def __len__(self) -> int:
+        self._maybe_refresh()
+        return len(self._positions)

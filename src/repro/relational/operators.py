@@ -1,0 +1,486 @@
+"""Relational-algebra operators over :class:`~repro.relational.table.Table`.
+
+Each operator is a small class with an ``execute()`` method returning a new
+table; they can be composed into trees.  Plain functions (``filter_rows``,
+``hash_join``, ...) are also provided because the generated FAO function
+bodies call them directly.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExpressionError, RelationalError, UnknownColumnError
+from repro.relational.expressions import Expression
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType, compare_values
+
+
+# ---------------------------------------------------------------------------
+# Functional API
+# ---------------------------------------------------------------------------
+def filter_rows(table: Table, predicate: Expression, name: Optional[str] = None) -> Table:
+    """Selection: keep rows where ``predicate`` evaluates truthy."""
+    result = table.empty_like(name or f"{table.name}_filtered")
+    for row in table:
+        if predicate.evaluate(row):
+            result.rows.append(dict(row))
+    return result
+
+
+def project(table: Table, columns: Sequence[str], name: Optional[str] = None) -> Table:
+    """Projection: keep (and reorder) the given columns."""
+    missing = [c for c in columns if not table.schema.has_column(c)]
+    if missing:
+        raise UnknownColumnError(f"projection references unknown columns {missing} on {table.name!r}")
+    return table.select_columns(list(columns), name=name or f"{table.name}_projected")
+
+
+def extend(table: Table, column_name: str, expression: Expression,
+           data_type: Optional[DataType] = None, name: Optional[str] = None) -> Table:
+    """Extended projection: add a computed column."""
+    values = [expression.evaluate(row) for row in table]
+    if data_type is None:
+        data_type = DataType.JSON
+        for value in values:
+            if value is not None:
+                data_type = DataType.infer(value)
+                break
+    result_schema = table.schema.add(Column(column_name, data_type))
+    result = Table(name or f"{table.name}_extended", result_schema)
+    for row, value in zip(table, values):
+        new_row = dict(row)
+        new_row[column_name] = value
+        result.rows.append(result_schema.validate_row(new_row))
+    return result
+
+
+def rename_columns(table: Table, mapping: Dict[str, str], name: Optional[str] = None) -> Table:
+    """Rename columns according to ``mapping``."""
+    schema = table.schema.rename(mapping)
+    result = Table(name or table.name, schema)
+    lowered = {k.lower(): v for k, v in mapping.items()}
+    for row in table:
+        new_row = {}
+        for key, value in row.items():
+            new_row[lowered.get(key.lower(), key)] = value
+        result.rows.append(schema.validate_row(new_row))
+    return result
+
+
+def distinct(table: Table, columns: Optional[Sequence[str]] = None, name: Optional[str] = None) -> Table:
+    """Duplicate elimination over all columns or a subset."""
+    keys = list(columns) if columns else table.column_names()
+    seen = set()
+    result = table.empty_like(name or f"{table.name}_distinct")
+    for row in table:
+        key = tuple(repr(row.get(k)) for k in keys)
+        if key not in seen:
+            seen.add(key)
+            result.rows.append(dict(row))
+    return result
+
+
+def sort(table: Table, keys: Sequence[Tuple[str, bool]], name: Optional[str] = None) -> Table:
+    """Sort by multiple ``(column, descending)`` keys, NULLs first ascending."""
+    for column, _ in keys:
+        table.schema.column(column)
+
+    def cmp(a: Dict[str, Any], b: Dict[str, Any]) -> int:
+        for column, descending in keys:
+            result = compare_values(a.get(column), b.get(column))
+            if result is None:
+                result = compare_values(repr(a.get(column)), repr(b.get(column))) or 0
+            if result != 0:
+                return -result if descending else result
+        return 0
+
+    ordered = sorted(table.rows, key=functools.cmp_to_key(cmp))
+    result = table.empty_like(name or f"{table.name}_sorted")
+    result.rows.extend(dict(row) for row in ordered)
+    return result
+
+
+def limit(table: Table, count: int, offset: int = 0, name: Optional[str] = None) -> Table:
+    """LIMIT/OFFSET."""
+    result = table.empty_like(name or f"{table.name}_limited")
+    result.rows.extend(dict(row) for row in table.rows[offset:offset + count])
+    return result
+
+
+def union_all(left: Table, right: Table, name: Optional[str] = None) -> Table:
+    """UNION ALL of two union-compatible tables."""
+    if [c.lower() for c in left.column_names()] != [c.lower() for c in right.column_names()]:
+        raise RelationalError(
+            f"union of incompatible schemas: {left.column_names()} vs {right.column_names()}"
+        )
+    result = left.empty_like(name or f"{left.name}_union")
+    result.rows.extend(dict(row) for row in left)
+    for row in right:
+        result.rows.append({left_col: row.get(right_col)
+                            for left_col, right_col in zip(left.column_names(), right.column_names())})
+    return result
+
+
+def cross_product(left: Table, right: Table, name: Optional[str] = None) -> Table:
+    """Cartesian product (right-hand colliding names get a ``_right`` suffix)."""
+    schema = left.schema.merge(right.schema)
+    result = Table(name or f"{left.name}_x_{right.name}", schema)
+    left_names = left.column_names()
+    merged_names = schema.column_names()
+    right_out_names = merged_names[len(left_names):]
+    for lrow in left:
+        for rrow in right:
+            row = {n: lrow.get(n) for n in left_names}
+            for out_name, in_name in zip(right_out_names, right.column_names()):
+                row[out_name] = rrow.get(in_name)
+            result.rows.append(row)
+    return result
+
+
+def hash_join(left: Table, right: Table, left_key: str, right_key: str,
+              how: str = "inner", name: Optional[str] = None) -> Table:
+    """Equi-join using a hash table on the right input.
+
+    ``how`` is ``"inner"`` or ``"left"`` (left outer).  Colliding right-hand
+    column names are suffixed with ``_right``.
+    """
+    left.schema.column(left_key)
+    right.schema.column(right_key)
+    if how not in ("inner", "left"):
+        raise RelationalError(f"unsupported join type: {how!r}")
+
+    schema = left.schema.merge(right.schema)
+    result = Table(name or f"{left.name}_join_{right.name}", schema)
+    left_names = left.column_names()
+    merged_names = schema.column_names()
+    right_out_names = merged_names[len(left_names):]
+    right_in_names = right.column_names()
+
+    index: Dict[Any, List[Dict[str, Any]]] = {}
+    for row in right:
+        key = row.get(right_key)
+        if key is None:
+            continue
+        index.setdefault(_hashable(key), []).append(row)
+
+    for lrow in left:
+        key = lrow.get(left_key)
+        matches = index.get(_hashable(key), []) if key is not None else []
+        if matches:
+            for rrow in matches:
+                row = {n: lrow.get(n) for n in left_names}
+                for out_name, in_name in zip(right_out_names, right_in_names):
+                    row[out_name] = rrow.get(in_name)
+                result.rows.append(row)
+        elif how == "left":
+            row = {n: lrow.get(n) for n in left_names}
+            for out_name in right_out_names:
+                row[out_name] = None
+            result.rows.append(row)
+    return result
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+def _agg_count(values: List[Any]) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+def _agg_sum(values: List[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return sum(present) if present else None
+
+
+def _agg_avg(values: List[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return sum(present) / len(present) if present else None
+
+
+def _agg_min(values: List[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return min(present) if present else None
+
+
+def _agg_max(values: List[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
+
+
+def _agg_collect(values: List[Any]) -> List[Any]:
+    return [v for v in values if v is not None]
+
+
+AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "mean": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+    "collect": _agg_collect,
+}
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate to compute: ``function(column) AS alias``."""
+
+    function: str
+    column: Optional[str]  # None means COUNT(*)
+    alias: str
+
+    def compute(self, rows: List[Dict[str, Any]]) -> Any:
+        """Apply the aggregate over the rows of one group."""
+        fn_name = self.function.lower()
+        if fn_name == "count" and self.column is None:
+            return len(rows)
+        fn = AGGREGATES.get(fn_name)
+        if fn is None:
+            raise RelationalError(f"unknown aggregate function: {self.function!r}")
+        values = [row.get(self.column) for row in rows]
+        return fn(values)
+
+
+def aggregate(table: Table, group_by: Sequence[str], aggregates: Sequence[AggregateSpec],
+              name: Optional[str] = None) -> Table:
+    """GROUP BY with aggregates (empty ``group_by`` = global aggregation)."""
+    for column in group_by:
+        table.schema.column(column)
+    for spec in aggregates:
+        if spec.column is not None:
+            table.schema.column(spec.column)
+
+    groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+    order: List[Tuple] = []
+    for row in table:
+        key = tuple(_hashable(row.get(c)) for c in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not group_by and not groups:
+        groups[()] = []
+        order.append(())
+
+    columns = [table.schema.column(c) for c in group_by]
+    for spec in aggregates:
+        if spec.function.lower() == "count":
+            columns.append(Column(spec.alias, DataType.INTEGER))
+        elif spec.function.lower() == "collect":
+            columns.append(Column(spec.alias, DataType.JSON))
+        elif spec.column is not None and table.schema.column(spec.column).data_type is DataType.INTEGER \
+                and spec.function.lower() in ("sum", "min", "max"):
+            columns.append(Column(spec.alias, DataType.INTEGER))
+        else:
+            columns.append(Column(spec.alias, DataType.FLOAT))
+    schema = Schema(columns)
+
+    result = Table(name or f"{table.name}_agg", schema)
+    for key in order:
+        rows = groups[key]
+        out: Dict[str, Any] = {}
+        for column_name, value in zip(group_by, key):
+            out[table.schema.column(column_name).name] = value
+        for spec in aggregates:
+            out[spec.alias] = spec.compute(rows)
+        result.insert(out)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Operator tree (used by the physical plans and by the SQL front end)
+# ---------------------------------------------------------------------------
+class Operator:
+    """Base class for composable relational operators."""
+
+    def execute(self) -> Table:
+        """Produce the operator's output table."""
+        raise NotImplementedError
+
+    def children(self) -> List["Operator"]:
+        """Child operators, if any."""
+        return []
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in explanations)."""
+        raise NotImplementedError
+
+    def explain_tree(self, indent: int = 0) -> str:
+        """Multi-line indented rendering of the operator tree."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain_tree(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class TableScan(Operator):
+    """Leaf: scan an existing table."""
+
+    table: Table
+
+    def execute(self) -> Table:
+        return self.table
+
+    def describe(self) -> str:
+        return f"Scan({self.table.name}, rows={len(self.table)})"
+
+
+@dataclass
+class Filter(Operator):
+    """Selection node."""
+
+    child: Operator
+    predicate: Expression
+
+    def execute(self) -> Table:
+        return filter_rows(self.child.execute(), self.predicate)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.describe()})"
+
+
+@dataclass
+class Project(Operator):
+    """Projection node."""
+
+    child: Operator
+    columns: List[str]
+
+    def execute(self) -> Table:
+        return project(self.child.execute(), self.columns)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+
+@dataclass
+class Extend(Operator):
+    """Extended-projection node (adds one computed column)."""
+
+    child: Operator
+    column_name: str
+    expression: Expression
+
+    def execute(self) -> Table:
+        return extend(self.child.execute(), self.column_name, self.expression)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Extend({self.column_name} := {self.expression.describe()})"
+
+
+@dataclass
+class HashJoin(Operator):
+    """Equi-join node."""
+
+    left: Operator
+    right: Operator
+    left_key: str
+    right_key: str
+    how: str = "inner"
+
+    def execute(self) -> Table:
+        return hash_join(self.left.execute(), self.right.execute(),
+                         self.left_key, self.right_key, how=self.how)
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return f"HashJoin({self.left_key} = {self.right_key}, how={self.how})"
+
+
+@dataclass
+class Aggregate(Operator):
+    """GROUP BY node."""
+
+    child: Operator
+    group_by: List[str]
+    aggregates: List[AggregateSpec]
+
+    def execute(self) -> Table:
+        return aggregate(self.child.execute(), self.group_by, self.aggregates)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{a.function}({a.column or '*'}) AS {a.alias}" for a in self.aggregates)
+        by = ", ".join(self.group_by) if self.group_by else "<global>"
+        return f"Aggregate(group_by=[{by}], aggs=[{aggs}])"
+
+
+@dataclass
+class Sort(Operator):
+    """ORDER BY node."""
+
+    child: Operator
+    keys: List[Tuple[str, bool]]
+
+    def execute(self) -> Table:
+        return sort(self.child.execute(), self.keys)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{c} {'DESC' if d else 'ASC'}" for c, d in self.keys)
+        return f"Sort({keys})"
+
+
+@dataclass
+class Limit(Operator):
+    """LIMIT node."""
+
+    child: Operator
+    count: int
+    offset: int = 0
+
+    def execute(self) -> Table:
+        return limit(self.child.execute(), self.count, self.offset)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit({self.count}, offset={self.offset})"
+
+
+@dataclass
+class Distinct(Operator):
+    """DISTINCT node."""
+
+    child: Operator
+    columns: Optional[List[str]] = None
+
+    def execute(self) -> Table:
+        return distinct(self.child.execute(), self.columns)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        cols = ", ".join(self.columns) if self.columns else "*"
+        return f"Distinct({cols})"

@@ -1,0 +1,242 @@
+"""Schemas and columns for relational tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.types import DataType, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column.
+
+    Attributes
+    ----------
+    name:
+        Column name (case-sensitive, but lookups are case-insensitive).
+    data_type:
+        The column's :class:`DataType`.
+    nullable:
+        Whether NULL values are allowed.
+    description:
+        Optional human-readable description; surfaced to the plan verifier and
+        the coder agent as catalog context.
+    """
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if not isinstance(self.data_type, DataType):
+            object.__setattr__(self, "data_type", DataType.from_string(str(self.data_type)))
+
+    def validate(self, value: Any) -> Any:
+        """Coerce and validate a value for this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        return coerce_value(value, self.data_type)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain dict (for the catalog and on-disk storage)."""
+        return {
+            "name": self.name,
+            "data_type": self.data_type.value,
+            "nullable": self.nullable,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Column":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            data_type=DataType.from_string(payload["data_type"]),
+            nullable=payload.get("nullable", True),
+            description=payload.get("description", ""),
+        )
+
+
+@dataclass
+class Schema:
+    """An ordered collection of columns."""
+
+    columns: List[Column] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = [c.name.lower() for c in self.columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def of(cls, *specs: Union[Column, Sequence]) -> "Schema":
+        """Build a schema from ``Column`` objects or ``(name, type)`` pairs.
+
+        >>> Schema.of(("title", "text"), ("year", "integer")).column_names()
+        ['title', 'year']
+        """
+        columns: List[Column] = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                columns.append(spec)
+            else:
+                name, type_name = spec[0], spec[1]
+                nullable = spec[2] if len(spec) > 2 else True
+                columns.append(
+                    Column(name=name, data_type=DataType.from_string(str(type_name)), nullable=nullable)
+                )
+        return cls(columns)
+
+    @classmethod
+    def infer(cls, rows: Iterable[Dict[str, Any]]) -> "Schema":
+        """Infer a schema from sample row dicts.
+
+        The first non-NULL value seen for a column determines its type; columns
+        never seen with a value default to TEXT.
+        """
+        order: List[str] = []
+        types: Dict[str, DataType] = {}
+        for row in rows:
+            for key, value in row.items():
+                if key not in types:
+                    order.append(key)
+                    types[key] = None
+                if types[key] is None and value is not None:
+                    types[key] = DataType.infer(value)
+        columns = [Column(name, types[name] or DataType.TEXT) for name in order]
+        return cls(columns)
+
+    # -- lookups --------------------------------------------------------------
+    def column_names(self) -> List[str]:
+        """Names of all columns, in order."""
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """Case-insensitive membership test."""
+        lowered = name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        raise UnknownColumnError(f"unknown column: {name!r} (have {self.column_names()})")
+
+    def index_of(self, name: str) -> int:
+        """Positional index of a column."""
+        lowered = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == lowered:
+                return i
+        raise UnknownColumnError(f"unknown column: {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_column(name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return [(c.name, c.data_type) for c in self.columns] == [
+            (c.name, c.data_type) for c in other.columns
+        ]
+
+    # -- transformations ------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to ``names``."""
+        return Schema([self.column(n) for n in names])
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Schema with columns renamed according to ``mapping``."""
+        lowered = {k.lower(): v for k, v in mapping.items()}
+        columns = []
+        for col in self.columns:
+            new_name = lowered.get(col.name.lower(), col.name)
+            columns.append(Column(new_name, col.data_type, col.nullable, col.description))
+        return Schema(columns)
+
+    def add(self, column: Column) -> "Schema":
+        """Schema with one extra column appended."""
+        return Schema(self.columns + [column])
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Schema without the given columns."""
+        drop = {n.lower() for n in names}
+        return Schema([c for c in self.columns if c.name.lower() not in drop])
+
+    def merge(self, other: "Schema", *, prefix_left: str = "", prefix_right: str = "") -> "Schema":
+        """Concatenate two schemas (used by joins).
+
+        Colliding names are disambiguated with the provided prefixes; if no
+        prefix is given the right column gets a ``_right`` suffix.
+        """
+        columns: List[Column] = []
+        left_names = set()
+        for col in self.columns:
+            name = f"{prefix_left}{col.name}" if prefix_left else col.name
+            left_names.add(name.lower())
+            columns.append(Column(name, col.data_type, col.nullable, col.description))
+        for col in other.columns:
+            name = f"{prefix_right}{col.name}" if prefix_right else col.name
+            if name.lower() in left_names:
+                name = f"{name}_right" if not prefix_right else name
+            while name.lower() in {c.name.lower() for c in columns}:
+                name = name + "_"
+            columns.append(Column(name, col.data_type, col.nullable, col.description))
+        return Schema(columns)
+
+    # -- validation / serialization -------------------------------------------
+    def validate_row(self, row: Dict[str, Any], *, fill_missing: bool = True) -> Dict[str, Any]:
+        """Validate (and coerce) one row against this schema.
+
+        Unknown keys raise :class:`SchemaError`; missing keys become NULL when
+        ``fill_missing`` is set, otherwise they raise.
+        """
+        known = {c.name.lower(): c for c in self.columns}
+        cleaned: Dict[str, Any] = {}
+        for key, value in row.items():
+            col = known.get(key.lower())
+            if col is None:
+                raise SchemaError(f"row has unknown column {key!r} (schema: {self.column_names()})")
+            cleaned[col.name] = col.validate(value)
+        for col in self.columns:
+            if col.name not in cleaned:
+                if not fill_missing and not col.nullable:
+                    raise SchemaError(f"row is missing non-nullable column {col.name!r}")
+                cleaned.setdefault(col.name, col.validate(None) if col.nullable else None)
+        return cleaned
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain dict."""
+        return {"columns": [c.to_dict() for c in self.columns]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Schema":
+        """Inverse of :meth:`to_dict`."""
+        return cls([Column.from_dict(c) for c in payload.get("columns", [])])
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-column description (catalog context)."""
+        lines = []
+        for col in self.columns:
+            null = "NULL" if col.nullable else "NOT NULL"
+            desc = f" -- {col.description}" if col.description else ""
+            lines.append(f"{col.name} {col.data_type.value.upper()} {null}{desc}")
+        return "\n".join(lines)

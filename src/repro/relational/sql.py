@@ -1,0 +1,473 @@
+"""A small SQL front end for the embedded relational engine.
+
+Generated FAO function bodies frequently contain "a SQL query over a table"
+(paper Section 2.2), so the engine ships a compact SELECT dialect:
+
+.. code-block:: sql
+
+    SELECT [DISTINCT] <cols | aggregates | *>
+    FROM <table> [JOIN <table> ON a = b]...
+    [WHERE <predicate>]
+    [GROUP BY <cols>]
+    [ORDER BY <col> [ASC|DESC], ...]
+    [LIMIT n [OFFSET m]]
+
+The parser is a hand-written recursive-descent parser over a simple tokenizer;
+the output is an :class:`~repro.relational.operators.Operator` tree that can
+be executed against a :class:`~repro.relational.catalog.Catalog`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SQLSyntaxError
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.relational.operators import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    Operator,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.relational.table import Table
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\*|\+|-|/|%|\.)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "join", "inner", "left", "outer", "on", "where",
+    "group", "by", "order", "asc", "desc", "limit", "offset", "and", "or", "not",
+    "in", "is", "null", "like", "as", "count", "sum", "avg", "min", "max",
+}
+
+
+@dataclass
+class Token:
+    kind: str  # "string", "number", "op", "name", "keyword"
+    value: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize_sql(text: str) -> List[Token]:
+    """Tokenize a SQL string."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLSyntaxError(f"unexpected character {text[position]!r} at position {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        kind = match.lastgroup
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append(Token("keyword", value.lower()))
+        else:
+            tokens.append(Token(kind, value))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parsed statement representation
+# ---------------------------------------------------------------------------
+@dataclass
+class SelectItem:
+    """One item of the SELECT list."""
+
+    expression: Optional[Expression] = None
+    aggregate: Optional[AggregateSpec] = None
+    alias: Optional[str] = None
+    star: bool = False
+
+
+@dataclass
+class JoinClause:
+    """One JOIN ... ON a = b clause."""
+
+    table: str
+    left_key: str
+    right_key: str
+    how: str = "inner"
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    items: List[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    from_table: str = ""
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[str] = field(default_factory=list)
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers --------------------------------------------------------
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self.peek()
+        if token and token.kind == "keyword" and token.value in keywords:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SQLSyntaxError(f"expected {keyword.upper()!r} near {self.peek()}")
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token and token.kind == "op" and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SQLSyntaxError(f"expected {op!r} near {self.peek()}")
+
+    def expect_name(self) -> str:
+        token = self.advance()
+        if token.kind not in ("name", "keyword"):
+            raise SQLSyntaxError(f"expected identifier, got {token}")
+        return token.value
+
+    # -- grammar ------------------------------------------------------------------
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        statement = SelectStatement()
+        statement.distinct = bool(self.accept_keyword("distinct"))
+        statement.items = self._parse_select_list()
+        self.expect_keyword("from")
+        statement.from_table = self.expect_name()
+        while True:
+            how = "inner"
+            if self.accept_keyword("left"):
+                self.accept_keyword("outer")
+                how = "left"
+                self.expect_keyword("join")
+            elif self.accept_keyword("inner"):
+                self.expect_keyword("join")
+            elif self.accept_keyword("join"):
+                pass
+            else:
+                break
+            table = self.expect_name()
+            self.expect_keyword("on")
+            left = self._parse_qualified_name()
+            self.expect_op("=")
+            right = self._parse_qualified_name()
+            statement.joins.append(JoinClause(table=table, left_key=left, right_key=right, how=how))
+        if self.accept_keyword("where"):
+            statement.where = self._parse_or()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            statement.group_by = [self._parse_qualified_name()]
+            while self.accept_op(","):
+                statement.group_by.append(self._parse_qualified_name())
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            statement.order_by = [self._parse_order_key()]
+            while self.accept_op(","):
+                statement.order_by.append(self._parse_order_key())
+        if self.accept_keyword("limit"):
+            statement.limit = int(self.advance().value)
+            if self.accept_keyword("offset"):
+                statement.offset = int(self.advance().value)
+        if self.peek() is not None:
+            raise SQLSyntaxError(f"unexpected trailing tokens near {self.peek()}")
+        return statement
+
+    def _parse_order_key(self) -> Tuple[str, bool]:
+        name = self._parse_qualified_name()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return name, descending
+
+    def _parse_qualified_name(self) -> str:
+        name = self.expect_name()
+        # Accept "table.column" but keep only the column part: the engine's
+        # joined tables use flat (possibly suffixed) column names.
+        if self.accept_op("."):
+            name = self.expect_name()
+        return name
+
+    def _parse_select_list(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self.accept_op(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.accept_op("*"):
+            return SelectItem(star=True)
+        token = self.peek()
+        if token and token.kind == "keyword" and token.value in ("count", "sum", "avg", "min", "max"):
+            self.advance()
+            self.expect_op("(")
+            column: Optional[str] = None
+            if self.accept_op("*"):
+                pass
+            else:
+                column = self._parse_qualified_name()
+            self.expect_op(")")
+            alias = f"{token.value}_{column or 'all'}"
+            if self.accept_keyword("as"):
+                alias = self.expect_name()
+            return SelectItem(aggregate=AggregateSpec(token.value, column, alias), alias=alias)
+        expression = self._parse_additive()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        return SelectItem(expression=expression, alias=alias)
+
+    # expression grammar: or -> and -> not -> comparison -> additive -> term
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self.accept_keyword("not"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token and token.kind == "op" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            return BinaryOp(op, left, self._parse_additive())
+        if token and token.kind == "keyword" and token.value == "is":
+            self.advance()
+            negated = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return IsNull(left, negated=negated)
+        negated = False
+        if token and token.kind == "keyword" and token.value == "not":
+            following = self.peek(1)
+            if following and following.kind == "keyword" and following.value in ("like", "in"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token and token.kind == "keyword" and token.value == "like":
+            self.advance()
+            pattern_token = self.advance()
+            if pattern_token.kind != "string":
+                raise SQLSyntaxError("LIKE pattern must be a string literal")
+            return Like(left, pattern_token.value[1:-1].replace("''", "'"), negated=negated)
+        if token and token.kind == "keyword" and token.value == "in":
+            self.advance()
+            self.expect_op("(")
+            options = [self._parse_additive()]
+            while self.accept_op(","):
+                options.append(self._parse_additive())
+            self.expect_op(")")
+            return InList(left, options, negated=negated)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token and token.kind == "op" and token.value in ("+", "-"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_term()
+        while True:
+            token = self.peek()
+            if token and token.kind == "op" and token.value in ("*", "/", "%"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expression:
+        token = self.advance()
+        if token.kind == "string":
+            return Literal(token.value[1:-1].replace("''", "'"))
+        if token.kind == "number":
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.kind == "op" and token.value == "(":
+            inner = self._parse_or()
+            self.expect_op(")")
+            return inner
+        if token.kind == "op" and token.value == "-":
+            return UnaryOp("-", self._parse_term())
+        if token.kind in ("name", "keyword"):
+            name = token.value
+            if token.kind == "keyword" and name == "null":
+                return Literal(None)
+            # function call?
+            if self.peek() and self.peek().kind == "op" and self.peek().value == "(":
+                self.advance()
+                args: List[Expression] = []
+                if not self.accept_op(")"):
+                    args.append(self._parse_additive())
+                    while self.accept_op(","):
+                        args.append(self._parse_additive())
+                    self.expect_op(")")
+                return FunctionCall(name, args)
+            if self.accept_op("."):
+                name = self.expect_name()
+            return ColumnRef(name)
+        raise SQLSyntaxError(f"unexpected token {token}")
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Parse a SELECT statement into a :class:`SelectStatement`."""
+    tokens = tokenize_sql(sql)
+    if not tokens:
+        raise SQLSyntaxError("empty statement")
+    return _Parser(tokens).parse_select()
+
+
+# ---------------------------------------------------------------------------
+# Planner: SelectStatement -> Operator tree -> Table
+# ---------------------------------------------------------------------------
+def build_plan(statement: SelectStatement, catalog: Catalog) -> Operator:
+    """Build an operator tree from a parsed statement against a catalog."""
+    plan: Operator = TableScan(catalog.table(statement.from_table))
+    current_columns = list(catalog.table(statement.from_table).column_names())
+    for join in statement.joins:
+        right_table = catalog.table(join.table)
+        # Decide which key belongs to which side by looking at available names.
+        left_key, right_key = join.left_key, join.right_key
+        lowered = {c.lower() for c in current_columns}
+        if left_key.lower() not in lowered and right_key.lower() in lowered:
+            left_key, right_key = right_key, left_key
+        plan = HashJoin(plan, TableScan(right_table), left_key, right_key, how=join.how)
+        merged = Schema_merge_names(current_columns, right_table.column_names())
+        current_columns = merged
+    if statement.where is not None:
+        plan = Filter(plan, statement.where)
+    aggregates = [item.aggregate for item in statement.items if item.aggregate is not None]
+    projection: Optional[List[str]] = None
+    if aggregates or statement.group_by:
+        plan = Aggregate(plan, statement.group_by, aggregates)
+    else:
+        star = any(item.star for item in statement.items)
+        if not star:
+            projection = []
+            for item in statement.items:
+                if isinstance(item.expression, ColumnRef) and item.alias is None:
+                    projection.append(item.expression.name)
+                else:
+                    projection.append(item.alias or item.expression.describe())
+            # Computed items need Extend nodes before projection (and before
+            # the sort, so ORDER BY can reference their aliases).
+            needs_extend = [
+                item for item in statement.items
+                if not (isinstance(item.expression, ColumnRef) and item.alias is None)
+            ]
+            if needs_extend:
+                from repro.relational.operators import Extend
+                for item in needs_extend:
+                    alias = item.alias or item.expression.describe()
+                    plan = Extend(plan, alias, item.expression)
+    # ORDER BY may reference columns that are not part of the SELECT list, so
+    # sorting happens before the final projection.
+    if statement.order_by:
+        plan = Sort(plan, statement.order_by)
+    if projection is not None:
+        plan = Project(plan, projection)
+    if statement.distinct:
+        plan = Distinct(plan)
+    if statement.limit is not None:
+        plan = Limit(plan, statement.limit, statement.offset)
+    return plan
+
+
+def Schema_merge_names(left: List[str], right: List[str]) -> List[str]:
+    """Column names produced by merging two schemas (mirrors Schema.merge)."""
+    merged = list(left)
+    lowered = {c.lower() for c in left}
+    for name in right:
+        out = name
+        if out.lower() in lowered:
+            out = out + "_right"
+        while out.lower() in {c.lower() for c in merged}:
+            out = out + "_"
+        merged.append(out)
+    return merged
+
+
+def execute_sql(sql: str, catalog: Catalog, result_name: Optional[str] = None) -> Table:
+    """Parse, plan, and execute a SELECT statement against a catalog."""
+    statement = parse_sql(sql)
+    plan = build_plan(statement, catalog)
+    result = plan.execute()
+    if result_name:
+        result = result.copy(result_name)
+    return result

@@ -1,0 +1,88 @@
+"""On-disk persistence for tables (JSON files in a workspace directory)."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import StorageError
+from repro.relational.table import Table
+
+
+class TableStorage:
+    """Persist tables as one JSON file per table inside a directory.
+
+    KathDB materializes intermediate results and persists generated functions;
+    this class covers the table side of that requirement.  BLOB columns (raw
+    pixel arrays) are not serialized — they are replaced by a marker and come
+    back as NULL, matching the paper's practice of storing file paths rather
+    than pixels for persisted data.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+        return self.directory / f"{safe}.json"
+
+    def save(self, table: Table) -> Path:
+        """Write one table; returns the file path."""
+        path = self._path(table.name)
+        try:
+            payload = table.to_dict()
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, default=_json_default)
+        except (OSError, TypeError, ValueError) as error:
+            raise StorageError(f"failed to save table {table.name!r}: {error}") from error
+        return path
+
+    def load(self, name: str) -> Table:
+        """Load one table by name."""
+        path = self._path(name)
+        if not path.exists():
+            raise StorageError(f"no stored table named {name!r} in {self.directory}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise StorageError(f"failed to load table {name!r}: {error}") from error
+        return Table.from_dict(payload)
+
+    def exists(self, name: str) -> bool:
+        """Whether a stored table with this name exists."""
+        return self._path(name).exists()
+
+    def delete(self, name: str) -> bool:
+        """Delete a stored table; returns True if a file was removed."""
+        path = self._path(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def list_tables(self) -> List[str]:
+        """Names of all stored tables."""
+        names = []
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                names.append(payload.get("name", path.stem))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return names
+
+
+def _json_default(value):
+    """Fallback serializer: numpy scalars/arrays and sets become plain types."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, set):
+        return sorted(value)
+    if isinstance(value, bytes):
+        return {"__bytes__": True, "length": len(value)}
+    return str(value)

@@ -1,0 +1,252 @@
+"""Row-oriented in-memory tables."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType, compare_values
+
+
+class Table:
+    """A named, typed, row-oriented table.
+
+    Rows are stored as plain dictionaries keyed by column name.  The table
+    validates rows against its schema on insert and offers a handful of
+    dataframe-style conveniences (``head``, ``order_by``, ``where``) used by
+    the FAO implementation library.
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Optional[Iterable[Dict[str, Any]]] = None,
+                 description: str = ""):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self.description = description
+        self._rows: List[Dict[str, Any]] = []
+        if rows:
+            self.insert_many(rows)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_rows(cls, name: str, rows: Sequence[Dict[str, Any]], schema: Optional[Schema] = None,
+                  description: str = "") -> "Table":
+        """Build a table from row dicts, inferring the schema when not given."""
+        rows = list(rows)
+        if schema is None:
+            if not rows:
+                raise SchemaError(f"cannot infer schema for empty table {name!r}")
+            schema = Schema.infer(rows)
+        return cls(name, schema, rows, description=description)
+
+    def empty_like(self, name: Optional[str] = None) -> "Table":
+        """A new empty table with the same schema."""
+        return Table(name or self.name, Schema(list(self.schema.columns)), description=self.description)
+
+    def copy(self, name: Optional[str] = None) -> "Table":
+        """Deep copy (rows are copied; blob payloads are shared)."""
+        clone = self.empty_like(name)
+        clone._rows = [dict(row) for row in self._rows]
+        return clone
+
+    # -- basic protocol ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Dict[str, Any]:
+        return self._rows[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, columns={self.schema.column_names()}, rows={len(self)})"
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """The underlying row list (mutating it bypasses validation)."""
+        return self._rows
+
+    def column_names(self) -> List[str]:
+        """Column names, in schema order."""
+        return self.schema.column_names()
+
+    # -- mutation ---------------------------------------------------------------
+    def insert(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and append one row; returns the stored (coerced) row."""
+        cleaned = self.schema.validate_row(row)
+        self._rows.append(cleaned)
+        return cleaned
+
+    def insert_many(self, rows: Iterable[Dict[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
+        """Delete rows matching ``predicate``; returns how many were removed."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    def update_where(self, predicate: Callable[[Dict[str, Any]], bool],
+                     updates: Dict[str, Any]) -> int:
+        """Apply ``updates`` to rows matching ``predicate``; returns the count."""
+        for key in updates:
+            if not self.schema.has_column(key):
+                raise UnknownColumnError(f"unknown column in update: {key!r}")
+        count = 0
+        for row in self._rows:
+            if predicate(row):
+                for key, value in updates.items():
+                    col = self.schema.column(key)
+                    row[col.name] = col.validate(value)
+                count += 1
+        return count
+
+    def add_column(self, column: Column, default: Any = None,
+                   compute: Optional[Callable[[Dict[str, Any]], Any]] = None) -> None:
+        """Add a column, filling it with ``default`` or ``compute(row)``."""
+        if self.schema.has_column(column.name):
+            raise SchemaError(f"column {column.name!r} already exists on {self.name!r}")
+        self.schema = self.schema.add(column)
+        for row in self._rows:
+            value = compute(row) if compute is not None else default
+            row[column.name] = column.validate(value)
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        self._rows = []
+
+    # -- dataframe-style helpers --------------------------------------------------
+    def head(self, n: int = 5) -> List[Dict[str, Any]]:
+        """The first ``n`` rows (copies, safe to hand to agents as samples)."""
+        return [dict(row) for row in self._rows[:n]]
+
+    def column_values(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        col = self.schema.column(name)
+        return [row.get(col.name) for row in self._rows]
+
+    def distinct_values(self, name: str) -> List[Any]:
+        """Distinct values of one column, preserving first-seen order."""
+        seen = set()
+        out: List[Any] = []
+        for value in self.column_values(name):
+            key = repr(value)
+            if key not in seen:
+                seen.add(key)
+                out.append(value)
+        return out
+
+    def where(self, predicate: Callable[[Dict[str, Any]], bool], name: Optional[str] = None) -> "Table":
+        """A new table holding rows matching ``predicate``."""
+        result = self.empty_like(name or f"{self.name}_filtered")
+        result._rows = [dict(row) for row in self._rows if predicate(row)]
+        return result
+
+    def order_by(self, column: str, descending: bool = False, name: Optional[str] = None) -> "Table":
+        """A new table sorted by one column (NULLs first ascending)."""
+        self.schema.column(column)
+        import functools
+
+        def cmp(a: Dict[str, Any], b: Dict[str, Any]) -> int:
+            result = compare_values(a.get(column), b.get(column))
+            if result is None:
+                result = compare_values(repr(a.get(column)), repr(b.get(column))) or 0
+            return result
+
+        ordered = sorted(self._rows, key=functools.cmp_to_key(cmp), reverse=descending)
+        result = self.empty_like(name or f"{self.name}_sorted")
+        result._rows = [dict(row) for row in ordered]
+        return result
+
+    def select_columns(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """A new table with only the given columns."""
+        schema = self.schema.project(names)
+        result = Table(name or f"{self.name}_projected", schema)
+        for row in self._rows:
+            result.insert({col: row.get(self.schema.column(col).name) for col in names})
+        return result
+
+    # -- statistics ---------------------------------------------------------------
+    def null_fraction(self, column: str) -> float:
+        """Fraction of rows whose value for ``column`` is NULL."""
+        values = self.column_values(column)
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v is None) / len(values)
+
+    def cardinality(self, column: str) -> int:
+        """Number of distinct values in ``column``."""
+        return len(self.distinct_values(column))
+
+    # -- serialization --------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize schema and rows (BLOB columns are replaced by a marker)."""
+        rows = []
+        for row in self._rows:
+            encoded = {}
+            for col in self.schema.columns:
+                value = row.get(col.name)
+                if col.data_type is DataType.BLOB and value is not None:
+                    encoded[col.name] = {"__blob__": True, "repr": f"<blob:{type(value).__name__}>"}
+                else:
+                    encoded[col.name] = value
+            rows.append(encoded)
+        return {
+            "name": self.name,
+            "description": self.description,
+            "schema": self.schema.to_dict(),
+            "rows": rows,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Table":
+        """Inverse of :meth:`to_dict` (blob markers become None)."""
+        schema = Schema.from_dict(payload["schema"])
+        table = cls(payload["name"], schema, description=payload.get("description", ""))
+        for row in payload.get("rows", []):
+            cleaned = {}
+            for key, value in row.items():
+                if isinstance(value, dict) and value.get("__blob__"):
+                    cleaned[key] = None
+                else:
+                    cleaned[key] = value
+            table.insert(cleaned)
+        return table
+
+    def pretty(self, limit: int = 10) -> str:
+        """A fixed-width text rendering of the first ``limit`` rows."""
+        names = self.column_names()
+        shown = self._rows[:limit]
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "NULL"
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            text = str(value)
+            return text if len(text) <= 28 else text[:25] + "..."
+
+        widths = {n: len(n) for n in names}
+        rendered = []
+        for row in shown:
+            cells = {n: fmt(row.get(n)) for n in names}
+            for n in names:
+                widths[n] = max(widths[n], len(cells[n]))
+            rendered.append(cells)
+        header = " | ".join(n.ljust(widths[n]) for n in names)
+        sep = "-+-".join("-" * widths[n] for n in names)
+        lines = [header, sep]
+        for cells in rendered:
+            lines.append(" | ".join(cells[n].ljust(widths[n]) for n in names))
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)

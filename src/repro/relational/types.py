@@ -1,0 +1,168 @@
+"""Column data types and value coercion for the relational engine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """The column types supported by the engine.
+
+    ``BLOB`` is used for opaque payloads such as raw image pixel arrays, and
+    ``JSON`` for nested structures (lists/dicts) such as keyword lists or
+    scene-graph fragments carried through intermediate tables.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    BLOB = "blob"
+    JSON = "json"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_string(cls, name: str) -> "DataType":
+        """Parse a type name (``"int"``, ``"integer"``, ``"text"``, ...)."""
+        normalized = (name or "").strip().lower()
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "float": cls.FLOAT,
+            "double": cls.FLOAT,
+            "real": cls.FLOAT,
+            "numeric": cls.FLOAT,
+            "str": cls.TEXT,
+            "string": cls.TEXT,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "bool": cls.BOOLEAN,
+            "boolean": cls.BOOLEAN,
+            "blob": cls.BLOB,
+            "bytes": cls.BLOB,
+            "json": cls.JSON,
+            "object": cls.JSON,
+        }
+        if normalized not in aliases:
+            raise SchemaError(f"unknown data type: {name!r}")
+        return aliases[normalized]
+
+    @classmethod
+    def infer(cls, value: Any) -> "DataType":
+        """Infer the most specific type for a Python value."""
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.TEXT
+        if isinstance(value, (bytes, bytearray)):
+            return cls.BLOB
+        return cls.JSON
+
+
+def coerce_value(value: Any, data_type: DataType, *, strict: bool = False) -> Any:
+    """Coerce ``value`` to ``data_type``.
+
+    ``None`` is always allowed (SQL NULL).  With ``strict=True`` a value whose
+    type does not match raises :class:`SchemaError` instead of being converted.
+    """
+    if value is None:
+        return None
+
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if strict:
+            raise SchemaError(f"expected INTEGER, got {type(value).__name__}: {value!r}")
+        try:
+            return int(value)
+        except (TypeError, ValueError) as error:
+            raise SchemaError(f"cannot coerce {value!r} to INTEGER") from error
+
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if strict:
+            raise SchemaError(f"expected FLOAT, got {type(value).__name__}: {value!r}")
+        try:
+            return float(value)
+        except (TypeError, ValueError) as error:
+            raise SchemaError(f"cannot coerce {value!r} to FLOAT") from error
+
+    if data_type is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if strict:
+            raise SchemaError(f"expected TEXT, got {type(value).__name__}: {value!r}")
+        return str(value)
+
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if strict:
+            raise SchemaError(f"expected BOOLEAN, got {type(value).__name__}: {value!r}")
+        if isinstance(value, (int, float)):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "t", "1", "yes"):
+                return True
+            if lowered in ("false", "f", "0", "no"):
+                return False
+        raise SchemaError(f"cannot coerce {value!r} to BOOLEAN")
+
+    if data_type is DataType.BLOB:
+        return value
+
+    if data_type is DataType.JSON:
+        return value
+
+    raise SchemaError(f"unsupported data type: {data_type}")  # pragma: no cover
+
+
+def is_compatible(value: Any, data_type: DataType) -> bool:
+    """Return True if ``value`` can be stored in a column of ``data_type``."""
+    if value is None:
+        return True
+    try:
+        coerce_value(value, data_type, strict=True)
+        return True
+    except SchemaError:
+        return False
+
+
+def compare_values(left: Any, right: Any) -> Optional[int]:
+    """Three-way comparison that treats ``None`` as smaller than everything.
+
+    Returns -1, 0, or 1; or ``None`` if the two values are not comparable
+    (e.g. string vs dict), so callers can decide how to handle type mismatch.
+    """
+    if left is None and right is None:
+        return 0
+    if left is None:
+        return -1
+    if right is None:
+        return 1
+    if isinstance(left, bool) or isinstance(right, bool):
+        left, right = bool(left), bool(right)
+    try:
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    except TypeError:
+        return None

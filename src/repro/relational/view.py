@@ -1,0 +1,73 @@
+"""Views and materialized views.
+
+KathDB's unified semantic layer is a layer of *views over data*: the scene
+graph and text graph tables are populated views derived from raw images and
+documents.  A :class:`View` wraps a compute function; a
+:class:`MaterializedView` caches the result and records which function
+version populated it, matching the paper's versioned view population.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.relational.table import Table
+
+
+class View:
+    """A virtual table computed on demand by a population function."""
+
+    def __init__(self, name: str, populate: Callable[[], Table], description: str = ""):
+        self.name = name
+        self.description = description
+        self._populate = populate
+
+    def compute(self) -> Table:
+        """Run the population function and return the resulting table."""
+        table = self._populate()
+        table.name = self.name
+        if self.description and not table.description:
+            table.description = self.description
+        return table
+
+
+class MaterializedView(View):
+    """A view whose result is cached after the first computation."""
+
+    def __init__(self, name: str, populate: Callable[[], Table], description: str = "",
+                 populated_by: str = "", version: int = 1):
+        super().__init__(name, populate, description)
+        self.populated_by = populated_by
+        self.version = version
+        self._cache: Optional[Table] = None
+
+    @property
+    def is_populated(self) -> bool:
+        """Whether the view has been computed at least once."""
+        return self._cache is not None
+
+    def compute(self) -> Table:
+        """Return the cached table, computing it on first access."""
+        if self._cache is None:
+            self._cache = super().compute()
+        return self._cache
+
+    def refresh(self, populate: Optional[Callable[[], Table]] = None,
+                populated_by: str = "", bump_version: bool = True) -> Table:
+        """Recompute the view, optionally with a new population function.
+
+        Each refresh bumps the view's version, mirroring the FAO versioning of
+        the function that populated it.
+        """
+        if populate is not None:
+            self._populate = populate
+        if populated_by:
+            self.populated_by = populated_by
+        if bump_version:
+            self.version += 1
+        self._cache = None
+        return self.compute()
+
+    def invalidate(self) -> None:
+        """Drop the cached result without recomputing."""
+        self._cache = None

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic seeding, text helpers, and timing."""
+
+from repro.utils.seed import SeededRNG, stable_hash
+from repro.utils.text import normalize, tokenize, truncate
+from repro.utils.timer import Timer
+
+__all__ = [
+    "SeededRNG",
+    "stable_hash",
+    "normalize",
+    "tokenize",
+    "truncate",
+    "Timer",
+]

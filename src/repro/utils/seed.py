@@ -1,0 +1,88 @@
+"""Deterministic randomness helpers.
+
+Every simulated component in the reproduction (LLM, VLM, data generator) must
+be reproducible: given the same seed and the same inputs it must produce the
+same outputs.  ``stable_hash`` provides a hash that is stable across Python
+processes (unlike the builtin ``hash`` which is salted), and ``SeededRNG``
+wraps ``random.Random`` with a couple of convenience draws used throughout the
+code base.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def stable_hash(*parts: object, bits: int = 64) -> int:
+    """Return a process-stable hash of ``parts``.
+
+    Parameters
+    ----------
+    parts:
+        Arbitrary objects; they are converted with ``repr`` and joined, so any
+        objects with stable ``repr`` values are acceptable.
+    bits:
+        Number of bits to keep from the digest (default 64).
+    """
+    payload = "␟".join(repr(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()
+    return int(digest, 16) % (1 << bits)
+
+
+class SeededRNG:
+    """A small deterministic random generator used by simulated components."""
+
+    def __init__(self, seed: object = 0):
+        self._seed = stable_hash(seed)
+        self._rng = random.Random(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The integer seed this generator was constructed with."""
+        return self._seed
+
+    def fork(self, *parts: object) -> "SeededRNG":
+        """Return a new generator deterministically derived from this one."""
+        return SeededRNG(stable_hash(self._seed, *parts))
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Pick one element of ``options``."""
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(list(options))
+
+    def sample(self, options: Sequence[T], k: int) -> list:
+        """Pick ``k`` distinct elements (or all of them if fewer exist)."""
+        pool = list(options)
+        k = min(k, len(pool))
+        return self._rng.sample(pool, k)
+
+    def shuffle(self, items: Iterable[T]) -> list:
+        """Return a shuffled copy of ``items``."""
+        copied = list(items)
+        self._rng.shuffle(copied)
+        return copied
+
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Gaussian draw."""
+        return self._rng.gauss(mu, sigma)
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        return self._rng.random() < probability

@@ -1,0 +1,88 @@
+"""Small text helpers shared by the simulated models and the NL parser."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z0-9]+)*")
+
+# A conservative English stopword list; enough for keyword extraction in the
+# simulated models without pulling in external NLP dependencies.
+STOPWORDS = frozenset(
+    """
+    a an the and or but if then else of to in on for with without by at from
+    as is are was were be been being this that these those it its his her
+    their our your my me we you they them he she i do does did done not no
+    so such than too very can could should would will shall may might must
+    about into over under between against during before after above below up
+    down out off again further once here there when where why how all any
+    both each few more most other some own same only just also
+    """.split()
+)
+
+
+def tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize("Guilty by Suspicion (1991)")
+    ['guilty', 'by', 'suspicion', '1991']
+    """
+    tokens = _WORD_RE.findall(text or "")
+    if lowercase:
+        tokens = [t.lower() for t in tokens]
+    return tokens
+
+
+def content_words(text: str) -> List[str]:
+    """Tokenize and drop stopwords."""
+    return [t for t in tokenize(text) if t not in STOPWORDS]
+
+
+def normalize(text: str) -> str:
+    """Lowercase and collapse whitespace; used for fuzzy keyword matching."""
+    return re.sub(r"\s+", " ", (text or "").strip().lower())
+
+
+def truncate(text: str, limit: int = 120, ellipsis: str = "...") -> str:
+    """Truncate ``text`` to at most ``limit`` characters."""
+    if text is None:
+        return ""
+    if len(text) <= limit:
+        return text
+    if limit <= len(ellipsis):
+        return text[:limit]
+    return text[: limit - len(ellipsis)] + ellipsis
+
+
+def sentences(text: str) -> List[str]:
+    """A very small sentence splitter (periods, question marks, exclamations)."""
+    parts = re.split(r"(?<=[.!?])\s+", (text or "").strip())
+    return [p.strip() for p in parts if p.strip()]
+
+
+def snake_case(name: str) -> str:
+    """Convert an arbitrary phrase into a snake_case identifier."""
+    words = tokenize(name)
+    return "_".join(words) if words else "unnamed"
+
+
+def join_names(names: Iterable[str], conjunction: str = "and") -> str:
+    """Join names into natural language: ``a, b and c``."""
+    items = [n for n in names if n]
+    if not items:
+        return ""
+    if len(items) == 1:
+        return items[0]
+    return ", ".join(items[:-1]) + f" {conjunction} " + items[-1]
+
+
+def estimate_tokens(text: str) -> int:
+    """Approximate an LLM token count for cost accounting.
+
+    Uses the common ~4 characters per token heuristic, with a floor of one
+    token for non-empty text.
+    """
+    if not text:
+        return 0
+    return max(1, len(text) // 4)

@@ -1,0 +1,51 @@
+"""A tiny wall-clock timer used by the profiler agent and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager timer.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed time in seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds for the last start/stop interval."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

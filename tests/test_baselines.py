@@ -1,0 +1,83 @@
+"""Tests for the SQL+UDF and black-box LLM baselines."""
+
+import pytest
+
+from repro.baselines.blackbox_llm import BlackBoxLLMBaseline
+from repro.baselines.sql_udf import SQLUDFBaseline
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_QUERY,
+    ranking_accuracy,
+)
+from repro.models.base import ModelSuite
+
+
+@pytest.fixture()
+def baseline_models():
+    return ModelSuite.create(seed=21)
+
+
+class TestSQLUDFBaseline:
+    def test_flagship_pipeline_matches_ground_truth(self, corpus, baseline_models):
+        result = SQLUDFBaseline(baseline_models).flagship_query(corpus)
+        expected = [m.title for m in corpus.ground_truth_ranking()]
+        assert result.titles()[:2] == expected[:2]
+        assert result.manual_operations >= 5
+        assert result.tokens > 0
+        # Only boring-poster films survive the manual filter.
+        boring = corpus.ground_truth_boring()
+        ids = {corpus.by_title(t).movie_id for t in result.titles()}
+        # The VLM-based boring classification is noisy, so allow one slip.
+        misclassified = [movie_id for movie_id in ids if not boring[movie_id]]
+        assert len(misclassified) <= 1
+
+    def test_boring_posters_pipeline(self, corpus, baseline_models):
+        result = SQLUDFBaseline(baseline_models).boring_posters(corpus)
+        assert "Guilty by Suspicion" in result.titles()
+        assert "Midnight Circuit" not in result.titles()
+
+    def test_rank_by_excitement_pipeline(self, corpus, baseline_models):
+        result = SQLUDFBaseline(baseline_models).rank_by_excitement(corpus)
+        assert len(result.table) == len(corpus)
+        top = result.titles()[:5]
+        assert "Guilty by Suspicion" in top
+
+    def test_custom_weights_and_keywords(self, corpus, baseline_models):
+        result = SQLUDFBaseline(baseline_models).flagship_query(
+            corpus, excitement_weight=1.0, recency_weight=0.0, keywords=["gun", "threat"])
+        assert result.titles(), "pipeline should still produce results"
+
+
+class TestBlackBoxBaseline:
+    def test_answers_but_misses_boring_filter(self, corpus, baseline_models):
+        baseline = BlackBoxLLMBaseline(baseline_models)
+        result = baseline.answer(FLAGSHIP_QUERY, corpus,
+                                 {"exciting": FLAGSHIP_CLARIFICATION})
+        assert len(result.table) == len(corpus)  # nothing filtered out
+        assert result.per_record_calls == len(corpus)
+        assert result.tokens > 0
+        assert baseline.explanation_depth() == 1
+        assert "bypassed" in result.explanation
+
+    def test_less_accurate_than_kathdb_on_flagship(self, corpus, baseline_models, flagship_result):
+        expected = [m.title for m in corpus.ground_truth_ranking()]
+        blackbox = BlackBoxLLMBaseline(baseline_models).answer(FLAGSHIP_QUERY, corpus)
+        kathdb_accuracy = ranking_accuracy(flagship_result.titles(), expected, top_k=3)
+        blackbox_accuracy = ranking_accuracy(blackbox.titles(), expected, top_k=3)
+        assert kathdb_accuracy > blackbox_accuracy
+
+    def test_costs_more_tokens_per_query_than_kathdb_execution(self, corpus, baseline_models,
+                                                               flagship_result):
+        blackbox = BlackBoxLLMBaseline(baseline_models).answer(FLAGSHIP_QUERY, corpus)
+        assert blackbox.tokens > flagship_result.total_tokens
+
+    def test_year_filter_handling(self, corpus, baseline_models):
+        result = BlackBoxLLMBaseline(baseline_models).answer(
+            "List films released after 2000 whose plots are exciting.", corpus)
+        years = [row["year"] for row in result.table]
+        assert all(year > 2000 for year in years)
+
+    def test_calm_query(self, corpus, baseline_models):
+        result = BlackBoxLLMBaseline(baseline_models).answer(
+            "Show films with calm, quiet plots.", corpus)
+        assert result.titles(), "calm query should still rank movies"

@@ -1,0 +1,159 @@
+"""Integration tests for the KathDB facade (end-to-end behaviour of the system)."""
+
+import pytest
+
+from repro import KathDB, KathDBConfig, ScriptedUser, SilentUser, build_movie_corpus
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_CORRECTION,
+    FLAGSHIP_QUERY,
+    build_default_workload,
+    ranking_accuracy,
+    set_f1,
+)
+from repro.errors import KathDBError
+from repro.interaction.channel import InteractionKind
+
+
+class TestConfig:
+    def test_invalid_lineage_level(self):
+        with pytest.raises(KathDBError):
+            KathDBConfig(lineage_level="everything")
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(KathDBError):
+            KathDBConfig(vlm_error_rate=2.0)
+
+    def test_invalid_max_variants(self):
+        with pytest.raises(KathDBError):
+            KathDBConfig(max_variants=0)
+
+
+class TestLoadCorpus:
+    def test_population_report(self, loaded_db):
+        report = loaded_db.population_report
+        assert set(report.base_tables) == {"movie_table", "film_plot", "poster_images"}
+        assert len(report.view_tables) == 9
+        assert loaded_db.catalog.has_table("image_objects")
+        assert loaded_db.catalog.has_table("text_entities")
+
+    def test_catalog_description_for_agents(self, loaded_db):
+        description = loaded_db.describe_catalog(kinds=["base"])
+        assert "movie_table" in description and "image_objects" not in description
+
+
+class TestFlagshipQuery:
+    def test_figure6_top_two(self, flagship_result):
+        assert flagship_result.titles()[:2] == ["Guilty by Suspicion", "Clean and Sober"]
+        top = flagship_result.rows()[0]
+        assert top["year"] == 1991
+        assert top["boring_poster"] is True
+        assert top["final_score"] > flagship_result.rows()[1]["final_score"]
+
+    def test_sketch_versions_match_paper(self, flagship_result):
+        assert flagship_result.sketch.version == 2
+        assert len(flagship_result.sketch) == 11
+        assert len(flagship_result.logical_plan) == 10
+
+    def test_transcript_contains_both_interaction_modes(self, flagship_result):
+        transcript = flagship_result.transcript
+        assert transcript.of_kind(InteractionKind.CLARIFICATION)
+        reviews = transcript.of_kind(InteractionKind.SKETCH_REVIEW)
+        assert len(reviews) >= 2  # correction round plus the final OK
+        assert any(review.user_reply and "recent" in review.user_reply for review in reviews)
+
+    def test_lineage_and_registry_populated(self, loaded_db, flagship_result):
+        assert flagship_result.lineage.summary()["total"] > 0
+        versions = loaded_db.function_versions()
+        assert versions.get("gen_excitement_score", 0) >= 1
+        assert loaded_db.total_tokens() > 0
+
+    def test_intent_weights(self, flagship_result):
+        assert flagship_result.intent.score_weights == {"excitement_score": 0.7,
+                                                        "recency_score": 0.3}
+
+    def test_only_boring_posters_in_result(self, flagship_result, corpus):
+        boring = corpus.ground_truth_boring()
+        for row in flagship_result.final_table:
+            movie = corpus.by_title(row["title"])
+            # allow at most perception noise; the flagship run has none
+            assert boring[movie.movie_id], f"{row['title']} should have a boring poster"
+
+
+class TestOtherWorkloadQueries:
+    @pytest.fixture(scope="class")
+    def db(self, corpus):
+        instance = KathDB(KathDBConfig(seed=3))
+        instance.load_corpus(corpus)
+        return instance
+
+    def test_boring_poster_listing(self, db, corpus):
+        workload = build_default_workload()
+        query = workload.query("find_boring_posters")
+        result = db.query(query.nl_query, user=SilentUser())
+        predicted = result.titles()
+        expected = query.expected_titles(corpus)
+        assert set_f1(predicted, expected) >= 0.85
+
+    def test_recent_exciting_listing(self, db, corpus):
+        workload = build_default_workload()
+        query = workload.query("recent_exciting")
+        user = ScriptedUser(query.clarification_answers)
+        result = db.query(query.nl_query, user=user)
+        years = {corpus.by_title(t).year for t in result.titles() if corpus.by_title(t)}
+        assert all(year > 2000 for year in years)
+        expected = query.expected_titles(corpus)
+        assert set_f1(result.titles(), expected) >= 0.6
+
+    def test_rank_all_by_excitement(self, db, corpus):
+        workload = build_default_workload()
+        query = workload.query("rank_all_by_excitement")
+        user = ScriptedUser(query.clarification_answers)
+        result = db.query(query.nl_query, user=user)
+        assert len(result.final_table) == len(corpus)
+        accuracy = ranking_accuracy(result.titles(), query.expected_titles(corpus), top_k=3)
+        assert accuracy >= 2 / 3
+
+    def test_repeated_queries_accumulate_versions(self, db):
+        before = sum(db.function_versions().values())
+        db.query("Which films have a boring poster?", user=SilentUser())
+        assert sum(db.function_versions().values()) > before
+
+
+class TestConfigurationVariants:
+    def test_workspace_persists_functions(self, corpus, tmp_path):
+        db = KathDB(KathDBConfig(seed=1, workspace=tmp_path, explore_variants=False,
+                                 monitor_enabled=False))
+        db.load_corpus(corpus)
+        db.query("Which films have a boring poster?", user=SilentUser())
+        persisted = list(tmp_path.rglob("*.py.txt"))
+        assert persisted, "generated function sources should be persisted to the workspace"
+        metadata = list(tmp_path.rglob("*.json"))
+        assert len(metadata) == len(persisted)
+
+    def test_no_interaction_modes_still_answers(self, corpus):
+        db = KathDB(KathDBConfig(seed=1, proactive_clarification=False,
+                                 reactive_correction=False, explore_variants=False,
+                                 monitor_enabled=False))
+        db.load_corpus(corpus)
+        result = db.query(FLAGSHIP_QUERY, user=ScriptedUser(
+            {"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION]))
+        # Without clarification or correction the sketch stays at v1 and the
+        # recency preference never reaches the plan.
+        assert result.sketch.version == 1
+        assert "recency_score" not in result.final_table.column_names()
+
+    def test_ask_before_query_raises(self):
+        db = KathDB(KathDBConfig(seed=1))
+        with pytest.raises(ValueError):
+            db.ask("explain the pipeline")
+
+    def test_fused_configuration_runs(self, corpus):
+        db = KathDB(KathDBConfig(seed=1, enable_fusion=True, explore_variants=False,
+                                 monitor_enabled=False))
+        db.load_corpus(corpus)
+        user = ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION])
+        result = db.query(FLAGSHIP_QUERY, user=user)
+        fused_records = [r for r in result.records if r.operator_name.startswith("fused_")]
+        assert fused_records, "fusion should produce a fused operator"
+        assert result.titles()[:2] == ["Guilty by Suspicion", "Clean and Sober"]

@@ -1,0 +1,175 @@
+"""Unit tests for the synthetic multimodal corpus (images, text, MMQA, workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.data.images import PosterGenerator, SyntheticImage, ImageObject
+from repro.data.mmqa import build_movie_corpus
+from repro.data.text import PlotGenerator
+from repro.data.workloads import (
+    build_default_workload,
+    ranking_accuracy,
+    set_f1,
+)
+
+
+class TestSyntheticImages:
+    def test_generator_rejects_unknown_style(self):
+        with pytest.raises(ValueError):
+            PosterGenerator().generate("X", "psychedelic")
+
+    def test_boring_vs_vivid_properties(self):
+        generator = PosterGenerator(seed=11)
+        boring = generator.generate("Quiet Drama", "boring")
+        vivid = generator.generate("Action Blast", "vivid")
+        assert len(boring.objects) <= 2
+        assert len(vivid.objects) >= 4
+        assert vivid.saturation() > boring.saturation()
+        assert boring.style == "boring" and vivid.style == "vivid"
+
+    def test_render_pixels_shape_and_cache(self):
+        image = PosterGenerator(seed=1).generate("T", "vivid")
+        pixels = image.render_pixels()
+        assert pixels.shape == (image.height, image.width, 3)
+        assert pixels.dtype == np.uint8
+        assert image.render_pixels() is pixels  # cached
+
+    def test_deterministic_generation(self):
+        a = PosterGenerator(seed=5).generate("Same Title", "vivid")
+        b = PosterGenerator(seed=5).generate("Same Title", "vivid")
+        assert [o.class_name for o in a.objects] == [o.class_name for o in b.objects]
+        assert a.relationships == b.relationships
+
+    def test_text_overlay_and_uri(self):
+        image = PosterGenerator().generate("My Great Movie", "boring")
+        assert image.text_overlay == "My Great Movie"
+        assert image.uri.startswith("file://posters/my_great_movie")
+
+    def test_coverage_bounded(self):
+        image = SyntheticImage(uri="x", width=10, height=10, objects=[
+            ImageObject("person", (0, 0, 10, 10)), ImageObject("person", (0, 0, 10, 10))])
+        assert image.coverage() == 1.0
+
+
+class TestPlotGenerator:
+    def test_excitement_controls_vocabulary(self):
+        generator = PlotGenerator(seed=2)
+        exciting = generator.generate("Thrill Ride", 1.0)
+        calm = generator.generate("Quiet Hours", 0.0)
+        exciting_words = {"gunfight", "explosion", "killers", "assassin", "threat", "bomb",
+                          "accused", "kill", "shootout", "violent", "fugitive"}
+        assert any(word in exciting.lower() for word in exciting_words)
+        assert not any(word in calm.lower() for word in exciting_words)
+
+    def test_character_names_are_stable_and_distinct(self):
+        generator = PlotGenerator(seed=2)
+        names_a = generator.character_names("Some Movie")
+        names_b = PlotGenerator(seed=2).character_names("Some Movie")
+        assert names_a == names_b
+        assert len(set(names_a)) == len(names_a)
+
+    def test_plot_mentions_title_and_characters(self):
+        generator = PlotGenerator(seed=3)
+        plot = generator.generate("The Archivist", 0.4)
+        assert plot.startswith("The Archivist follows")
+
+    def test_excitement_clamped(self):
+        generator = PlotGenerator(seed=1)
+        assert generator.generate("X", 5.0)
+        assert generator.generate("X", -3.0)
+
+
+class TestMovieCorpus:
+    def test_contains_figure6_movies(self, corpus):
+        guilty = corpus.by_title("Guilty by Suspicion")
+        clean = corpus.by_title("Clean and Sober")
+        assert guilty.year == 1991 and clean.year == 1988
+        assert guilty.gt_boring_poster and clean.gt_boring_poster
+        assert guilty.gt_excitement > clean.gt_excitement
+
+    def test_size_and_ids_unique(self, corpus):
+        assert len(corpus) == 20
+        ids = [m.movie_id for m in corpus]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup_helpers(self, corpus):
+        movie = corpus.by_id(1)
+        assert movie.title == "Guilty by Suspicion"
+        assert corpus.by_title("Nonexistent") is None
+        assert corpus.image_by_uri(movie.poster_uri) is movie.poster
+        assert corpus.document_text(movie.document_id) == movie.plot
+
+    def test_to_tables_schema(self, corpus):
+        tables = corpus.to_tables()
+        assert set(tables) == {"movie_table", "film_plot", "poster_images"}
+        assert len(tables["movie_table"]) == len(corpus)
+        assert tables["poster_images"].schema.has_column("image")
+        assert tables["film_plot"][0]["plot"]
+
+    def test_ground_truth_ranking_top2(self, corpus):
+        ranking = corpus.ground_truth_ranking()
+        assert [m.title for m in ranking[:2]] == ["Guilty by Suspicion", "Clean and Sober"]
+
+    def test_ground_truth_ranking_without_filter(self, corpus):
+        full = corpus.ground_truth_ranking(boring_only=False)
+        assert len(full) == len(corpus)
+
+    def test_larger_corpus_generation(self):
+        corpus = build_movie_corpus(size=30, seed=1)
+        assert len(corpus) == 30
+        # Generated fillers with boring posters must stay low-excitement so the
+        # Figure 6 ordering holds at any corpus size.
+        for movie in corpus:
+            if movie.movie_id > 20 and movie.gt_boring_poster:
+                assert movie.gt_excitement <= 0.35
+
+    def test_minimum_size(self):
+        corpus = build_movie_corpus(size=1)
+        assert len(corpus) == 2
+
+    def test_deterministic_for_seed(self):
+        a = build_movie_corpus(size=25, seed=9)
+        b = build_movie_corpus(size=25, seed=9)
+        assert [m.title for m in a] == [m.title for m in b]
+        assert [m.plot for m in a] == [m.plot for m in b]
+
+
+class TestWorkloads:
+    def test_default_workload_contains_flagship(self, corpus):
+        workload = build_default_workload()
+        flagship = workload.query("flagship_exciting_boring")
+        expected = flagship.expected_titles(corpus)
+        assert expected[:2] == ["Guilty by Suspicion", "Clean and Sober"]
+        assert len(workload) >= 5
+
+    def test_unknown_query_name(self):
+        with pytest.raises(KeyError):
+            build_default_workload().query("nope")
+
+    def test_ground_truth_functions(self, corpus):
+        workload = build_default_workload()
+        boring = workload.query("find_boring_posters").expected_titles(corpus)
+        assert "Guilty by Suspicion" in boring
+        assert "Midnight Circuit" not in boring
+        recent = workload.query("recent_exciting").expected_titles(corpus)
+        assert all(corpus.by_title(t).year > 2000 for t in recent)
+
+    def test_query_without_ground_truth(self, corpus):
+        from repro.data.workloads import WorkloadQuery
+        query = WorkloadQuery(name="x", nl_query="whatever")
+        assert query.expected_titles(corpus) == []
+
+
+class TestMetrics:
+    def test_ranking_accuracy(self):
+        assert ranking_accuracy(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert ranking_accuracy(["c", "b", "a"], ["a", "b", "c"], top_k=3) == 1.0
+        assert ranking_accuracy(["x", "y"], ["a", "b"], top_k=2) == 0.0
+        assert ranking_accuracy([], []) == 1.0
+        assert ranking_accuracy(["x"], []) == 0.0
+
+    def test_set_f1(self):
+        assert set_f1(["a", "b"], ["a", "b"]) == 1.0
+        assert set_f1([], []) == 1.0
+        assert set_f1(["a"], []) == 0.0
+        assert set_f1(["a", "b"], ["b", "c"]) == pytest.approx(0.5)

@@ -1,0 +1,165 @@
+"""Unit tests for the unified provenance model (paper Table 3 / Figure 2)."""
+
+import pytest
+
+from repro.datamodel.lineage import (
+    DependencyPattern,
+    LINEAGE_LEVEL_OFF,
+    LINEAGE_LEVEL_ROW,
+    LINEAGE_LEVEL_TABLE,
+    LineageStore,
+)
+from repro.errors import LineageError
+
+
+class TestDependencyPattern:
+    def test_narrow_vs_wide(self):
+        assert DependencyPattern.ONE_TO_ONE.is_narrow
+        assert DependencyPattern.ONE_TO_MANY.is_narrow
+        assert not DependencyPattern.MANY_TO_ONE.is_narrow
+        assert not DependencyPattern.MANY_TO_MANY.is_narrow
+
+    def test_from_string(self):
+        assert DependencyPattern.from_string("Many_To_Many") is DependencyPattern.MANY_TO_MANY
+        with pytest.raises(LineageError):
+            DependencyPattern.from_string("some_to_some")
+
+
+class TestLidAllocation:
+    def test_monotonically_increasing(self):
+        store = LineageStore()
+        lids = [store.new_lid() for _ in range(5)]
+        assert lids == sorted(lids)
+        assert len(set(lids)) == 5
+
+    def test_start_lid(self):
+        assert LineageStore(start_lid=100).new_lid() == 100
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(LineageError):
+            LineageStore(level="everything")
+
+
+class TestRecording:
+    def test_record_source_and_table(self):
+        store = LineageStore()
+        source_lid = store.record_source("file://data/movies.json")
+        table_lid = store.record_table("load_data", 1, [source_lid])
+        assert store.parents_of(table_lid) == [source_lid]
+        assert store.entries_for(source_lid)[0].src_uri == "file://data/movies.json"
+        assert store.entries_for(source_lid)[0].parent_lid is None
+
+    def test_record_row_chain(self):
+        store = LineageStore()
+        base = store.record_source("file://x")
+        first = store.record_row("select_movie_columns", 1, base)
+        second = store.record_row("gen_excitement_score", 1, first)
+        assert store.parents_of(second) == [first]
+        assert store.children_of(first) == [second]
+        assert store.producing_function(second) == ("gen_excitement_score", 1)
+
+    def test_multi_parent_table_entry(self):
+        store = LineageStore()
+        a = store.record_source("file://a")
+        b = store.record_source("file://b")
+        joined = store.record_table("join_results", 1, [a, b])
+        assert sorted(store.parents_of(joined)) == sorted([a, b])
+        assert len(store.entries_for(joined)) == 2
+
+    def test_table_entry_with_no_parents(self):
+        store = LineageStore()
+        lid = store.record_table("load_data", 1, [None])
+        assert store.parents_of(lid) == []
+
+    def test_timestamps_are_monotonic(self):
+        store = LineageStore()
+        first = store.record_source("file://a")
+        second = store.record_source("file://b")
+        assert store.entries_for(second)[0].ts >= store.entries_for(first)[0].ts
+
+
+class TestTrackingLevels:
+    def test_table_level_drops_row_entries(self):
+        store = LineageStore(level=LINEAGE_LEVEL_TABLE)
+        assert store.enabled and not store.row_tracking_enabled
+        store.record_row("f", 1, None)
+        store.record_table("f", 1, [None])
+        assert store.summary() == {"total": 1, "row": 0, "table": 1}
+
+    def test_off_level_records_nothing(self):
+        store = LineageStore(level=LINEAGE_LEVEL_OFF)
+        assert not store.enabled
+        store.record_row("f", 1, None)
+        store.record_table("f", 1, [None])
+        assert len(store) == 0
+        # lids are still allocated so executor code paths keep working
+        assert store.new_lid() > 0
+
+    def test_row_level_records_both(self):
+        store = LineageStore(level=LINEAGE_LEVEL_ROW)
+        store.record_row("f", 1, None)
+        store.record_table("f", 1, [None])
+        assert store.summary()["total"] == 2
+
+
+class TestTraceAndAncestors:
+    def _build_chain(self):
+        store = LineageStore()
+        source = store.record_source("file://movies")
+        table = store.record_table("load_data", 1, [source])
+        row_a = store.record_row("select", 1, table)
+        row_b = store.record_row("score", 1, row_a)
+        return store, source, table, row_a, row_b
+
+    def test_trace_returns_child_first_chain(self):
+        store, source, table, row_a, row_b = self._build_chain()
+        trace = store.trace(row_b)
+        assert trace[0].lid == row_b
+        assert {entry.lid for entry in trace} == {row_b, row_a, table, source}
+
+    def test_ancestors_are_ordered_nearest_first(self):
+        store, source, table, row_a, row_b = self._build_chain()
+        assert store.ancestors_of(row_b) == [row_a, table, source]
+
+    def test_trace_unknown_lid(self):
+        store = LineageStore()
+        with pytest.raises(LineageError):
+            store.trace(999)
+
+    def test_trace_respects_max_depth(self):
+        store = LineageStore()
+        parent = store.record_source("file://root")
+        current = parent
+        for _ in range(10):
+            current = store.record_row("step", 1, current)
+        shallow = store.trace(current, max_depth=3)
+        assert len(shallow) <= 3
+
+    def test_has_lid(self):
+        store, source, *_ = self._build_chain()
+        assert store.has_lid(source)
+        assert not store.has_lid(10_000)
+
+
+class TestExportAsTable:
+    def test_to_table_matches_schema(self):
+        store = LineageStore()
+        source = store.record_source("file://movies")
+        store.record_row("select", 1, source)
+        table = store.to_table()
+        assert table.column_names() == [
+            "lid", "parent_lid", "src_uri", "func_id", "ver_id", "data_type", "ts"]
+        assert len(table) == 2
+
+    def test_lineage_table_is_sql_queryable(self):
+        from repro.relational.catalog import Catalog
+        from repro.relational.sql import execute_sql
+
+        store = LineageStore()
+        source = store.record_source("file://movies")
+        store.record_row("gen_excitement_score", 2, source)
+        catalog = Catalog()
+        catalog.register(store.to_table("lineage"))
+        result = execute_sql(
+            "SELECT lid, ver_id FROM lineage WHERE func_id = 'gen_excitement_score'", catalog)
+        assert len(result) == 1 and result[0]["ver_id"] == 2

@@ -1,0 +1,128 @@
+"""Tests for the explainer and the NL-over-lineage interface (Figure 5)."""
+
+import pytest
+
+from repro.errors import ExplanationError
+from repro.explain.explainer import Explainer
+from repro.explain.lineage_query import LineageQueryInterface
+
+
+@pytest.fixture(scope="module")
+def explain_env(loaded_db, flagship_result):
+    explainer = Explainer(loaded_db.models, registry=loaded_db.registry)
+    qa = LineageQueryInterface(loaded_db.models, explainer)
+    return loaded_db, flagship_result, explainer, qa
+
+
+class TestCoarseExplanation:
+    def test_pipeline_overview_lists_every_operator(self, explain_env):
+        db, result, explainer, _ = explain_env
+        text = explainer.explain_pipeline(result)
+        assert text.startswith("How KathDB answered")
+        # One numbered line per executed operator, in order.
+        assert f"{len(result.physical_plan)}:" in text
+        assert "boring" in text.lower()
+        assert "rank" in text.lower()
+        assert "rows)" in text
+
+    def test_pipeline_explanation_requires_plan(self, explain_env):
+        db, result, explainer, _ = explain_env
+        from repro.executor.result import QueryResult
+        from repro.relational.schema import Schema
+        from repro.relational.table import Table
+        empty = QueryResult(nl_query="x", final_table=Table("t", Schema([])))
+        with pytest.raises(ExplanationError):
+            explainer.explain_pipeline(empty)
+
+
+class TestFineGrainedExplanation:
+    def test_top_tuple_explanation_matches_figure5(self, explain_env):
+        db, result, explainer, _ = explain_env
+        top = result.rows()[0]
+        explanation = explainer.explain_tuple(result, top["lid"])
+        assert explanation.produced_by == "combine_scores"
+        text = explanation.describe()
+        assert "weighted sum" in text
+        assert "0.7" in text and "0.3" in text
+        assert "recency_score" in text
+        assert "boring" in text
+        assert "derivation chain" in text
+        assert "def combine_scores" in text  # the persisted implementation source
+
+    def test_explanation_traces_back_to_sources(self, explain_env):
+        db, result, explainer, _ = explain_env
+        explanation = explainer.explain_tuple(result, result.rows()[0]["lid"])
+        assert any("src=file://data/mmqa" in line for line in explanation.ancestry)
+        assert any("load_data" in line for line in explanation.ancestry)
+
+    def test_intermediate_tuple_explanation(self, explain_env):
+        db, result, explainer, _ = explain_env
+        intermediate = result.intermediates["films_with_excitement"]
+        lid = intermediate.rows[0]["lid"]
+        explanation = explainer.explain_tuple(result, lid)
+        assert explanation.produced_by == "gen_excitement_score"
+        assert any("excitement_score" in d for d in explanation.field_derivations)
+
+    def test_unknown_lid_raises(self, explain_env):
+        db, result, explainer, _ = explain_env
+        with pytest.raises(ExplanationError):
+            explainer.explain_tuple(result, 10_000_000)
+
+
+class TestLineageQA:
+    def test_explain_tuple_question(self, explain_env):
+        db, result, _, qa = explain_env
+        lid = result.rows()[0]["lid"]
+        answer = qa.ask(f"Explain tuple {lid}?", result)
+        assert f"lid={lid}" in answer
+        assert "weighted sum" in answer
+
+    def test_explain_pipeline_question(self, explain_env):
+        db, result, _, qa = explain_env
+        answer = qa.ask("Can you explain the full pipeline?", result)
+        assert answer.startswith("How KathDB answered")
+
+    def test_which_function_produced_column(self, explain_env):
+        db, result, _, qa = explain_env
+        answer = qa.ask("Which function produced the column 'final_score'?", result)
+        assert "combine_scores" in answer
+        base_column = qa.ask("Which function produced 'title'?", result)
+        assert "base relation" in base_column
+
+    def test_row_count_question(self, explain_env):
+        db, result, _, qa = explain_env
+        answer = qa.ask("How many rows did filter_boring produce?", result)
+        assert "produced" in answer and "rows" in answer
+        missing = qa.ask("How many rows did nonexistent_operator produce?", result)
+        assert "no execution record" in missing
+
+    def test_version_question(self, explain_env):
+        db, result, _, qa = explain_env
+        answer = qa.ask("Which function versions were used?", result)
+        assert "gen_excitement_score" in answer
+
+    def test_fallback_summary(self, explain_env):
+        db, result, _, qa = explain_env
+        answer = qa.ask("Tell me something.", result)
+        assert "lineage entries" in answer
+
+    def test_sql_over_lineage(self, explain_env):
+        db, result, _, qa = explain_env
+        table = qa.sql(
+            "SELECT count(*) AS n FROM lineage WHERE func_id = 'combine_scores'", result)
+        assert table[0]["n"] > 0
+
+
+class TestKathDBExplanationFacade:
+    def test_ask_records_transcript_entry(self, explain_env):
+        db, result, _, _ = explain_env
+        before = len(result.transcript)
+        answer = db.ask("explain the pipeline", result)
+        assert answer
+        assert len(result.transcript) == before + 1
+
+    def test_explain_helpers(self, explain_env):
+        db, result, _, _ = explain_env
+        assert db.explain_pipeline(result)
+        lid = result.rows()[0]["lid"]
+        assert db.explain_tuple(result, lid).lid == lid

@@ -1,0 +1,109 @@
+"""Unit tests for interaction channels, transcripts, and user agents."""
+
+import pytest
+
+from repro.errors import InteractionError
+from repro.interaction.channel import Interaction, InteractionChannel, InteractionKind, Transcript
+from repro.interaction.user import ScriptedUser, SilentUser, UserAgent
+
+
+class TestTranscript:
+    def test_add_and_filter_by_kind(self):
+        transcript = Transcript()
+        transcript.add(Interaction(InteractionKind.CLARIFICATION, "q?", "a"))
+        transcript.add(Interaction(InteractionKind.NOTICE, "fyi", None))
+        assert len(transcript) == 2
+        assert len(transcript.of_kind(InteractionKind.CLARIFICATION)) == 1
+
+    def test_user_turns_counts_only_replies(self):
+        transcript = Transcript()
+        transcript.add(Interaction(InteractionKind.CLARIFICATION, "q?", "a"))
+        transcript.add(Interaction(InteractionKind.SKETCH_REVIEW, "sketch", ""))
+        transcript.add(Interaction(InteractionKind.NOTICE, "fyi", None))
+        assert transcript.user_turns() == 1
+
+    def test_describe(self):
+        transcript = Transcript()
+        assert transcript.describe() == "(no interactions)"
+        transcript.add(Interaction(InteractionKind.CLARIFICATION, "q?", "a"))
+        assert "q?" in transcript.describe()
+
+
+class TestUserAgents:
+    def test_base_user_defaults(self):
+        user = UserAgent()
+        assert user.answer_clarification("q", "term") == ""
+        assert user.review_sketch("sketch", 1) == "OK"
+        assert user.resolve_anomaly("m", ["accept", "adjust"]) == "accept"
+
+    def test_silent_user(self):
+        user = SilentUser()
+        assert user.review_sketch("anything", 2) == "OK"
+
+    def test_scripted_user_clarifications(self):
+        user = ScriptedUser({"exciting": "uncommon scenes"})
+        assert user.answer_clarification("What does 'exciting' mean?", "exciting") == \
+            "uncommon scenes"
+        assert user.answer_clarification("What does 'boring' mean?", "boring") == ""
+
+    def test_scripted_user_corrections_run_out(self):
+        user = ScriptedUser(corrections=["add recency", "also filter by year"])
+        assert user.review_sketch("v1", 1) == "add recency"
+        assert user.review_sketch("v2", 2) == "also filter by year"
+        assert user.review_sketch("v3", 3) == "OK"
+
+    def test_scripted_user_anomaly_choice(self):
+        user = ScriptedUser(anomaly_choice="rewrite")
+        assert user.resolve_anomaly("m", ["accept", "adjust", "rewrite"]) == "rewrite"
+        # Falls back to the first option when the preferred one is unavailable.
+        assert user.resolve_anomaly("m", ["accept"]) == "accept"
+
+    def test_scripted_user_collects_notices(self):
+        user = ScriptedUser()
+        user.notify("repaired classify_boring")
+        assert user.notices == ["repaired classify_boring"]
+
+
+class TestInteractionChannel:
+    def test_requires_user_agent(self):
+        with pytest.raises(InteractionError):
+            InteractionChannel("not a user")
+
+    def test_clarification_recorded(self):
+        user = ScriptedUser({"exciting": "uncommon scenes"})
+        channel = InteractionChannel(user)
+        reply = channel.ask_clarification("What does 'exciting' mean?", "exciting")
+        assert reply == "uncommon scenes"
+        entry = channel.transcript.of_kind(InteractionKind.CLARIFICATION)[0]
+        assert entry.metadata["term"] == "exciting"
+
+    def test_sketch_review_recorded(self):
+        user = ScriptedUser(corrections=["add recency"])
+        channel = InteractionChannel(user)
+        assert channel.review_sketch("1. do things", 1) == "add recency"
+        assert channel.review_sketch("1. do things\n2. recency", 2) == "OK"
+        reviews = channel.transcript.of_kind(InteractionKind.SKETCH_REVIEW)
+        assert len(reviews) == 2
+        assert reviews[0].metadata["version"] == 1
+
+    def test_anomaly_escalation_recorded(self):
+        channel = InteractionChannel(ScriptedUser(anomaly_choice="adjust"))
+        decision = channel.escalate_anomaly("poster matched twice", ["accept", "adjust"])
+        assert decision == "adjust"
+        assert channel.transcript.of_kind(InteractionKind.SEMANTIC_ANOMALY)
+
+    def test_notify_and_explanation_request(self):
+        user = ScriptedUser()
+        channel = InteractionChannel(user)
+        channel.notify("self-repaired an operator")
+        channel.record_explanation_request("explain tuple 5", "answer text")
+        assert user.notices == ["self-repaired an operator"]
+        assert len(channel.transcript) == 2
+
+    def test_shared_transcript(self):
+        transcript = Transcript()
+        channel_a = InteractionChannel(SilentUser(), transcript)
+        channel_b = InteractionChannel(SilentUser(), transcript)
+        channel_a.notify("a")
+        channel_b.notify("b")
+        assert len(transcript) == 2

@@ -1,0 +1,118 @@
+"""Unit tests for cost accounting, model cascades, and the model suite."""
+
+import pytest
+
+from repro.models.base import ModelSuite
+from repro.models.cascade import CascadeStage, ModelCascade
+from repro.models.cost import CostMeter, ModelCall
+
+
+class TestCostMeter:
+    def test_record_and_totals(self):
+        meter = CostMeter()
+        meter.record("llm:sim", "parse", 100, 20)
+        meter.record("vlm:sim", "scene", 400, 50)
+        assert len(meter) == 2
+        assert meter.total_tokens == 570
+        assert meter.total_latency_s > 0
+
+    def test_by_model_and_purpose(self):
+        meter = CostMeter()
+        meter.record("llm:sim", "parse", 100, 20)
+        meter.record("llm:sim", "codegen", 30, 30)
+        by_model = meter.by_model()
+        assert by_model["llm:sim"].calls == 2
+        assert meter.by_purpose()["parse"].total_tokens == 120
+        assert meter.tokens_for_purpose("codegen") == 60
+
+    def test_snapshot_window(self):
+        meter = CostMeter()
+        meter.record("llm:sim", "a", 10, 0)
+        marker = meter.snapshot()
+        meter.record("llm:sim", "b", 5, 5)
+        assert meter.tokens_since(marker) == 10
+
+    def test_negative_tokens_clamped(self):
+        call = CostMeter().record("llm:sim", "x", -5, 3)
+        assert call.prompt_tokens == 0 and call.total_tokens == 3
+
+    def test_explicit_latency(self):
+        call = CostMeter().record("llm:sim", "x", 10, 10, latency_s=1.5)
+        assert call.latency_s == 1.5
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.record("llm:sim", "x", 10, 0)
+        meter.reset()
+        assert meter.total_tokens == 0 and len(meter) == 0
+
+    def test_report_mentions_total(self):
+        meter = CostMeter()
+        meter.record("llm:sim", "x", 10, 0)
+        assert "TOTAL" in meter.report()
+
+
+class TestModelCascade:
+    @staticmethod
+    def _stage(name, prediction, confidence, threshold=0.8):
+        return CascadeStage(name=name, predict=lambda item: (prediction, confidence),
+                            threshold=threshold)
+
+    def test_cheap_stage_answers_when_confident(self):
+        cascade = ModelCascade([self._stage("cheap", True, 0.95),
+                                self._stage("expensive", False, 0.99)])
+        decision = cascade.run("item")
+        assert decision.stage_name == "cheap" and decision.stages_used == 1
+
+    def test_escalates_on_low_confidence(self):
+        cascade = ModelCascade([self._stage("cheap", True, 0.3),
+                                self._stage("expensive", False, 0.99)])
+        decision = cascade.run("item")
+        assert decision.stage_name == "expensive" and decision.stages_used == 2
+
+    def test_final_stage_always_accepted(self):
+        cascade = ModelCascade([self._stage("only", "answer", 0.1)])
+        assert cascade.run("item").prediction == "answer"
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(ValueError):
+            ModelCascade([])
+
+    def test_escalation_rate_and_usage(self):
+        def confidence_by_value(item):
+            return ("yes", 0.9) if item > 5 else ("yes", 0.2)
+
+        cascade = ModelCascade([
+            CascadeStage("cheap", confidence_by_value, threshold=0.8),
+            self._stage("expensive", "yes", 0.99),
+        ])
+        items = [1, 2, 9, 10]
+        assert cascade.escalation_rate(items) == 0.5
+        usage = cascade.stage_usage(items)
+        assert usage == {"cheap": 2, "expensive": 2}
+
+    def test_escalation_rate_empty(self):
+        cascade = ModelCascade([self._stage("only", 1, 1.0)])
+        assert cascade.escalation_rate([]) == 0.0
+
+
+class TestModelSuite:
+    def test_create_wires_shared_meter_and_lexicon(self):
+        suite = ModelSuite.create(seed=1)
+        assert suite.llm.cost_meter is suite.cost_meter
+        assert suite.vlm.cost_meter is suite.cost_meter
+        assert suite.embeddings.cost_meter is suite.cost_meter
+        assert suite.llm.lexicon is suite.lexicon
+
+    def test_reset_costs(self):
+        suite = ModelSuite.create(seed=1)
+        suite.llm.generate_keywords("exciting")
+        assert suite.cost_meter.total_tokens > 0
+        suite.reset_costs()
+        assert suite.cost_meter.total_tokens == 0
+
+    def test_independent_lexicons_between_suites(self):
+        a = ModelSuite.create(seed=1)
+        b = ModelSuite.create(seed=1)
+        a.lexicon.add_terms("excitement", ["zipline"])
+        assert "excitement" not in b.lexicon.concepts_of_term("zipline")

@@ -1,0 +1,100 @@
+"""Unit tests for the lexicon-grounded embedding model."""
+
+import numpy as np
+import pytest
+
+from repro.models.cost import CostMeter
+from repro.models.embeddings import EmbeddingModel, cosine_similarity
+from repro.models.lexicon import default_lexicon
+
+
+@pytest.fixture()
+def model():
+    return EmbeddingModel()
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1, 0, 2], [1, 0, 2]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+
+class TestWordEmbeddings:
+    def test_deterministic(self, model):
+        a = model.embed_word("gun")
+        b = EmbeddingModel().embed_word("gun")
+        assert np.allclose(a, b)
+
+    def test_same_cluster_words_are_similar(self, model):
+        sim_related = cosine_similarity(model.embed_word("gun"), model.embed_word("murder"))
+        sim_unrelated = cosine_similarity(model.embed_word("gun"), model.embed_word("garden"))
+        assert sim_related > 0.4
+        assert sim_related > sim_unrelated + 0.3
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(dimensions=4)
+
+    def test_text_embedding_is_mean_of_words(self, model):
+        text_vec = model.embed_text("gun murder")
+        mean_vec = (model.embed_word("gun") + model.embed_word("murder")) / 2
+        assert np.allclose(text_vec, mean_vec)
+
+    def test_empty_text_embeds_to_zero(self, model):
+        assert not model.embed_text("").any()
+
+
+class TestSimilarityAPIs:
+    def test_similarity_between_texts(self, model):
+        assert model.similarity("a violent gunfight", "a murder and an attack") > \
+            model.similarity("a violent gunfight", "a quiet garden walk")
+
+    def test_max_similarity(self, model):
+        score = model.max_similarity(["gun"], ["murder", "garden"])
+        assert score == pytest.approx(
+            cosine_similarity(model.embed_word("gun"), model.embed_word("murder")))
+
+    def test_aggregate_similarity_monotonic_in_matches(self, model):
+        keywords = ["gun", "murder", "attack"]
+        few = model.aggregate_similarity(keywords, ["murder"])
+        many = model.aggregate_similarity(keywords, ["murder", "gun", "attack", "threat"])
+        assert 0.0 <= few <= many <= 1.0
+
+    def test_aggregate_similarity_empty(self, model):
+        assert model.aggregate_similarity([], ["x"]) == 0.0
+        assert model.aggregate_similarity(["x"], []) == 0.0
+
+    def test_match_fraction_density(self, model):
+        keywords = ["gun", "murder", "attack", "threat", "kill"]
+        dense = model.match_fraction(keywords, ["murder", "gun", "attack"])
+        sparse = model.match_fraction(keywords, ["murder", "garden", "tea", "dinner"])
+        assert dense == pytest.approx(1.0)
+        assert sparse == pytest.approx(0.25)
+
+    def test_nearest_ranks_candidates(self, model):
+        ranked = model.nearest("violent gunfight", ["a murder scene", "a tea party"], top_k=2)
+        assert ranked[0][0] == "a murder scene"
+
+    def test_unknown_lexicon_concepts_are_ignored(self):
+        lexicon = default_lexicon()
+        model = EmbeddingModel(lexicon=lexicon)
+        lexicon.add_terms("brand_new_concept", ["gizmo"])
+        # Must not raise even though the concept has no axis.
+        assert model.embed_word("gizmo") is not None
+
+
+class TestCostAccounting:
+    def test_embedding_charges_tokens(self):
+        meter = CostMeter()
+        model = EmbeddingModel(cost_meter=meter)
+        model.embed_text("some text to embed", purpose="unit_test")
+        assert meter.total_tokens > 0
+        assert meter.tokens_for_purpose("unit_test") > 0
+
+    def test_no_meter_no_error(self, model):
+        model.embed_text("no meter attached")

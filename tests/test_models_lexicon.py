@@ -1,0 +1,82 @@
+"""Unit tests for the semantic lexicon."""
+
+from repro.models.lexicon import Concept, DEFAULT_LEXICON, Lexicon, default_lexicon
+
+
+class TestConcept:
+    def test_terms_are_normalized_and_include_name(self):
+        concept = Concept("Danger", {"Gun ", "KNIFE"})
+        assert concept.contains("gun")
+        assert concept.contains("danger")
+        assert not concept.contains("flower")
+
+
+class TestLexiconMembership:
+    def test_default_covers_paper_vocabulary(self):
+        for term in ("gun", "murder", "threat", "kill", "suspicion"):
+            assert "excitement" in DEFAULT_LEXICON.concepts_of_term(term)
+        assert "boring_visual" in DEFAULT_LEXICON.concepts_of_term("plain")
+        assert "subjective" in DEFAULT_LEXICON.concepts_of_term("exciting")
+
+    def test_terms_for_unknown_concept(self):
+        assert DEFAULT_LEXICON.terms_for("nonexistent") == []
+
+    def test_membership_vector(self):
+        vector = DEFAULT_LEXICON.membership_vector("gun")
+        assert vector.get("excitement") == 1.0
+        assert "calm" not in vector
+
+    def test_best_concept(self):
+        assert DEFAULT_LEXICON.best_concept("garden") == "calm"
+        assert DEFAULT_LEXICON.best_concept("qwertyuiop") is None
+
+
+class TestAffinity:
+    def test_identical_terms(self):
+        assert DEFAULT_LEXICON.affinity("gun", "Gun") == 1.0
+
+    def test_same_cluster_terms(self):
+        assert DEFAULT_LEXICON.affinity("gun", "murder") > 0.0
+
+    def test_unrelated_terms(self):
+        assert DEFAULT_LEXICON.affinity("gun", "garden") == 0.0
+
+    def test_unknown_terms(self):
+        assert DEFAULT_LEXICON.affinity("zzz", "gun") == 0.0
+
+
+class TestTextAffinity:
+    def test_exciting_text_scores_higher(self):
+        exciting = "A gunfight, an explosion, and a murder during the chase."
+        calm = "A quiet dinner and a gentle walk in the garden."
+        assert DEFAULT_LEXICON.text_affinity(exciting, "excitement") > \
+            DEFAULT_LEXICON.text_affinity(calm, "excitement")
+
+    def test_empty_text(self):
+        assert DEFAULT_LEXICON.text_affinity("", "excitement") == 0.0
+
+    def test_matching_terms_deduplicated(self):
+        terms = DEFAULT_LEXICON.matching_terms("gun gun murder", "excitement")
+        assert terms == ["gun", "murder"]
+
+    def test_matching_terms_unknown_concept(self):
+        assert DEFAULT_LEXICON.matching_terms("gun", "nonexistent") == []
+
+
+class TestMutation:
+    def test_add_terms_extends_existing_concept(self):
+        lexicon = default_lexicon()
+        lexicon.add_terms("excitement", ["parkour"])
+        assert "excitement" in lexicon.concepts_of_term("parkour")
+        # The shared default lexicon is unaffected.
+        assert "excitement" not in DEFAULT_LEXICON.concepts_of_term("parkour")
+
+    def test_add_terms_creates_new_concept(self):
+        lexicon = Lexicon()
+        lexicon.add_terms("exciting", ["gun", "chase"])
+        assert lexicon.concept("exciting") is not None
+        assert lexicon.concepts_of_term("chase") == ["exciting"]
+
+    def test_concept_names_sorted(self):
+        lexicon = Lexicon([Concept("b"), Concept("a")])
+        assert lexicon.concept_names() == ["a", "b"]

@@ -1,0 +1,148 @@
+"""Unit tests for the simulated LLM (ambiguity, interpretation, judgement)."""
+
+import pytest
+
+from repro.data.workloads import FLAGSHIP_CLARIFICATION, FLAGSHIP_CORRECTION, FLAGSHIP_QUERY
+from repro.models.cost import CostMeter
+from repro.models.lexicon import default_lexicon
+from repro.models.llm import SimulatedLLM
+
+
+@pytest.fixture()
+def llm():
+    return SimulatedLLM(cost_meter=CostMeter(), lexicon=default_lexicon())
+
+
+class TestAmbiguityDetection:
+    def test_flagship_query_flags_exciting_first(self, llm):
+        reports = llm.detect_ambiguity(FLAGSHIP_QUERY)
+        assert reports, "expected at least one ambiguity"
+        assert reports[0].term == "exciting"
+        assert reports[0].priority >= 0.5
+        assert reports[0].question == "What does 'exciting' mean in this context?"
+
+    def test_boring_is_low_priority(self, llm):
+        reports = {r.term: r for r in llm.detect_ambiguity(FLAGSHIP_QUERY)}
+        assert "boring" in reports
+        assert reports["boring"].priority < 0.5
+
+    def test_resolved_terms_not_reported(self, llm):
+        reports = llm.detect_ambiguity(FLAGSHIP_QUERY, resolved_terms=["exciting"])
+        assert all(r.term != "exciting" for r in reports)
+
+    def test_unambiguous_query(self, llm):
+        assert llm.detect_ambiguity("List films released after 2000.") == []
+
+
+class TestKeywordGeneration:
+    def test_keywords_come_from_excitement_cluster(self, llm):
+        keywords = llm.generate_keywords("exciting", FLAGSHIP_CLARIFICATION)
+        assert "gun" in keywords
+        assert len(keywords) == llm.keyword_count
+
+    def test_clarification_terms_surface_first(self, llm):
+        keywords = llm.generate_keywords("exciting", "scenes with a gun fight")
+        assert keywords[0] in ("gun", "fight")
+
+    def test_unknown_concept_falls_back(self, llm):
+        keywords = llm.generate_keywords("quiet peaceful films")
+        assert keywords, "fallback should still produce keywords"
+
+    def test_alternative_interpretations(self, llm):
+        options = llm.alternative_interpretations("exciting")
+        assert len(options) == 3
+        assert any("recent" in o for o in options)
+
+
+class TestQueryInterpretation:
+    def test_flagship_intent(self, llm):
+        intent = llm.interpret_query(FLAGSHIP_QUERY, {"exciting": FLAGSHIP_CLARIFICATION},
+                                     [FLAGSHIP_CORRECTION])
+        assert intent.ranking is True
+        assert intent.include_recency is True
+        assert [s.concept for s in intent.semantic_scores] == ["excitement"]
+        assert [p.concept for p in intent.image_predicates] == ["boring_visual"]
+        assert intent.score_weights == {"excitement_score": 0.7, "recency_score": 0.3}
+
+    def test_flagship_without_correction_has_no_recency(self, llm):
+        intent = llm.interpret_query(FLAGSHIP_QUERY, {"exciting": FLAGSHIP_CLARIFICATION}, [])
+        assert intent.include_recency is False
+        assert intent.score_weights == {"excitement_score": 1.0}
+
+    def test_boring_scoped_to_poster_not_text(self, llm):
+        intent = llm.interpret_query(FLAGSHIP_QUERY)
+        assert all(s.concept != "boring_visual" for s in intent.semantic_scores)
+
+    def test_year_filters(self, llm):
+        after = llm.interpret_query("List films released after 2000 whose plots are exciting.")
+        assert ("year", ">", 2000) in [(f.column, f.op, f.value) for f in after.relational_filters]
+        before = llm.interpret_query("Show films released before 1995 with calm plots.")
+        assert ("year", "<", 1995) in [(f.column, f.op, f.value) for f in before.relational_filters]
+
+    def test_calm_concept(self, llm):
+        intent = llm.interpret_query("Show films with calm, quiet plots.")
+        assert [s.concept for s in intent.semantic_scores] == ["calm"]
+
+    def test_image_only_query(self, llm):
+        intent = llm.interpret_query("Which films have a boring poster?")
+        assert intent.needs_images and not intent.needs_text
+        assert intent.ranking is False
+
+
+class TestDependencyClassification:
+    @pytest.mark.parametrize("description,expected", [
+        ("Join the text view with the movie table", "many_to_many"),
+        ("Sort the films by final score", "many_to_many"),
+        ("Count movies per genre by aggregate", "many_to_one"),
+        ("Assign an excitement score to each film", "one_to_one"),
+        ("Extract entities from each plot, one row per entity", "one_to_many"),
+    ])
+    def test_patterns(self, llm, description, expected):
+        assert llm.classify_dependency_pattern(description) == expected
+
+
+class TestSemanticJudgement:
+    def test_reversed_recency_is_flagged(self, llm):
+        inputs = [{"year": 1990}, {"year": 2020}]
+        outputs = [{"year": 1990, "recency_score": 0.9}, {"year": 2020, "recency_score": 0.1}]
+        ok, hint = llm.judge_output("Assign a recency score based on release year",
+                                    inputs, outputs)
+        assert not ok and "revers" in hint
+
+    def test_correct_recency_accepted(self, llm):
+        outputs = [{"year": 1990, "recency_score": 0.1}, {"year": 2020, "recency_score": 0.9}]
+        ok, _ = llm.judge_output("Assign a recency score", outputs, outputs)
+        assert ok
+
+    def test_constant_scores_flagged(self, llm):
+        outputs = [{"x_score": 0.5}, {"x_score": 0.5}, {"x_score": 0.5}]
+        ok, hint = llm.judge_output("Assign a score", outputs, outputs)
+        assert not ok and "constant" in hint
+
+    def test_out_of_range_scores_flagged(self, llm):
+        outputs = [{"x_score": 3.2}, {"x_score": 0.1}]
+        ok, hint = llm.judge_output("Assign a score", outputs, outputs)
+        assert not ok and "[0, 1]" in hint
+
+    def test_empty_output_flagged(self, llm):
+        ok, hint = llm.judge_output("Do something", [{"a": 1}], [])
+        assert not ok and "no output" in hint
+
+
+class TestGenerationAndCost:
+    def test_render_text_charges_tokens(self, llm):
+        before = llm.cost_meter.total_tokens
+        text = llm.render_text("hello {name}", name="world")
+        assert text == "hello world"
+        assert llm.cost_meter.total_tokens > before
+
+    def test_complete_routes_keywords(self, llm):
+        completion = llm.complete("Please produce a keyword list for exciting movies")
+        assert any(term in completion for term in ("gun", "attack", "chase", "bomb"))
+
+    def test_complete_routes_clarification(self, llm):
+        completion = llm.complete("Is anything ambiguous about: find exciting movies?")
+        assert "exciting" in completion
+
+    def test_complete_fallback(self, llm):
+        assert llm.complete("unrelated request").startswith("Acknowledged")

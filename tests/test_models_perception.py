@@ -1,0 +1,161 @@
+"""Unit tests for the perception models: VLM, NER, detector, OCR."""
+
+import pytest
+
+from repro.data.images import PosterGenerator
+from repro.models.cost import CostMeter
+from repro.models.detector import PixelObjectDetector
+from repro.models.ner import EntityExtractor
+from repro.models.ocr import OCRTextExtractor
+from repro.models.vlm import SimulatedVLM
+
+GUILTY_PLOT = (
+    "Guilty by Suspicion follows David Merrill, a celebrated director accused of disloyalty. "
+    "He is threatened during a brutal interrogation and ordered to name names. "
+    "Merrill becomes a fugitive and a desperate writer dies after the attack."
+)
+
+
+@pytest.fixture()
+def posters():
+    generator = PosterGenerator(seed=3)
+    return {
+        "boring": generator.generate("A Quiet Film", "boring"),
+        "vivid": generator.generate("Explosive Action", "vivid"),
+    }
+
+
+class TestSimulatedVLM:
+    def test_scene_graph_structure(self, posters):
+        vlm = SimulatedVLM(error_rate=0.0)
+        graph = vlm.extract_scene_graph(posters["vivid"])
+        assert len(graph["objects"]) == len(posters["vivid"].objects)
+        for obj in graph["objects"]:
+            assert set(obj) == {"class_name", "bbox", "attributes"}
+        assert 0.0 <= graph["saturation"] <= 1.0
+
+    def test_error_rate_drops_objects(self, posters):
+        noisy = SimulatedVLM(error_rate=1.0)
+        graph = noisy.extract_scene_graph(posters["vivid"])
+        assert graph["objects"] == []
+        assert graph["relationships"] == []
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            SimulatedVLM(error_rate=1.5)
+
+    def test_deterministic_per_image(self, posters):
+        a = SimulatedVLM(seed=1, error_rate=0.2).extract_scene_graph(posters["vivid"])
+        b = SimulatedVLM(seed=1, error_rate=0.2).extract_scene_graph(posters["vivid"])
+        assert a["objects"] == b["objects"]
+
+    def test_boring_question(self, posters):
+        vlm = SimulatedVLM(error_rate=0.0)
+        assert vlm.answer_visual_question(posters["boring"], "Is this poster boring?")["answer"]
+        assert not vlm.answer_visual_question(posters["vivid"], "Is this poster boring?")["answer"]
+
+    def test_vivid_question_inverts(self, posters):
+        vlm = SimulatedVLM(error_rate=0.0)
+        assert vlm.answer_visual_question(posters["vivid"], "Is this poster exciting?")["answer"]
+
+    def test_object_presence_question(self, posters):
+        vlm = SimulatedVLM(error_rate=0.0)
+        class_name = posters["vivid"].objects[0].class_name
+        answer = vlm.answer_visual_question(posters["vivid"], f"Does it contain a {class_name}?")
+        assert answer["answer"] is True
+
+    def test_caption_mentions_objects(self, posters):
+        vlm = SimulatedVLM(error_rate=0.0)
+        caption = vlm.caption(posters["vivid"])
+        assert caption.startswith("A poster showing")
+
+    def test_cost_charged_per_call(self, posters):
+        meter = CostMeter()
+        vlm = SimulatedVLM(cost_meter=meter, error_rate=0.0)
+        vlm.extract_scene_graph(posters["boring"])
+        assert meter.total_tokens >= 420
+
+
+class TestEntityExtractor:
+    def test_person_extraction_and_coref(self):
+        extractor = EntityExtractor()
+        result = extractor.extract(GUILTY_PLOT)
+        persons = result.entities_of_class("person")
+        assert any(p.canonical == "David Merrill" for p in persons)
+        merrill = [p for p in persons if p.canonical == "David Merrill"][0]
+        surfaces = {m.surface for m in merrill.mentions}
+        # The bare surname and at least one pronoun resolve to the same entity.
+        assert "Merrill" in surfaces
+        assert surfaces & {"He", "he", "him", "his"}
+
+    def test_event_extraction(self):
+        result = EntityExtractor().extract(GUILTY_PLOT)
+        events = set(result.event_terms())
+        assert {"accused", "threatened", "interrogation"} & events
+
+    def test_mention_spans_point_into_text(self):
+        result = EntityExtractor().extract(GUILTY_PLOT)
+        for mention in result.mentions:
+            start, end = mention.span
+            assert GUILTY_PLOT[start:end].lower() == mention.surface.lower()
+
+    def test_relationships_link_person_to_events(self):
+        result = EntityExtractor().extract(GUILTY_PLOT)
+        predicates = {r.predicate for r in result.relationships}
+        assert "involved_in" in predicates
+
+    def test_role_attribute(self):
+        result = EntityExtractor().extract(GUILTY_PLOT)
+        roles = [a.value for a in result.attributes if a.key == "role"]
+        assert any("director" in role for role in roles)
+
+    def test_empty_text(self):
+        result = EntityExtractor().extract("")
+        assert result.entities == [] and result.mentions == []
+
+    def test_cost_charged(self):
+        meter = CostMeter()
+        EntityExtractor(cost_meter=meter).extract(GUILTY_PLOT)
+        assert meter.total_tokens > 0
+
+
+class TestPixelObjectDetector:
+    def test_detects_regions_on_vivid_poster(self, posters):
+        detector = PixelObjectDetector()
+        result = detector.detect(posters["vivid"])
+        assert result["objects"], "expected at least one detected region"
+        assert all(obj["class_name"] == "region" for obj in result["objects"])
+
+    def test_statistics_distinguish_styles(self, posters):
+        detector = PixelObjectDetector()
+        boring = detector.detect(posters["boring"])
+        vivid = detector.detect(posters["vivid"])
+        assert vivid["saturation"] > boring["saturation"]
+
+    def test_cost_is_small(self, posters):
+        meter = CostMeter()
+        PixelObjectDetector(cost_meter=meter).detect(posters["boring"])
+        assert 0 < meter.total_tokens < 420
+
+
+class TestOCRTextExtractor:
+    def test_reads_title_without_noise(self, posters):
+        ocr = OCRTextExtractor(error_rate=0.0)
+        result = ocr.extract_text(posters["boring"])
+        assert result["text"] == "A Quiet Film"
+        assert result["confidence"] == 1.0
+
+    def test_noise_garbles_characters(self, posters):
+        ocr = OCRTextExtractor(error_rate=1.0)
+        result = ocr.extract_text(posters["vivid"])
+        assert result["text"] != posters["vivid"].text_overlay
+        assert result["confidence"] < 1.0
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            OCRTextExtractor(error_rate=-0.1)
+
+    def test_deterministic(self, posters):
+        a = OCRTextExtractor(error_rate=0.3, seed=5).extract_text(posters["vivid"])
+        b = OCRTextExtractor(error_rate=0.3, seed=5).extract_text(posters["vivid"])
+        assert a == b

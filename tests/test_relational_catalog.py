@@ -1,0 +1,173 @@
+"""Unit tests for the catalog, storage, views, and indexes."""
+
+import pytest
+
+from repro.errors import DuplicateTableError, StorageError, UnknownTableError
+from repro.relational.catalog import Catalog, TableStats
+from repro.relational.indexes import HashIndex
+from repro.relational.storage import TableStorage
+from repro.relational.table import Table
+from repro.relational.view import MaterializedView, View
+
+
+@pytest.fixture()
+def movies_table():
+    return Table.from_rows("movies", [
+        {"movie_id": 1, "title": "Guilty by Suspicion", "year": 1991},
+        {"movie_id": 2, "title": "Clean and Sober", "year": 1988},
+        {"movie_id": 3, "title": "Clean and Sober", "year": 1988},
+    ])
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, movies_table):
+        catalog = Catalog()
+        entry = catalog.register(movies_table)
+        assert catalog.has_table("MOVIES")
+        assert catalog.table("movies") is movies_table
+        assert entry.stats.row_count == 3
+        assert entry.stats.column_cardinality["title"] == 2
+
+    def test_duplicate_registration(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table)
+        with pytest.raises(DuplicateTableError):
+            catalog.register(movies_table)
+        catalog.register(movies_table, replace=True)  # replace allowed
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Catalog().table("nope")
+
+    def test_unregister(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table)
+        catalog.unregister("movies")
+        assert not catalog.has_table("movies")
+        with pytest.raises(UnknownTableError):
+            catalog.unregister("movies")
+
+    def test_kinds_and_names(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table, kind="base")
+        catalog.register(movies_table.copy("view_t"), kind="view")
+        assert set(catalog.table_names()) == {"movies", "view_t"}
+        assert catalog.table_names(kind="view") == ["view_t"]
+        assert len(catalog) == 2
+
+    def test_refresh_stats(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table)
+        movies_table.insert({"movie_id": 4, "title": "New", "year": 2024})
+        stats = catalog.refresh_stats("movies")
+        assert stats.row_count == 4
+
+    def test_describe_contains_schema_and_samples(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table)
+        description = catalog.describe_table("movies")
+        assert "movie_id: integer" in description
+        assert "sample rows" in description
+        assert "movies" in catalog.describe()
+
+    def test_joinable_columns(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table)
+        plots = Table.from_rows("plots", [{"movie_id": 1, "plot": "x"}])
+        catalog.register(plots)
+        assert catalog.joinable_columns("movies", "plots") == ["movie_id"]
+
+    def test_sample_rows(self, movies_table):
+        catalog = Catalog()
+        catalog.register(movies_table)
+        assert len(catalog.sample_rows("movies", 2)) == 2
+
+
+class TestTableStats:
+    def test_compute(self, movies_table):
+        stats = TableStats.compute(movies_table)
+        assert stats.row_count == 3
+        assert stats.null_fraction["year"] == 0.0
+
+
+class TestStorage:
+    def test_save_load_roundtrip(self, tmp_path, movies_table):
+        storage = TableStorage(tmp_path)
+        path = storage.save(movies_table)
+        assert path.exists()
+        restored = storage.load("movies")
+        assert len(restored) == 3
+        assert restored[0]["title"] == "Guilty by Suspicion"
+
+    def test_exists_delete_list(self, tmp_path, movies_table):
+        storage = TableStorage(tmp_path)
+        storage.save(movies_table)
+        assert storage.exists("movies")
+        assert storage.list_tables() == ["movies"]
+        assert storage.delete("movies") is True
+        assert storage.delete("movies") is False
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            TableStorage(tmp_path).load("ghost")
+
+
+class TestViews:
+    def test_view_computes_on_demand(self, movies_table):
+        view = View("recent", lambda: movies_table.where(lambda r: r["year"] > 1989))
+        computed = view.compute()
+        assert computed.name == "recent"
+        assert len(computed) == 1
+
+    def test_materialized_view_caches(self, movies_table):
+        calls = {"n": 0}
+
+        def populate():
+            calls["n"] += 1
+            return movies_table.copy("cached")
+
+        view = MaterializedView("cached", populate)
+        assert not view.is_populated
+        view.compute()
+        view.compute()
+        assert calls["n"] == 1 and view.is_populated
+
+    def test_materialized_view_refresh_bumps_version(self, movies_table):
+        view = MaterializedView("v", lambda: movies_table.copy("v"), version=1)
+        view.compute()
+        view.refresh(populated_by="populate_scene_graph")
+        assert view.version == 2
+        assert view.populated_by == "populate_scene_graph"
+
+    def test_invalidate(self, movies_table):
+        view = MaterializedView("v", lambda: movies_table.copy("v"))
+        view.compute()
+        view.invalidate()
+        assert not view.is_populated
+
+
+class TestHashIndex:
+    def test_lookup(self, movies_table):
+        index = HashIndex(movies_table, "movie_id")
+        assert index.lookup_one(2)["title"] == "Clean and Sober"
+        assert index.lookup(99) == []
+        assert 1 in index and 99 not in index
+
+    def test_index_tracks_appends(self, movies_table):
+        index = HashIndex(movies_table, "movie_id")
+        movies_table.insert({"movie_id": 9, "title": "New", "year": 2024})
+        assert index.lookup_one(9)["title"] == "New"
+
+    def test_index_rebuild_after_shrink(self, movies_table):
+        index = HashIndex(movies_table, "movie_id")
+        movies_table.delete_where(lambda r: r["movie_id"] == 1)
+        assert index.lookup(1) == []
+
+    def test_unknown_column(self, movies_table):
+        from repro.errors import UnknownColumnError
+        with pytest.raises(UnknownColumnError):
+            HashIndex(movies_table, "bogus")
+
+    def test_duplicate_keys_grouped(self, movies_table):
+        index = HashIndex(movies_table, "title")
+        assert len(index.lookup("Clean and Sober")) == 2

@@ -1,0 +1,182 @@
+"""Unit tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.errors import RelationalError, UnknownColumnError
+from repro.relational.expressions import BinaryOp, col, lit
+from repro.relational.operators import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    Project,
+    Sort,
+    TableScan,
+    aggregate,
+    cross_product,
+    distinct,
+    extend,
+    filter_rows,
+    hash_join,
+    limit,
+    project,
+    rename_columns,
+    sort,
+    union_all,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def movies():
+    return Table.from_rows("movies", [
+        {"movie_id": 1, "title": "Guilty by Suspicion", "year": 1991, "genre": "drama"},
+        {"movie_id": 2, "title": "Clean and Sober", "year": 1988, "genre": "drama"},
+        {"movie_id": 3, "title": "Midnight Circuit", "year": 2019, "genre": "action"},
+        {"movie_id": 4, "title": "Letters to Anna", "year": 1996, "genre": "romance"},
+    ])
+
+
+@pytest.fixture()
+def scores():
+    return Table.from_rows("scores", [
+        {"movie_id": 1, "score": 0.99},
+        {"movie_id": 2, "score": 0.97},
+        {"movie_id": 3, "score": 0.91},
+        {"movie_id": 9, "score": 0.10},
+    ])
+
+
+class TestBasicOperators:
+    def test_filter_rows(self, movies):
+        recent = filter_rows(movies, BinaryOp(">", col("year"), lit(1990)))
+        assert {r["movie_id"] for r in recent} == {1, 3, 4}
+
+    def test_project_and_unknown_column(self, movies):
+        projected = project(movies, ["title", "year"])
+        assert projected.column_names() == ["title", "year"]
+        with pytest.raises(UnknownColumnError):
+            project(movies, ["bogus"])
+
+    def test_extend_adds_computed_column(self, movies):
+        extended = extend(movies, "decade", BinaryOp("-", col("year"),
+                                                     BinaryOp("%", col("year"), lit(10))))
+        assert extended[0]["decade"] == 1990
+        assert "decade" in extended.schema
+
+    def test_rename_columns(self, movies):
+        renamed = rename_columns(movies, {"title": "name"})
+        assert "name" in renamed.schema and "title" not in renamed.schema
+        assert renamed[0]["name"] == "Guilty by Suspicion"
+
+    def test_distinct_subset(self, movies):
+        unique = distinct(movies, ["genre"])
+        assert len(unique) == 3
+
+    def test_sort_multi_key(self, movies):
+        ordered = sort(movies, [("genre", False), ("year", True)])
+        assert [r["movie_id"] for r in ordered] == [3, 1, 2, 4]
+
+    def test_limit_offset(self, movies):
+        assert [r["movie_id"] for r in limit(movies, 2, offset=1)] == [2, 3]
+
+    def test_union_all(self, movies):
+        doubled = union_all(movies, movies)
+        assert len(doubled) == 8
+
+    def test_union_incompatible(self, movies, scores):
+        with pytest.raises(RelationalError):
+            union_all(movies, scores)
+
+    def test_cross_product(self, movies, scores):
+        product = cross_product(movies, scores)
+        assert len(product) == len(movies) * len(scores)
+        assert "movie_id_right" in product.schema
+
+
+class TestHashJoin:
+    def test_inner_join(self, movies, scores):
+        joined = hash_join(movies, scores, "movie_id", "movie_id")
+        assert len(joined) == 3
+        assert joined.schema.has_column("score")
+        assert joined.schema.has_column("movie_id_right")
+
+    def test_left_join_fills_nulls(self, movies, scores):
+        joined = hash_join(movies, scores, "movie_id", "movie_id", how="left")
+        assert len(joined) == 4
+        unmatched = [r for r in joined if r["movie_id"] == 4][0]
+        assert unmatched["score"] is None
+
+    def test_unsupported_join_type(self, movies, scores):
+        with pytest.raises(RelationalError):
+            hash_join(movies, scores, "movie_id", "movie_id", how="full")
+
+    def test_join_skips_null_keys(self, movies):
+        right = Table.from_rows("right", [{"movie_id": None, "extra": 1},
+                                          {"movie_id": 1, "extra": 2}])
+        joined = hash_join(movies, right, "movie_id", "movie_id")
+        assert len(joined) == 1
+
+
+class TestAggregation:
+    def test_group_by_count_avg(self, movies):
+        result = aggregate(movies, ["genre"], [
+            AggregateSpec("count", None, "n"),
+            AggregateSpec("avg", "year", "avg_year"),
+        ])
+        by_genre = {row["genre"]: row for row in result}
+        assert by_genre["drama"]["n"] == 2
+        assert by_genre["drama"]["avg_year"] == pytest.approx(1989.5)
+
+    def test_global_aggregation(self, movies):
+        result = aggregate(movies, [], [AggregateSpec("max", "year", "latest"),
+                                        AggregateSpec("min", "year", "earliest"),
+                                        AggregateSpec("sum", "movie_id", "id_sum")])
+        assert len(result) == 1
+        assert result[0]["latest"] == 2019 and result[0]["earliest"] == 1988
+        assert result[0]["id_sum"] == 10
+
+    def test_collect_aggregate(self, movies):
+        result = aggregate(movies, ["genre"], [AggregateSpec("collect", "title", "titles")])
+        drama = [r for r in result if r["genre"] == "drama"][0]
+        assert sorted(drama["titles"]) == ["Clean and Sober", "Guilty by Suspicion"]
+
+    def test_aggregate_over_nulls(self):
+        table = Table.from_rows("t", [{"g": 1, "v": None}, {"g": 1, "v": 2}])
+        result = aggregate(table, ["g"], [AggregateSpec("count", "v", "n"),
+                                          AggregateSpec("avg", "v", "a")])
+        assert result[0]["n"] == 1 and result[0]["a"] == 2.0
+
+    def test_unknown_aggregate(self, movies):
+        with pytest.raises(RelationalError):
+            aggregate(movies, [], [AggregateSpec("median", "year", "m")])
+
+    def test_global_aggregation_on_empty_table(self, movies):
+        empty = movies.empty_like("empty")
+        result = aggregate(empty, [], [AggregateSpec("count", None, "n")])
+        assert result[0]["n"] == 0
+
+
+class TestOperatorTree:
+    def test_composed_tree(self, movies, scores):
+        tree = Limit(
+            Sort(
+                Project(
+                    HashJoin(TableScan(movies), TableScan(scores), "movie_id", "movie_id"),
+                    ["title", "score"]),
+                [("score", True)]),
+            2)
+        result = tree.execute()
+        assert [r["title"] for r in result] == ["Guilty by Suspicion", "Clean and Sober"]
+
+    def test_explain_tree_renders_children(self, movies):
+        tree = Distinct(Filter(TableScan(movies), BinaryOp(">", col("year"), lit(1990))))
+        text = tree.explain_tree()
+        assert "Distinct" in text and "Filter" in text and "Scan(movies" in text
+
+    def test_aggregate_node(self, movies):
+        node = Aggregate(TableScan(movies), ["genre"], [AggregateSpec("count", None, "n")])
+        assert len(node.execute()) == 3
+        assert "group_by=[genre]" in node.describe()

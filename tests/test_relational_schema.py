@@ -1,0 +1,118 @@
+"""Unit tests for schemas and columns."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+
+
+class TestColumn:
+    def test_string_type_is_normalized(self):
+        column = Column("year", "integer")
+        assert column.data_type is DataType.INTEGER
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+
+    def test_validate_nullable(self):
+        assert Column("x", DataType.TEXT).validate(None) is None
+
+    def test_validate_not_nullable(self):
+        with pytest.raises(SchemaError):
+            Column("x", DataType.TEXT, nullable=False).validate(None)
+
+    def test_roundtrip_dict(self):
+        column = Column("score", DataType.FLOAT, nullable=False, description="a score")
+        assert Column.from_dict(column.to_dict()) == column
+
+
+class TestSchemaConstruction:
+    def test_of_pairs(self):
+        schema = Schema.of(("title", "text"), ("year", "int"))
+        assert schema.column_names() == ["title", "year"]
+        assert schema.column("year").data_type is DataType.INTEGER
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", "int"), ("A", "text"))
+
+    def test_infer_from_rows(self):
+        schema = Schema.infer([
+            {"title": None, "year": 1991},
+            {"title": "x", "year": 1988, "score": 0.5},
+        ])
+        assert schema.column("title").data_type is DataType.TEXT
+        assert schema.column("year").data_type is DataType.INTEGER
+        assert schema.column("score").data_type is DataType.FLOAT
+
+
+class TestSchemaLookups:
+    def setup_method(self):
+        self.schema = Schema.of(("title", "text"), ("year", "int"), ("score", "float"))
+
+    def test_case_insensitive_lookup(self):
+        assert self.schema.column("TITLE").name == "title"
+        assert self.schema.has_column("Year")
+        assert "score" in self.schema
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            self.schema.column("missing")
+
+    def test_index_of(self):
+        assert self.schema.index_of("year") == 1
+
+    def test_len_and_iter(self):
+        assert len(self.schema) == 3
+        assert [c.name for c in self.schema] == ["title", "year", "score"]
+
+
+class TestSchemaTransformations:
+    def setup_method(self):
+        self.schema = Schema.of(("title", "text"), ("year", "int"), ("score", "float"))
+
+    def test_project_reorders(self):
+        assert self.schema.project(["score", "title"]).column_names() == ["score", "title"]
+
+    def test_rename(self):
+        renamed = self.schema.rename({"title": "name"})
+        assert renamed.column_names() == ["name", "year", "score"]
+
+    def test_add_and_drop(self):
+        extended = self.schema.add(Column("flag", DataType.BOOLEAN))
+        assert "flag" in extended
+        assert "year" not in extended.drop(["year"])
+
+    def test_merge_disambiguates_collisions(self):
+        other = Schema.of(("title", "text"), ("plot", "text"))
+        merged = self.schema.merge(other)
+        assert merged.column_names() == ["title", "year", "score", "title_right", "plot"]
+
+    def test_equality_by_names_and_types(self):
+        same = Schema.of(("title", "text"), ("year", "int"), ("score", "float"))
+        assert self.schema == same
+        assert self.schema != Schema.of(("title", "text"))
+
+
+class TestValidateRow:
+    def setup_method(self):
+        self.schema = Schema.of(("title", "text", False), ("year", "int"))
+
+    def test_coerces_and_fills_missing(self):
+        row = self.schema.validate_row({"title": "x"})
+        assert row == {"title": "x", "year": None}
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SchemaError):
+            self.schema.validate_row({"title": "x", "bogus": 1})
+
+    def test_case_insensitive_keys(self):
+        row = self.schema.validate_row({"TITLE": "x", "Year": "1991"})
+        assert row["title"] == "x" and row["year"] == 1991
+
+    def test_describe_mentions_types(self):
+        description = self.schema.describe()
+        assert "title TEXT NOT NULL" in description
+        assert "year INTEGER NULL" in description

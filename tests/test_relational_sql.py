@@ -1,0 +1,136 @@
+"""Unit tests for the mini-SQL front end."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.relational.sql import execute_sql, parse_sql, tokenize_sql
+
+
+class TestTokenizer:
+    def test_tokenizes_keywords_and_literals(self):
+        tokens = tokenize_sql("SELECT title FROM movies WHERE year >= 1990")
+        kinds = [t.kind for t in tokens]
+        assert kinds.count("keyword") >= 3
+        assert any(t.kind == "op" and t.value == ">=" for t in tokens)
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize_sql("SELECT 'it''s'")
+        assert tokens[-1].kind == "string"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("SELECT @x")
+
+
+class TestParser:
+    def test_basic_select(self):
+        statement = parse_sql("SELECT title, year FROM movies")
+        assert statement.from_table == "movies"
+        assert len(statement.items) == 2
+
+    def test_star_select(self):
+        assert parse_sql("SELECT * FROM movies").items[0].star is True
+
+    def test_where_and_order_limit(self):
+        statement = parse_sql(
+            "SELECT title FROM movies WHERE year > 1980 AND score >= 0.5 "
+            "ORDER BY score DESC, title LIMIT 3 OFFSET 1")
+        assert statement.where is not None
+        assert statement.order_by == [("score", True), ("title", False)]
+        assert statement.limit == 3 and statement.offset == 1
+
+    def test_join_clause(self):
+        statement = parse_sql(
+            "SELECT title FROM movies JOIN plots ON movies.movie_id = plots.movie_id")
+        assert statement.joins[0].table == "plots"
+        assert statement.joins[0].left_key == "movie_id"
+
+    def test_left_join(self):
+        statement = parse_sql(
+            "SELECT title FROM movies LEFT JOIN plots ON movie_id = movie_id")
+        assert statement.joins[0].how == "left"
+
+    def test_aggregates_and_group_by(self):
+        statement = parse_sql("SELECT genre, count(*) AS n, avg(score) FROM movies GROUP BY genre")
+        aggregates = [item.aggregate for item in statement.items if item.aggregate]
+        assert len(aggregates) == 2
+        assert statement.group_by == ["genre"]
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT title")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT title FROM movies garbage garbage")
+
+    def test_empty_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("   ")
+
+
+class TestExecution:
+    def test_filter_order_limit(self, small_catalog):
+        result = execute_sql(
+            "SELECT title, year FROM movies WHERE year > 1980 ORDER BY score DESC LIMIT 2",
+            small_catalog)
+        assert [r["title"] for r in result] == ["Guilty by Suspicion", "Clean and Sober"]
+
+    def test_join_execution(self, small_catalog):
+        result = execute_sql(
+            "SELECT title, plot FROM movies JOIN plots ON movies.movie_id = plots.movie_id "
+            "ORDER BY title", small_catalog)
+        assert len(result) == 3
+        assert result[0]["plot"]
+
+    def test_left_join_execution(self, small_catalog):
+        result = execute_sql(
+            "SELECT title, plot FROM movies LEFT JOIN plots ON movie_id = movie_id", small_catalog)
+        assert len(result) == 4
+        missing = [r for r in result if r["title"] == "Quiet Days"][0]
+        assert missing["plot"] is None
+
+    def test_group_by_execution(self, small_catalog):
+        result = execute_sql("SELECT year, count(*) AS n FROM movies GROUP BY year ORDER BY year",
+                             small_catalog)
+        assert [r["year"] for r in result] == [1950, 1988, 1991, 2003]
+        assert all(r["n"] == 1 for r in result)
+
+    def test_global_aggregate(self, small_catalog):
+        result = execute_sql("SELECT count(*) AS n, avg(score) AS s FROM movies", small_catalog)
+        assert result[0]["n"] == 4
+        assert result[0]["s"] == pytest.approx((0.99 + 0.97 + 0.2) / 3)
+
+    def test_like_and_in(self, small_catalog):
+        like = execute_sql("SELECT title FROM movies WHERE title LIKE '%suspicion%'", small_catalog)
+        assert len(like) == 1
+        in_list = execute_sql("SELECT title FROM movies WHERE year IN (1988, 1950)", small_catalog)
+        assert len(in_list) == 2
+
+    def test_is_null(self, small_catalog):
+        result = execute_sql("SELECT title FROM movies WHERE score IS NULL", small_catalog)
+        assert [r["title"] for r in result] == ["Quiet Days"]
+
+    def test_computed_column_with_alias(self, small_catalog):
+        result = execute_sql("SELECT title, score * 100 AS pct FROM movies "
+                             "WHERE score IS NOT NULL ORDER BY pct DESC", small_catalog)
+        assert result[0]["pct"] == pytest.approx(99.0)
+        assert result.column_names() == ["title", "pct"]
+
+    def test_distinct(self, small_catalog):
+        result = execute_sql("SELECT DISTINCT year FROM movies WHERE year > 1900", small_catalog)
+        assert len(result) == 4
+
+    def test_order_by_unselected_column(self, small_catalog):
+        result = execute_sql("SELECT title FROM movies ORDER BY year", small_catalog)
+        assert result.column_names() == ["title"]
+        assert result[0]["title"] == "Old Film"
+
+    def test_result_name_override(self, small_catalog):
+        result = execute_sql("SELECT title FROM movies", small_catalog, result_name="renamed")
+        assert result.name == "renamed"
+
+    def test_scalar_function_in_select(self, small_catalog):
+        result = execute_sql("SELECT upper(title) AS shout FROM movies ORDER BY shout LIMIT 1",
+                             small_catalog)
+        assert result[0]["shout"] == "CLEAN AND SOBER"

@@ -1,0 +1,95 @@
+"""Unit tests for relational data types and value coercion."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType, coerce_value, compare_values, is_compatible
+
+
+class TestDataType:
+    def test_from_string_aliases(self):
+        assert DataType.from_string("int") is DataType.INTEGER
+        assert DataType.from_string("VARCHAR") is DataType.TEXT
+        assert DataType.from_string("double") is DataType.FLOAT
+        assert DataType.from_string("bool") is DataType.BOOLEAN
+        assert DataType.from_string("bytes") is DataType.BLOB
+        assert DataType.from_string("object") is DataType.JSON
+
+    def test_from_string_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            DataType.from_string("uuid")
+
+    def test_infer(self):
+        assert DataType.infer(True) is DataType.BOOLEAN
+        assert DataType.infer(3) is DataType.INTEGER
+        assert DataType.infer(3.5) is DataType.FLOAT
+        assert DataType.infer("x") is DataType.TEXT
+        assert DataType.infer(b"x") is DataType.BLOB
+        assert DataType.infer([1, 2]) is DataType.JSON
+
+
+class TestCoerceValue:
+    def test_none_passes_through(self):
+        for data_type in DataType:
+            assert coerce_value(None, data_type) is None
+
+    def test_integer_coercion(self):
+        assert coerce_value("7", DataType.INTEGER) == 7
+        assert coerce_value(True, DataType.INTEGER) == 1
+
+    def test_integer_strict_rejects_string(self):
+        with pytest.raises(SchemaError):
+            coerce_value("7", DataType.INTEGER, strict=True)
+
+    def test_integer_bad_value_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value("abc", DataType.INTEGER)
+
+    def test_float_coercion(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+        assert coerce_value("2.5", DataType.FLOAT) == 2.5
+
+    def test_text_coercion(self):
+        assert coerce_value(42, DataType.TEXT) == "42"
+
+    def test_boolean_from_strings(self):
+        assert coerce_value("true", DataType.BOOLEAN) is True
+        assert coerce_value("No", DataType.BOOLEAN) is False
+
+    def test_boolean_bad_string_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value("maybe", DataType.BOOLEAN)
+
+    def test_json_and_blob_pass_through(self):
+        payload = {"a": [1, 2]}
+        assert coerce_value(payload, DataType.JSON) is payload
+        blob = object()
+        assert coerce_value(blob, DataType.BLOB) is blob
+
+
+class TestIsCompatible:
+    def test_compatible_values(self):
+        assert is_compatible(None, DataType.INTEGER)
+        assert is_compatible(5, DataType.INTEGER)
+        assert is_compatible("x", DataType.TEXT)
+
+    def test_incompatible_value(self):
+        assert not is_compatible("five", DataType.INTEGER)
+
+
+class TestCompareValues:
+    def test_none_sorts_first(self):
+        assert compare_values(None, 1) == -1
+        assert compare_values(1, None) == 1
+        assert compare_values(None, None) == 0
+
+    def test_numeric_ordering(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2.5, 2.5) == 0
+        assert compare_values(3, 2) == 1
+
+    def test_mixed_bool_int(self):
+        assert compare_values(True, 1) == 0
+
+    def test_incomparable_returns_none(self):
+        assert compare_values("a", {"b": 1}) is None

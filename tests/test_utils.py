@@ -1,0 +1,125 @@
+"""Unit tests for repro.utils (seeding, text helpers, timer)."""
+
+import time
+
+import pytest
+
+from repro.utils.seed import SeededRNG, stable_hash
+from repro.utils.text import (
+    content_words,
+    estimate_tokens,
+    join_names,
+    normalize,
+    sentences,
+    snake_case,
+    tokenize,
+    truncate,
+)
+from repro.utils.timer import Timer
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_differs_for_different_inputs(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_respects_bit_width(self):
+        assert stable_hash("anything", bits=16) < (1 << 16)
+
+
+class TestSeededRNG:
+    def test_same_seed_same_sequence(self):
+        a = SeededRNG("seed")
+        b = SeededRNG("seed")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic_and_distinct(self):
+        base = SeededRNG("seed")
+        fork_a = base.fork("x")
+        fork_b = SeededRNG("seed").fork("x")
+        fork_c = base.fork("y")
+        assert fork_a.random() == fork_b.random()
+        assert fork_a.seed != fork_c.seed
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeededRNG(1).choice([])
+
+    def test_sample_caps_at_population(self):
+        assert sorted(SeededRNG(1).sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_randint_bounds(self):
+        rng = SeededRNG(3)
+        values = [rng.randint(2, 4) for _ in range(50)]
+        assert set(values) <= {2, 3, 4}
+
+    def test_chance_extremes(self):
+        rng = SeededRNG(5)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_shuffle_returns_permutation(self):
+        rng = SeededRNG(9)
+        items = list(range(10))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # original untouched
+
+
+class TestTextHelpers:
+    def test_tokenize_strips_quotes(self):
+        assert tokenize("the poster should be 'boring'")[-1] == "boring"
+
+    def test_tokenize_keeps_inner_apostrophe(self):
+        assert "don't" in tokenize("don't stop")
+
+    def test_content_words_drop_stopwords(self):
+        words = content_words("the man with the gun is here")
+        assert "the" not in words and "gun" in words
+
+    def test_normalize_collapses_whitespace(self):
+        assert normalize("  Hello   World  ") == "hello world"
+
+    def test_truncate_short_text_unchanged(self):
+        assert truncate("short", 10) == "short"
+
+    def test_truncate_long_text(self):
+        result = truncate("x" * 50, 10)
+        assert len(result) == 10 and result.endswith("...")
+
+    def test_sentences_split(self):
+        assert len(sentences("One. Two! Three?")) == 3
+
+    def test_snake_case(self):
+        assert snake_case("Classify Boring Posters!") == "classify_boring_posters"
+
+    def test_join_names(self):
+        assert join_names(["a"]) == "a"
+        assert join_names(["a", "b", "c"]) == "a, b and c"
+        assert join_names([]) == ""
+
+    def test_estimate_tokens_floor(self):
+        assert estimate_tokens("") == 0
+        assert estimate_tokens("hi") == 1
+        assert estimate_tokens("x" * 400) == 100
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.001)
+        assert timer.elapsed > 0.0
+        assert not timer.running
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_elapsed_while_running(self):
+        timer = Timer()
+        timer.start()
+        assert timer.running
+        assert timer.elapsed >= 0.0
+        timer.stop()
