@@ -1,0 +1,151 @@
+"""Concurrency benchmark: serial vs. worker-pool batch throughput.
+
+Measures the payoff of the Session/Service redesign on the movie workload:
+the same batch of flagship-style requests is served once with ``jobs=1``
+(serial) and once with ``jobs=4`` (worker threads), with the prepared-query
+cache warm in both arms so the comparison isolates *execution* throughput.
+
+Simulated model calls sleep their synthetic latency
+(``simulate_model_latency``), exactly like the network wait of a hosted
+model, so the worker pool has something real to overlap — without it every
+query is a few milliseconds of pure Python and thread workers cannot help.
+
+Results (queries/sec, total tokens, speedup, a row-identity check between
+the two arms) are written to ``BENCH_concurrency.json`` next to this file so
+later PRs have a perf trajectory to beat.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent_sessions.py [--quick]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_concurrent_sessions.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro import (
+    KathDBConfig,
+    KathDBService,
+    QueryRequest,
+    ScriptedUser,
+)
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_CORRECTION,
+    FLAGSHIP_QUERY,
+)
+from repro.data.mmqa import build_movie_corpus
+from repro.utils.timer import Timer
+
+RESULT_PATH = Path(__file__).parent / "BENCH_concurrency.json"
+#: Sleep each model call's synthetic latency times this factor.  At 1x the
+#: flagship execution (per-row VLM scoring) waits ~0.8 s per query — enough
+#: to dominate the few ms of Python, exactly as a hosted model call would.
+LATENCY_SCALE = 1.0
+
+
+def make_requests(count: int) -> List[QueryRequest]:
+    """``count`` flagship requests, each with its own scripted user."""
+    return [QueryRequest(nl_query=FLAGSHIP_QUERY,
+                         user=ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION},
+                                           [FLAGSHIP_CORRECTION]))
+            for _ in range(count)]
+
+
+def run_benchmark(corpus_size: int = 20, requests: int = 8, jobs: int = 4,
+                  latency_scale: float = LATENCY_SCALE) -> Dict:
+    """Serve the batch serially and concurrently; return the recorded metrics."""
+    service = KathDBService(KathDBConfig(seed=7, monitor_enabled=False,
+                                         explore_variants=False,
+                                         simulate_model_latency=latency_scale))
+    service.load_corpus(build_movie_corpus(size=corpus_size, seed=7))
+
+    # Warm the prepared cache so both arms measure execution, not compilation.
+    warmup = service.query_batch(make_requests(1), jobs=1)[0]
+    assert warmup.ok, warmup.error
+
+    serial_timer = Timer()
+    with serial_timer:
+        serial = service.query_batch(make_requests(requests), jobs=1)
+    parallel_timer = Timer()
+    with parallel_timer:
+        parallel = service.query_batch(make_requests(requests), jobs=jobs)
+
+    assert all(r.ok for r in serial + parallel)
+    identical = all(s.result.rows() == p.result.rows()
+                    for s, p in zip(serial, parallel))
+
+    serial_qps = requests / max(serial_timer.elapsed, 1e-9)
+    parallel_qps = requests / max(parallel_timer.elapsed, 1e-9)
+    record = {
+        "workload": "flagship query, movie corpus",
+        "corpus_size": corpus_size,
+        "requests": requests,
+        "jobs": jobs,
+        "latency_scale": latency_scale,
+        "serial_s": round(serial_timer.elapsed, 4),
+        "parallel_s": round(parallel_timer.elapsed, 4),
+        "serial_qps": round(serial_qps, 3),
+        "parallel_qps": round(parallel_qps, 3),
+        "speedup": round(parallel_qps / serial_qps, 3),
+        "serial_tokens": sum(r.total_tokens for r in serial),
+        "parallel_tokens": sum(r.total_tokens for r in parallel),
+        "prepared_cache": service.prepared_stats(),
+        "row_identical": identical,
+    }
+    service.shutdown()
+    return record
+
+
+def save(record: Dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def report(record: Dict) -> str:
+    return (f"[concurrency] {record['requests']} requests: "
+            f"serial {record['serial_s']:.2f} s ({record['serial_qps']:.2f} q/s) vs "
+            f"{record['jobs']} workers {record['parallel_s']:.2f} s "
+            f"({record['parallel_qps']:.2f} q/s) -> {record['speedup']:.2f}x, "
+            f"row-identical={record['row_identical']}")
+
+
+def test_concurrent_batch_is_faster_and_identical():
+    """4-worker batches must be >= 2x serial throughput with identical rows."""
+    record = run_benchmark()
+    save(record)
+    print("\n" + report(record))
+    assert record["row_identical"], "parallel batch must match serial rows"
+    assert record["speedup"] >= 2.0, f"expected >= 2x, got {record['speedup']:.2f}x"
+    assert record["parallel_tokens"] == record["serial_tokens"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=20, help="corpus size")
+    parser.add_argument("--requests", type=int, default=8, help="batch size")
+    parser.add_argument("--jobs", type=int, default=4, help="worker threads")
+    parser.add_argument("--scale", type=float, default=LATENCY_SCALE,
+                        help="simulated model latency scale")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus and batch (CI smoke run)")
+    args = parser.parse_args()
+    if args.quick:
+        args.size, args.requests = 12, 4
+    record = run_benchmark(corpus_size=args.size, requests=args.requests,
+                           jobs=args.jobs, latency_scale=args.scale)
+    save(record)
+    print(report(record))
+    print(f"wrote {RESULT_PATH}")
+    ok = record["row_identical"] and record["speedup"] >= 2.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,17 +22,29 @@ Quick start::
     print(result.final_table.pretty())
 """
 
+from repro.api import (
+    KathDBService,
+    QueryOptions,
+    QueryRequest,
+    QueryResponse,
+    Session,
+)
 from repro.core.config import KathDBConfig
 from repro.core.kathdb import KathDB
 from repro.data.mmqa import MovieCorpus, build_movie_corpus
 from repro.data.workloads import Workload, build_default_workload
 from repro.interaction.user import ConsoleUser, ScriptedUser, SilentUser
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "KathDB",
     "KathDBConfig",
+    "KathDBService",
+    "Session",
+    "QueryOptions",
+    "QueryRequest",
+    "QueryResponse",
     "MovieCorpus",
     "build_movie_corpus",
     "Workload",

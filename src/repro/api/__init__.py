@@ -1,0 +1,37 @@
+"""The layered public API: Session → Service → Engine.
+
+This package is the concurrency-safe face of the reproduction:
+
+* :class:`~repro.api.service.KathDBService` owns the shared read-only core
+  (catalog, model suite, function registry, prepared-query cache) and a
+  worker pool for batches;
+* :class:`~repro.api.session.Session` owns one caller's mutable state
+  (intermediates namespace, transcript, lineage scope, cost ledger);
+* :class:`~repro.api.request.QueryRequest` / ``QueryResponse`` are the
+  structured envelopes that replace ad-hoc keyword arguments.
+
+The legacy :class:`~repro.core.kathdb.KathDB` facade remains as a thin
+wrapper over a single default session.
+"""
+
+from repro.api.prepared import (
+    PreparedQuery,
+    PreparedQueryCache,
+    normalize_query,
+    prepared_key,
+)
+from repro.api.request import QueryOptions, QueryRequest, QueryResponse
+from repro.api.service import KathDBService
+from repro.api.session import Session
+
+__all__ = [
+    "KathDBService",
+    "Session",
+    "QueryOptions",
+    "QueryRequest",
+    "QueryResponse",
+    "PreparedQuery",
+    "PreparedQueryCache",
+    "normalize_query",
+    "prepared_key",
+]

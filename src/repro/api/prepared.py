@@ -1,0 +1,173 @@
+"""Prepared queries: parse + optimize once, execute many.
+
+Parsing and optimizing dominate a query's token budget (agent calls for
+ambiguity detection, sketch generation, plan writing/verification, candidate
+profiling); execution of the chosen relational implementations is
+comparatively cheap.  The cache therefore stores the *compiled* artifact — the
+physical plan plus the parse outcome — keyed on:
+
+* the normalized NL text,
+* the catalog fingerprint (schema/kind/row-count digest),
+* the user's interaction fingerprint (two users with the same clarification
+  script steer parsing identically; a console user is uncacheable), and
+* the session lexicon's fingerprint (clarifications mutate a session's
+  private lexicon, and the lexicon steers parsing — diverged sessions must
+  not share plans).
+
+Entries are immutable: executions run on :meth:`PhysicalPlan.clone` copies,
+so one run's on-the-fly repairs never leak into the cached plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.optimizer.optimizer import OptimizationReport
+from repro.optimizer.physical_plan import PhysicalPlan
+from repro.parser.logical_plan import LogicalPlan
+from repro.parser.nl_parser import ParseOutcome
+from repro.parser.plan_verifier import VerificationReport
+from repro.utils.text import normalize
+
+PreparedKey = Tuple[str, str, str, str]
+
+
+def normalize_query(nl_query: str) -> str:
+    """Canonical cache form of an NL query: lowercased, whitespace-collapsed,
+    trailing sentence punctuation stripped."""
+    return normalize(nl_query).strip().rstrip(".!?").strip()
+
+
+def prepared_key(nl_query: str, catalog_fingerprint: str,
+                 user_fingerprint: str, lexicon_fingerprint: str = "") -> PreparedKey:
+    """The full cache key for one (query, catalog, user-script, lexicon)
+    combination.
+
+    Function-version pins are deliberately *not* part of the key: compilation
+    never reads them (they are applied to the per-execution plan clone), so
+    pinned and unpinned requests share one compiled artifact.
+    """
+    return (normalize_query(nl_query), catalog_fingerprint, user_fingerprint,
+            lexicon_fingerprint)
+
+
+@dataclass
+class PreparedQuery:
+    """One compiled query: everything produced before execution."""
+
+    key: PreparedKey
+    nl_query: str
+    parse_outcome: ParseOutcome
+    logical_plan: LogicalPlan
+    verification: VerificationReport
+    physical_plan: PhysicalPlan
+    optimization: OptimizationReport
+    prepare_tokens: int = 0
+    hits: int = 0
+
+    def instantiate(self) -> PhysicalPlan:
+        """A fresh executable copy of the cached plan."""
+        return self.physical_plan.clone()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for observability."""
+
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "uncacheable": self.uncacheable, "evictions": self.evictions}
+
+
+class PreparedQueryCache:
+    """A thread-safe LRU cache of :class:`PreparedQuery` entries.
+
+    :meth:`get_or_build` serializes concurrent preparations of the *same* key
+    behind a per-key lock (the first caller compiles, the rest reuse) while
+    different keys prepare in parallel.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[PreparedKey, PreparedQuery]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks: Dict[PreparedKey, threading.Lock] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: PreparedKey) -> Optional[PreparedQuery]:
+        """Look one entry up, bumping its LRU position on a hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.stats.hits += 1
+            return entry
+
+    def put(self, entry: PreparedQuery) -> None:
+        """Insert one entry, evicting the least recently used beyond capacity."""
+        with self._lock:
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_build(self, key: PreparedKey,
+                     build: Callable[[], PreparedQuery]) -> Tuple[PreparedQuery, bool]:
+        """Return ``(entry, hit)``; ``build`` runs at most once per key at a time."""
+        entry = self.get(key)
+        if entry is not None:
+            return entry, True
+        with self._lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        try:
+            with key_lock:
+                entry = self.get(key)
+                if entry is not None:
+                    return entry, True
+                with self._lock:
+                    self.stats.misses += 1
+                entry = build()
+                self.put(entry)
+        finally:
+            # Always release the per-key lock slot, even when build() raises
+            # (e.g. plan verification fails) — otherwise failing keys leak one
+            # lock object apiece for the life of the service.
+            with self._lock:
+                self._key_locks.pop(key, None)
+        return entry, False
+
+    def note_uncacheable(self) -> None:
+        """Count one request that could not use the cache (locked)."""
+        with self._lock:
+            self.stats.uncacheable += 1
+
+    def clear(self) -> None:
+        """Drop every cached plan (e.g. after the catalog changed)."""
+        with self._lock:
+            self._entries.clear()
+
+    def describe(self) -> str:
+        """A short human-readable summary."""
+        stats = self.stats.as_dict()
+        with self._lock:
+            entries = list(self._entries.values())
+        lines = [f"prepared-query cache: {len(entries)}/{self.capacity} entries, "
+                 + ", ".join(f"{k}={v}" for k, v in stats.items())]
+        for entry in entries:
+            lines.append(f"  {entry.key[0][:60]!r}: {entry.hits} hit(s), "
+                         f"{len(entry.physical_plan)} operators")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Structured request/response types for the service layer.
+
+These replace the ad-hoc keyword arguments of the original ``KathDB.query``
+facade: a :class:`QueryRequest` carries everything one query needs (the NL
+text, the user agent, per-query options), and a :class:`QueryResponse` wraps
+the :class:`~repro.executor.result.QueryResult` with service-level metadata
+(session id, prepared-cache outcome, token split, wall-clock, optional
+explanations) so batch callers never have to touch shared facade state like
+``last_result``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.executor.result import QueryResult
+from repro.interaction.channel import Transcript
+from repro.interaction.user import UserAgent
+
+
+@dataclass
+class QueryOptions:
+    """Per-query knobs carried by a :class:`QueryRequest`.
+
+    ``function_versions`` pins generated-function versions (name -> version
+    id), the request/response equivalent of ``KathDB.rerun_with_versions``.
+    """
+
+    use_prepared: bool = True        # reuse / populate the prepared-query cache
+    explain: bool = False            # attach the coarse pipeline explanation
+    explain_top: bool = False        # attach the top result tuple's explanation
+    max_plan_rounds: int = 3         # plan writer/verifier revision budget
+    function_versions: Dict[str, int] = field(default_factory=dict)
+    tag: Optional[str] = None        # free-form caller tag, echoed back
+
+
+@dataclass
+class QueryRequest:
+    """One natural-language query, addressed to a session or a service."""
+
+    nl_query: str
+    user: Optional[UserAgent] = None
+    options: QueryOptions = field(default_factory=QueryOptions)
+    # A caller-supplied transcript to append this query's interactions to;
+    # None means the session's own transcript is used.
+    transcript: Optional[Transcript] = None
+
+
+@dataclass
+class QueryResponse:
+    """The service's answer to one :class:`QueryRequest`."""
+
+    request: QueryRequest
+    result: Optional[QueryResult]
+    session_id: str = ""
+    ok: bool = True
+    error: Optional[str] = None
+    prepared_hit: bool = False       # the plan came from the prepared cache
+    prepare_tokens: int = 0          # tokens spent parsing + optimizing (0 on a hit)
+    execute_tokens: int = 0          # tokens spent executing the plan
+    wall_clock_s: float = 0.0
+    explanation: Optional[str] = None
+    top_explanation: Optional[str] = None
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens this request actually cost (prepare + execute)."""
+        return self.prepare_tokens + self.execute_tokens
+
+    def raise_for_error(self) -> "QueryResponse":
+        """Re-raise the captured failure, if any; returns self otherwise."""
+        if not self.ok:
+            raise RuntimeError(f"query {self.request.nl_query!r} failed: {self.error}")
+        return self
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI batch mode."""
+        if not self.ok:
+            return f"[{self.session_id}] ERROR: {self.error}"
+        rows = len(self.result.final_table) if self.result is not None else 0
+        hit = " (prepared)" if self.prepared_hit else ""
+        return (f"[{self.session_id}] {rows} rows, {self.total_tokens} tokens, "
+                f"{self.wall_clock_s * 1000:.1f} ms{hit}")

@@ -1,0 +1,204 @@
+"""The request/response service layer: shared core + concurrent sessions.
+
+:class:`KathDBService` owns the expensive shared state exactly once — the
+simulated model suite, the populated catalog with its multimodal views, the
+lineage of the loaded corpus, the versioned function registry, and the
+prepared-query cache — and hands out cheap isolated :class:`Session` objects.
+Queries are submitted as :class:`QueryRequest` values and answered with
+:class:`QueryResponse` values, either one at a time (:meth:`query`),
+fire-and-forget (:meth:`submit` / :meth:`gather`), or as a batch over a
+worker thread pool (:meth:`query_batch`).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import itertools
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.api.prepared import PreparedQueryCache
+from repro.api.request import QueryOptions, QueryRequest, QueryResponse
+from repro.api.session import Session
+from repro.core.config import KathDBConfig
+from repro.data.mmqa import MovieCorpus
+from repro.datamodel.lineage import LineageStore
+from repro.datamodel.views import PopulationReport, ViewPopulator
+from repro.fao.registry import FunctionRegistry
+from repro.interaction.user import UserAgent
+from repro.models.base import ModelSuite
+from repro.models.cost import CostMeter
+from repro.optimizer.profile_cache import ProfileCache
+from repro.relational.catalog import Catalog
+
+
+class KathDBService:
+    """A multi-session KathDB server core."""
+
+    def __init__(self, config: Optional[KathDBConfig] = None,
+                 max_workers: Optional[int] = None):
+        self.config = config or KathDBConfig()
+        meter = CostMeter(latency_scale=self.config.simulate_model_latency)
+        self.models = ModelSuite.create(seed=self.config.seed,
+                                        vlm_error_rate=self.config.vlm_error_rate,
+                                        ocr_error_rate=self.config.ocr_error_rate,
+                                        cost_meter=meter)
+        self.catalog = Catalog()
+        self.lineage = LineageStore(level=self.config.lineage_level)
+        self.registry = FunctionRegistry(workspace=self.config.workspace)
+        self.populator = ViewPopulator(self.models, self.catalog, self.lineage)
+        self.profile_cache = (ProfileCache(path=self.config.profile_cache_path)
+                              if self.config.enable_profile_cache else None)
+        self.prepared: Optional[PreparedQueryCache] = (
+            PreparedQueryCache(capacity=self.config.prepared_cache_size)
+            if self.config.enable_prepared_cache else None)
+        self.max_workers = max_workers or self.config.service_max_workers
+        self.population_report: Optional[PopulationReport] = None
+        self._session_ids = itertools.count(1)
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- data loading ------------------------------------------------------------------
+    def load_corpus(self, corpus: MovieCorpus, populate_views: bool = True) -> PopulationReport:
+        """Load a multimodal corpus into the shared catalog (once, up front).
+
+        This is the only phase that writes to the shared catalog and lineage
+        store; afterwards both are treated as read-only by every session.
+        """
+        self.population_report = self.populator.load_corpus(corpus,
+                                                            populate_views=populate_views)
+        self.invalidate_prepared()
+        return self.population_report
+
+    def catalog_fingerprint(self) -> str:
+        """The current digest of the shared catalog's registered contents.
+
+        Computed fresh on every call (it is a cheap walk over table names,
+        kinds, row counts, and column names) so that even direct catalog
+        mutations — ``db.catalog.register(...)`` from legacy callers —
+        immediately shift every prepared-query key instead of serving plans
+        compiled against a stale schema.
+        """
+        return self.catalog.fingerprint()
+
+    def invalidate_prepared(self) -> None:
+        """Drop every cached plan (after the catalog contents changed)."""
+        if self.prepared is not None:
+            self.prepared.clear()
+
+    # -- sessions ----------------------------------------------------------------------
+    def session(self, user: Optional[UserAgent] = None,
+                name: Optional[str] = None) -> Session:
+        """A fresh isolated session: forked models, scoped lineage, own transcript."""
+        session_id = name or f"s{next(self._session_ids)}"
+        return Session(self, session_id, user=user)
+
+    # -- querying ----------------------------------------------------------------------
+    def query(self, request: Union[str, QueryRequest],
+              user: Optional[UserAgent] = None,
+              options: Optional[QueryOptions] = None) -> QueryResponse:
+        """Answer one request in a fresh throwaway session."""
+        return self._run(self._coerce(request, user, options))
+
+    def submit(self, request: Union[str, QueryRequest],
+               user: Optional[UserAgent] = None,
+               options: Optional[QueryOptions] = None
+               ) -> "concurrent.futures.Future[QueryResponse]":
+        """Enqueue one request on the worker pool; returns a future."""
+        return self._ensure_pool().submit(self._run, self._coerce(request, user, options))
+
+    def gather(self, futures: Iterable["concurrent.futures.Future[QueryResponse]"]
+               ) -> List[QueryResponse]:
+        """Wait for submitted requests, preserving submission order."""
+        return [future.result() for future in futures]
+
+    def query_batch(self, requests: Sequence[Union[str, QueryRequest]],
+                    user: Optional[UserAgent] = None,
+                    options: Optional[QueryOptions] = None,
+                    jobs: Optional[int] = None) -> List[QueryResponse]:
+        """Answer many requests, each in its own session.
+
+        ``jobs`` caps the worker threads for this batch (default: the service
+        worker count); ``jobs=1`` degrades to a serial loop, which by design
+        produces row-identical results to the concurrent path.
+        """
+        coerced = [self._coerce(r, user, options) for r in requests]
+        if len(coerced) > 1:
+            # One agent shared across concurrent requests — whether via the
+            # user= convenience parameter or embedded in the QueryRequests —
+            # would race its internal state (e.g. a ScriptedUser's correction
+            # cursor); give every request an equivalent independent copy.
+            coerced = [self._isolate_user(request) for request in coerced]
+        workers = jobs or self.max_workers
+        if workers <= 1 or len(coerced) <= 1:
+            return [self._run(request) for request in coerced]
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(workers, len(coerced)),
+                thread_name_prefix="kathdb-batch") as pool:
+            return list(pool.map(self._run, coerced))
+
+    # -- internals ---------------------------------------------------------------------
+    def _coerce(self, request: Union[str, QueryRequest],
+                user: Optional[UserAgent],
+                options: Optional[QueryOptions]) -> QueryRequest:
+        if isinstance(request, str):
+            return QueryRequest(nl_query=request, user=user,
+                                options=options or QueryOptions())
+        return request
+
+    def _isolate_user(self, request: QueryRequest) -> QueryRequest:
+        """Swap a request's agent for an independent copy (stateful agents)."""
+        if request.user is None:
+            return request
+        cloned = request.user.clone()
+        if cloned is request.user:
+            return request
+        return dataclasses.replace(request, user=cloned)
+
+    def _run(self, request: QueryRequest) -> QueryResponse:
+        """Execute one request in a fresh session, capturing failures."""
+        session = self.session(user=request.user)
+        try:
+            return session.query(request)
+        except Exception as error:  # noqa: BLE001 - service boundary
+            return QueryResponse(request=request, result=None, session_id=session.id,
+                                 ok=False, error=f"{type(error).__name__}: {error}")
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="kathdb-svc")
+            return self._pool
+
+    # -- lifecycle / introspection -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "KathDBService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def total_tokens(self) -> int:
+        """Tokens spent by the shared suite (corpus population, default stack)."""
+        return self.models.cost_meter.total_tokens
+
+    def prepared_stats(self) -> Dict[str, int]:
+        """Prepared-query cache counters (empty when the cache is disabled)."""
+        return self.prepared.stats.as_dict() if self.prepared is not None else {}
+
+    def describe(self) -> str:
+        """A short status summary for operators."""
+        lines = [f"KathDBService: {len(self.catalog)} catalog tables, "
+                 f"{len(self.registry.names())} generated functions, "
+                 f"{self.max_workers} workers"]
+        if self.prepared is not None:
+            lines.append(self.prepared.describe())
+        return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Sessions: isolated per-caller query state over a shared service core.
+
+A :class:`Session` owns everything one caller's queries mutate — a private
+intermediates namespace, a per-session transcript, a scoped lineage store, a
+forked model suite (own cost meter, own lexicon copy) — while sharing the
+expensive read-only state (catalog, corpus views, function registry, prepared
+plans) with every other session of the same :class:`KathDBService`.  Two
+sessions can therefore run queries concurrently and produce exactly the rows
+a serial run would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from repro.api.prepared import PreparedQuery, prepared_key
+from repro.api.request import QueryOptions, QueryRequest, QueryResponse
+from repro.core.stack import QueryStack
+from repro.datamodel.lineage import LineageStore, ScopedLineageStore
+from repro.errors import PlanVerificationError
+from repro.executor.context import ExecutionContext
+from repro.executor.result import QueryResult
+from repro.interaction.channel import InteractionChannel, Transcript
+from repro.interaction.user import SilentUser, UserAgent
+from repro.models.base import ModelSuite
+from repro.relational.table import Table
+from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.service import KathDBService
+
+
+class Session:
+    """One caller's isolated query context.
+
+    Created via :meth:`KathDBService.session` (isolated: forked models,
+    scoped lineage) or by the legacy facade with explicit components (shared:
+    the single-user path keeps its historical accounting).
+    """
+
+    def __init__(self, service: "KathDBService", session_id: str,
+                 user: Optional[UserAgent] = None,
+                 models: Optional[ModelSuite] = None,
+                 lineage: Optional[LineageStore] = None,
+                 transcript: Optional[Transcript] = None,
+                 stack: Optional[QueryStack] = None):
+        self.service = service
+        self.id = session_id
+        self.default_user = user or SilentUser()
+        self.models = models if models is not None else service.models.fork()
+        # ``or`` would discard an *empty* store (LineageStore is sized, and a
+        # fresh one is falsy), so test for None explicitly.
+        self.lineage = lineage if lineage is not None else ScopedLineageStore(service.lineage)
+        self.transcript = transcript if transcript is not None else Transcript()
+        self.stack = stack or QueryStack.build(
+            service.config, self.models, service.catalog, self.lineage,
+            service.registry, profile_cache=service.profile_cache)
+        self._intermediates: Dict[str, Table] = {}
+        self._table_lids: Dict[str, int] = {}
+        self.last_result: Optional[QueryResult] = None
+
+    # -- state accessors -------------------------------------------------------------
+    @property
+    def engine(self):
+        return self.stack.engine
+
+    @property
+    def explainer(self):
+        return self.stack.explainer
+
+    def intermediates(self) -> Dict[str, Table]:
+        """This session's materialized intermediate tables (name -> table).
+
+        This replaces the old behaviour of registering every intermediate into
+        the shared catalog: the namespace is now private to the session.
+        """
+        return dict(self._intermediates)
+
+    def execution_context(self) -> ExecutionContext:
+        """A context over the shared catalog and this session's scopes.
+
+        Both the intermediates namespace and the table-lid map persist across
+        the session's queries, so a later query that references an earlier
+        result keeps its provenance chain intact.
+        """
+        if isinstance(self.lineage, ScopedLineageStore):
+            # A scope created before the corpus finished loading (or before
+            # legacy facade queries) may still slide forward to avoid lid
+            # collisions with the shared store.
+            self.lineage.rebase_if_unused()
+        return ExecutionContext.for_catalog(self.service.catalog,
+                                            lineage=self.lineage,
+                                            intermediates=self._intermediates,
+                                            table_lids=self._table_lids)
+
+    def total_tokens(self) -> int:
+        """Tokens spent by this session so far."""
+        return self.models.cost_meter.total_tokens
+
+    # -- querying --------------------------------------------------------------------
+    def query(self, request: Union[str, QueryRequest],
+              user: Optional[UserAgent] = None,
+              options: Optional[QueryOptions] = None) -> QueryResponse:
+        """Answer one NL query end to end inside this session."""
+        if isinstance(request, str):
+            request = QueryRequest(nl_query=request, user=user, options=options or QueryOptions())
+        opts = request.options
+        agent = request.user or self.default_user
+        transcript = request.transcript if request.transcript is not None else self.transcript
+        channel = InteractionChannel(agent, transcript)
+
+        timer = Timer()
+        with timer:
+            prepared, hit = self._prepare(request, channel)
+            plan = prepared.instantiate()
+            if opts.function_versions:
+                plan.pin_versions(self.service.registry, opts.function_versions)
+
+            execute_marker = self.models.cost_meter.snapshot()
+            result = self.stack.engine.execute(plan, channel,
+                                               nl_query=request.nl_query,
+                                               context=self.execution_context())
+            execute_tokens = self.models.cost_meter.tokens_since(execute_marker)
+
+        self._adopt_repairs(prepared, plan, result, opts.function_versions)
+        result.sketch = prepared.parse_outcome.sketch
+        result.intent = prepared.parse_outcome.intent
+        result.logical_plan = prepared.logical_plan
+        self.last_result = result
+
+        response = QueryResponse(request=request, result=result, session_id=self.id,
+                                 prepared_hit=hit,
+                                 prepare_tokens=0 if hit else prepared.prepare_tokens,
+                                 execute_tokens=execute_tokens,
+                                 wall_clock_s=timer.elapsed)
+        if opts.explain:
+            response.explanation = self.stack.explainer.explain_pipeline(result)
+        if opts.explain_top and len(result.final_table) and \
+                result.final_table.schema.has_column("lid"):
+            top_lid = result.rows()[0]["lid"]
+            if top_lid is not None:
+                response.top_explanation = \
+                    self.stack.explainer.explain_tuple(result, top_lid).describe()
+        return response
+
+    def _prepare(self, request: QueryRequest,
+                 channel: InteractionChannel) -> Tuple[PreparedQuery, bool]:
+        """Fetch the compiled plan from the service cache, or compile it here."""
+        cache = self.service.prepared
+        agent = channel.user
+        user_fp = agent.interaction_fingerprint()
+        cacheable = (cache is not None and request.options.use_prepared
+                     and user_fp is not None)
+        if not cacheable:
+            if cache is not None:
+                cache.note_uncacheable()
+            return self._compile(request, channel, key=None), False
+
+        key = prepared_key(request.nl_query, self.service.catalog_fingerprint(),
+                           user_fp, self.models.lexicon.fingerprint())
+        return cache.get_or_build(key, lambda: self._compile(request, channel, key=key))
+
+    def _compile(self, request: QueryRequest, channel: InteractionChannel,
+                 key) -> PreparedQuery:
+        """Parse, plan, verify, and optimize one query (the expensive path)."""
+        marker = self.models.cost_meter.snapshot()
+        parse_outcome = self.stack.parser.parse(request.nl_query, channel)
+        plan = self.stack.plan_generator.generate(parse_outcome.sketch, parse_outcome.intent)
+        report = self.stack.plan_verifier.verify(plan)
+        rounds = 0
+        while not report.approved and rounds < request.options.max_plan_rounds:
+            plan = self.stack.plan_generator.revise(plan, report.hints)
+            report = self.stack.plan_verifier.verify(plan)
+            rounds += 1
+        if not report.approved:
+            raise PlanVerificationError(
+                "the plan verifier rejected the logical plan after "
+                f"{request.options.max_plan_rounds} revision rounds: {report.problems}")
+        physical, optimization = self.stack.optimizer.optimize(plan)
+        return PreparedQuery(key=key, nl_query=request.nl_query,
+                             parse_outcome=parse_outcome, logical_plan=plan,
+                             verification=report, physical_plan=physical,
+                             optimization=optimization,
+                             prepare_tokens=self.models.cost_meter.tokens_since(marker))
+
+    def _adopt_repairs(self, prepared: PreparedQuery, executed_plan, result,
+                       pins: Dict[str, int]) -> None:
+        """Fold on-the-fly repairs back into the cached plan.
+
+        Execution runs on a clone, so without this every prepared hit would
+        start from the original faulty implementation and re-pay the same
+        repair (and re-register one more registry version) on every request.
+        The repaired function is written back operator-by-operator; pinned
+        operators are skipped (their version was the caller's choice).
+        ``operator.function`` assignment is atomic, so concurrent executions
+        at worst write back equivalent repairs.
+        """
+        records = {record.operator_name: record for record in result.records}
+        for cached_op, run_op in zip(prepared.physical_plan.operators,
+                                     executed_plan.operators):
+            record = records.get(run_op.name)
+            if record is None or run_op.name in pins:
+                continue
+            if (record.repairs or record.anomalies) and \
+                    run_op.function is not cached_op.function:
+                cached_op.function = run_op.function
+
+    # -- explanation -----------------------------------------------------------------
+    def explain_pipeline(self, result: Optional[QueryResult] = None) -> str:
+        """Coarse-grained explanation of this session's latest (or given) result."""
+        return self.stack.explainer.explain_pipeline(self._result(result))
+
+    def explain_tuple(self, result: Optional[QueryResult], lid: int):
+        """Fine-grained explanation of one output tuple by lineage id."""
+        return self.stack.explainer.explain_tuple(self._result(result), lid)
+
+    def ask(self, question: str, result: Optional[QueryResult] = None) -> str:
+        """Free-form NL question over a result's lineage."""
+        resolved = self._result(result)
+        answer = self.stack.lineage_qa.ask(question, resolved)
+        if resolved.transcript is not None:
+            channel = InteractionChannel(SilentUser(), resolved.transcript)
+            channel.record_explanation_request(question, answer)
+        return answer
+
+    def _result(self, result: Optional[QueryResult]) -> QueryResult:
+        resolved = result or self.last_result
+        if resolved is None:
+            raise ValueError("no query has been executed in this session yet")
+        return resolved
+
+    def __repr__(self) -> str:
+        return (f"Session(id={self.id!r}, queries={len(self.transcript)}, "
+                f"intermediates={len(self._intermediates)})")

@@ -15,6 +15,12 @@ Run an arbitrary NL query with scripted clarifications::
 Run interactively (KathDB asks *you* the clarification questions)::
 
     python -m repro.cli --query "..." --interactive
+
+Serve a batch concurrently (the service layer: one isolated session per
+request, prepared-plan reuse across them)::
+
+    python -m repro.cli --query "Which films have a boring poster?" \
+        --repeat 8 --jobs 4
 """
 
 from __future__ import annotations
@@ -57,6 +63,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-monitor", action="store_true",
                         help="disable the semantic-anomaly monitor")
     parser.add_argument("--limit", type=int, default=10, help="result rows to print (default: 10)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker threads for batch mode (default: 1 = serial)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run the query N times through the service layer (default: 1)")
+    parser.add_argument("--no-prepared", action="store_true",
+                        help="disable the prepared-query cache in batch mode")
+    parser.add_argument("--simulate-latency", type=float, default=0.0, metavar="SCALE",
+                        help="sleep each model call's synthetic latency times SCALE "
+                             "(makes batch throughput numbers honest; default: 0)")
     return parser
 
 
@@ -84,6 +99,68 @@ def build_user(args: argparse.Namespace) -> UserAgent:
     return SilentUser()
 
 
+def run_batch(args: argparse.Namespace, query: str, output) -> int:
+    """Serve ``--repeat`` copies of the query through the service layer."""
+    from repro import KathDBService, QueryOptions, QueryRequest
+
+    corpus = build_movie_corpus(size=args.size, seed=args.seed)
+    config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
+                          monitor_enabled=not args.no_monitor,
+                          enable_prepared_cache=not args.no_prepared,
+                          service_max_workers=max(1, args.jobs),
+                          simulate_model_latency=max(0.0, args.simulate_latency))
+    service = KathDBService(config)
+    print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
+          file=output)
+    service.load_corpus(corpus)
+
+    # Each request gets its own (stateful) user agent and its own session.
+    # Explanations are only attached to the first request: they describe the
+    # pipeline, which is identical across the batch.
+    def request_options(first: bool) -> QueryOptions:
+        return QueryOptions(use_prepared=not args.no_prepared,
+                            explain=args.explain and first,
+                            explain_top=args.explain_top and first)
+
+    requests = [QueryRequest(nl_query=query, user=build_user(args),
+                             options=request_options(index == 0))
+                for index in range(max(1, args.repeat))]
+    jobs = max(1, args.jobs)
+    from repro.utils.timer import Timer
+    timer = Timer()
+    with timer:
+        responses = service.query_batch(requests, jobs=jobs)
+    service.shutdown()
+
+    failed = [r for r in responses if not r.ok]
+    print(f"\nquery: {query}", file=output)
+    print(f"batch: {len(responses)} request(s), {jobs} worker(s), "
+          f"{timer.elapsed:.3f} s wall clock "
+          f"({len(responses) / max(timer.elapsed, 1e-9):.1f} queries/s)", file=output)
+    for response in responses:
+        print("  " + response.describe(), file=output)
+    if args.no_prepared:
+        print("prepared-query cache: disabled", file=output)
+    else:
+        stats = service.prepared_stats()
+        print("prepared-query cache: " + ", ".join(f"{k}={v}" for k, v in stats.items()),
+              file=output)
+    first_ok = next((r for r in responses if r.ok), None)
+    if first_ok is not None:
+        print(first_ok.result.final_table.pretty(limit=args.limit), file=output)
+        if first_ok.explanation:
+            print("\n" + first_ok.explanation, file=output)
+        if first_ok.top_explanation:
+            print("\n" + first_ok.top_explanation, file=output)
+        if (args.explain or args.explain_top) and not (first_ok.explanation
+                                                       or first_ok.top_explanation):
+            # Explanations ride on request 0 only; say so instead of silently
+            # dropping the flag when that request failed.
+            print("\n(explanation unavailable: the explaining request failed)",
+                  file=output)
+    return 1 if failed else 0
+
+
 def run(args: argparse.Namespace, output=None) -> int:
     """Execute the CLI request; returns a process exit code."""
     output = output if output is not None else sys.stdout
@@ -91,6 +168,12 @@ def run(args: argparse.Namespace, output=None) -> int:
     if not query:
         print("error: provide --query or --flagship", file=output)
         return 2
+    if args.jobs > 1 or args.repeat > 1:
+        if args.interactive:
+            print("error: --interactive cannot be combined with batch mode "
+                  "(--jobs/--repeat)", file=output)
+            return 2
+        return run_batch(args, query, output)
 
     corpus = build_movie_corpus(size=args.size, seed=args.seed)
     config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,

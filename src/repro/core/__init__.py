@@ -1,6 +1,17 @@
-"""The KathDB facade: configuration plus the top-level system object."""
+"""The KathDB facade: configuration plus the top-level system object.
+
+``KathDB`` is imported lazily: the api package (sessions/service) depends on
+:mod:`repro.core.stack` and :mod:`repro.core.config`, while the facade in turn
+depends on the api package — eager re-export here would close that cycle.
+"""
 
 from repro.core.config import KathDBConfig
-from repro.core.kathdb import KathDB
 
 __all__ = ["KathDBConfig", "KathDB"]
+
+
+def __getattr__(name):
+    if name == "KathDB":
+        from repro.core.kathdb import KathDB
+        return KathDB
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -50,6 +50,16 @@ class KathDBConfig:
     fault_injection: Dict[str, str] = field(default_factory=dict)
     # Where generated functions are persisted (None = in-memory only).
     workspace: Optional[Union[str, Path]] = None
+    # Service layer: default worker-thread count for query batches.
+    service_max_workers: int = 4
+    # Prepared queries: cache parse+optimize results keyed on the normalized
+    # NL query, the catalog fingerprint, and the user's interaction script.
+    enable_prepared_cache: bool = True
+    prepared_cache_size: int = 64
+    # When > 0, every simulated model call sleeps its synthetic latency times
+    # this factor (like a real network-bound model call would), so concurrency
+    # benchmarks measure genuine overlap rather than GIL contention.
+    simulate_model_latency: float = 0.0
 
     def __post_init__(self):
         if self.lineage_level not in (LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE, LINEAGE_LEVEL_OFF):
@@ -58,3 +68,9 @@ class KathDBConfig:
             raise KathDBError("vlm_error_rate must be in [0, 1]")
         if self.max_variants < 1:
             raise KathDBError("max_variants must be at least 1")
+        if self.service_max_workers < 1:
+            raise KathDBError("service_max_workers must be at least 1")
+        if self.prepared_cache_size < 1:
+            raise KathDBError("prepared_cache_size must be at least 1")
+        if self.simulate_model_latency < 0:
+            raise KathDBError("simulate_model_latency must be non-negative")

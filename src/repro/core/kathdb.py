@@ -7,6 +7,13 @@ cost-based optimizer with its coder/profiler/critic agents, the execution
 engine with lineage + on-the-fly repair + semantic monitoring, and the
 result explainer.
 
+Since the session/service redesign this facade is a thin backward-compatible
+wrapper over one *default session* of a :class:`~repro.api.service.KathDBService`:
+the default session shares the facade's model suite and lineage store (so the
+historical single-user accounting is unchanged), while :meth:`session` hands
+out fully isolated sessions and :attr:`service` exposes the concurrent
+request/response API.
+
 Typical use::
 
     db = KathDB(KathDBConfig(seed=7))
@@ -24,29 +31,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.request import QueryOptions, QueryRequest
+from repro.api.service import KathDBService
+from repro.api.session import Session
 from repro.core.config import KathDBConfig
 from repro.data.mmqa import MovieCorpus
-from repro.datamodel.lineage import LineageStore
-from repro.datamodel.views import PopulationReport, ViewPopulator
+from repro.datamodel.views import PopulationReport
 from repro.errors import PlanVerificationError
-from repro.executor.engine import ExecutionEngine
-from repro.executor.monitor import ExecutionMonitor
 from repro.executor.result import QueryResult
-from repro.explain.explainer import Explainer, TupleExplanation
-from repro.explain.lineage_query import LineageQueryInterface
-from repro.fao.codegen import Coder
-from repro.fao.registry import FunctionRegistry
+from repro.explain.explainer import TupleExplanation
 from repro.interaction.channel import InteractionChannel, Transcript
 from repro.interaction.user import SilentUser, UserAgent
-from repro.models.base import ModelSuite
-from repro.optimizer.optimizer import OptimizationReport, QueryOptimizer
-from repro.optimizer.physical_plan import PhysicalOperator, PhysicalPlan
-from repro.optimizer.profile_cache import ProfileCache
-from repro.parser.nl_parser import NLParser, ParseOutcome
-from repro.parser.plan_generator import LogicalPlanGenerator
-from repro.parser.plan_verifier import PlanVerifier, VerificationReport
 from repro.parser.logical_plan import LogicalPlan
-from repro.relational.catalog import Catalog
+from repro.parser.nl_parser import ParseOutcome
+from repro.parser.plan_verifier import VerificationReport
 
 
 class KathDB:
@@ -54,43 +52,40 @@ class KathDB:
 
     def __init__(self, config: Optional[KathDBConfig] = None):
         self.config = config or KathDBConfig()
-        self.models = ModelSuite.create(seed=self.config.seed,
-                                        vlm_error_rate=self.config.vlm_error_rate,
-                                        ocr_error_rate=self.config.ocr_error_rate)
-        self.catalog = Catalog()
-        self.lineage = LineageStore(level=self.config.lineage_level)
-        self.registry = FunctionRegistry(workspace=self.config.workspace)
-        self.coder = Coder(self.models, fault_injection=dict(self.config.fault_injection))
-        self.populator = ViewPopulator(self.models, self.catalog, self.lineage)
-        self.parser = NLParser(self.models,
-                               proactive=self.config.proactive_clarification,
-                               reactive=self.config.reactive_correction,
-                               max_correction_rounds=self.config.max_correction_rounds)
-        self.plan_generator = LogicalPlanGenerator(self.models, self.catalog)
-        self.plan_verifier = PlanVerifier(self.models, self.catalog)
-        self.profile_cache = (ProfileCache(path=self.config.profile_cache_path)
-                              if self.config.enable_profile_cache else None)
-        self.optimizer = QueryOptimizer(
-            self.models, self.catalog, self.registry, coder=self.coder,
-            enable_pushdown=self.config.enable_pushdown,
-            enable_fusion=self.config.enable_fusion,
-            explore_variants=self.config.explore_variants,
-            max_variants=self.config.max_variants,
-            parallel=self.config.parallel_codegen,
-            variant_overrides=dict(self.config.variant_overrides),
-            sample_size=self.config.optimizer_sample_size,
-            max_repair_rounds=self.config.max_repair_rounds,
-            min_accuracy=self.config.min_accuracy,
-            profile_cache=self.profile_cache)
-        self.engine = ExecutionEngine(
-            self.models, self.catalog, self.lineage, self.registry, coder=self.coder,
-            monitor=ExecutionMonitor(self.models, sample_size=self.config.monitor_sample_size,
-                                     enabled=self.config.monitor_enabled),
-            max_repair_rounds=self.config.max_repair_rounds)
-        self.explainer = Explainer(self.models, registry=self.registry)
-        self.lineage_qa = LineageQueryInterface(self.models, self.explainer)
+        self.service = KathDBService(self.config)
+        # Shared-core aliases (unchanged public surface).
+        self.models = self.service.models
+        self.catalog = self.service.catalog
+        self.lineage = self.service.lineage
+        self.registry = self.service.registry
+        self.populator = self.service.populator
+        self.profile_cache = self.service.profile_cache
+        # The default session shares the facade's models and lineage store, so
+        # single-user behaviour (token ledger, lid sequence) is identical to
+        # the pre-session design.
+        self._session = Session(self.service, "default",
+                                models=self.models, lineage=self.lineage)
+        stack = self._session.stack
+        self.coder = stack.coder
+        self.parser = stack.parser
+        self.plan_generator = stack.plan_generator
+        self.plan_verifier = stack.plan_verifier
+        self.optimizer = stack.optimizer
+        self.engine = stack.engine
+        self.explainer = stack.explainer
+        self.lineage_qa = stack.lineage_qa
         self.population_report: Optional[PopulationReport] = None
         self.last_result: Optional[QueryResult] = None
+
+    # -- sessions ----------------------------------------------------------------------
+    @property
+    def default_session(self) -> Session:
+        """The session behind :meth:`query` (shares this facade's state)."""
+        return self._session
+
+    def session(self, user: Optional[UserAgent] = None) -> Session:
+        """A fresh *isolated* session over this instance's loaded corpus."""
+        return self.service.session(user=user)
 
     # -- data loading ------------------------------------------------------------------
     def load_corpus(self, corpus: MovieCorpus, populate_views: bool = True) -> PopulationReport:
@@ -99,22 +94,29 @@ class KathDB:
         This is the paper's "pre-written view-population function" step: it is
         the only part of the pipeline that is not generated per query.
         """
-        self.population_report = self.populator.load_corpus(corpus, populate_views=populate_views)
+        self.population_report = self.service.load_corpus(corpus,
+                                                          populate_views=populate_views)
         return self.population_report
 
     # -- querying --------------------------------------------------------------------------
     def query(self, nl_query: str, user: Optional[UserAgent] = None,
-              transcript: Optional[Transcript] = None) -> QueryResult:
-        """Answer one NL query end to end (parse -> plan -> optimize -> execute)."""
-        channel = InteractionChannel(user or SilentUser(), transcript)
-        parse_outcome, logical_plan, verification = self.parse_and_plan(nl_query, channel)
-        physical_plan, optimization = self.optimizer.optimize(logical_plan)
-        result = self.engine.execute(physical_plan, channel, nl_query=nl_query)
-        result.sketch = parse_outcome.sketch
-        result.intent = parse_outcome.intent
-        result.logical_plan = logical_plan
-        self.last_result = result
-        return result
+              transcript: Optional[Transcript] = None,
+              options: Optional[QueryOptions] = None) -> QueryResult:
+        """Answer one NL query end to end (parse -> plan -> optimize -> execute).
+
+        The facade keeps its historical semantics: every call gets a fresh
+        transcript (unless one is passed in) and re-parses/re-optimizes from
+        scratch (no prepared-plan reuse — pass ``options`` with
+        ``use_prepared=True`` or use :meth:`session` / :attr:`service` to opt
+        into the cache).
+        """
+        request = QueryRequest(nl_query=nl_query, user=user or SilentUser(),
+                               options=options or QueryOptions(use_prepared=False),
+                               transcript=transcript if transcript is not None
+                               else Transcript())
+        response = self._session.query(request)
+        self.last_result = response.result
+        return response.result
 
     def parse_and_plan(self, nl_query: str,
                        channel: InteractionChannel,
@@ -177,30 +179,21 @@ class KathDB:
         ``versions`` maps function names to the version id to use (e.g. the one
         returned by :meth:`rollback_function`); unmentioned operators keep the
         implementation the optimizer chose.  This is the paper's "safe
-        roll-backs to a prior version" / iterative-refinement workflow.
+        roll-backs to a prior version" / iterative-refinement workflow.  The
+        rerun *continues the source result's transcript*, so the explanation
+        history of the original run is preserved alongside the new turns.
         """
         source = self._result(result)
         if source.physical_plan is None:
             raise ValueError("the result carries no physical plan to re-run")
-        versions = versions or {}
-        operators = []
-        for operator in source.physical_plan.operators:
-            function = operator.function
-            if operator.name in versions:
-                function = self.registry.get(operator.name, versions[operator.name])
-            operators.append(PhysicalOperator(
-                node=operator.node, function=function,
-                estimated_tokens=operator.estimated_tokens,
-                estimated_runtime_s=operator.estimated_runtime_s,
-                estimated_cardinality=operator.estimated_cardinality))
-        plan = PhysicalPlan(operators=operators, logical_plan=source.logical_plan,
-                            rewrites_applied=list(source.physical_plan.rewrites_applied))
-        channel = InteractionChannel(user or SilentUser())
+        plan = source.physical_plan.clone().pin_versions(self.registry, versions or {})
+        channel = InteractionChannel(user or SilentUser(), source.transcript)
         rerun = self.engine.execute(plan, channel, nl_query=source.nl_query)
         rerun.sketch = source.sketch
         rerun.intent = source.intent
         rerun.logical_plan = source.logical_plan
         self.last_result = rerun
+        self._session.last_result = rerun
         return rerun
 
     # -- introspection ----------------------------------------------------------------------

@@ -118,6 +118,10 @@ class LineageStore:
         self._next_lid += 1
         return lid
 
+    def peek_next_lid(self) -> int:
+        """The lid the next :meth:`new_lid` call would return (no allocation)."""
+        return self._next_lid
+
     @property
     def row_tracking_enabled(self) -> bool:
         """Whether row-level entries are being recorded."""
@@ -170,6 +174,14 @@ class LineageStore:
         return lid
 
     # -- queries ---------------------------------------------------------------------
+    def _entries_of(self, lid: int) -> List[LineageEntry]:
+        """Entries whose child is ``lid`` (overridable lookup hook)."""
+        return self._by_lid.get(lid, [])
+
+    def _child_entries_of(self, lid: int) -> List[LineageEntry]:
+        """Entries whose parent is ``lid`` (overridable lookup hook)."""
+        return self._children.get(lid, [])
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -180,23 +192,23 @@ class LineageStore:
 
     def entries_for(self, lid: int) -> List[LineageEntry]:
         """All entries whose child is ``lid``."""
-        return list(self._by_lid.get(lid, []))
+        return list(self._entries_of(lid))
 
     def has_lid(self, lid: int) -> bool:
         """Whether any entry was recorded for this lid."""
-        return lid in self._by_lid
+        return bool(self._entries_of(lid))
 
     def parents_of(self, lid: int) -> List[int]:
         """Parent lids of ``lid`` (empty for external sources)."""
-        return [e.parent_lid for e in self._by_lid.get(lid, []) if e.parent_lid is not None]
+        return [e.parent_lid for e in self._entries_of(lid) if e.parent_lid is not None]
 
     def children_of(self, lid: int) -> List[int]:
         """Lids directly derived from ``lid``."""
-        return [e.lid for e in self._children.get(lid, [])]
+        return [e.lid for e in self._child_entries_of(lid)]
 
     def producing_function(self, lid: int) -> Optional[tuple]:
         """The ``(func_id, ver_id)`` that produced ``lid``, if known."""
-        entries = self._by_lid.get(lid)
+        entries = self._entries_of(lid)
         if not entries:
             return None
         return entries[0].func_id, entries[0].ver_id
@@ -207,7 +219,7 @@ class LineageStore:
         Entries are returned child-first (the paper's Figure 2 layout).  Raises
         :class:`LineageError` for an unknown lid.
         """
-        if lid not in self._by_lid:
+        if not self.has_lid(lid):
             raise LineageError(f"unknown lineage id: {lid}")
         seen: set = set()
         ordered: List[LineageEntry] = []
@@ -219,7 +231,7 @@ class LineageStore:
                 if current in seen:
                     continue
                 seen.add(current)
-                for entry in self._by_lid.get(current, []):
+                for entry in self._entries_of(current):
                     ordered.append(entry)
                     if entry.parent_lid is not None and entry.parent_lid not in seen:
                         next_frontier.append(entry.parent_lid)
@@ -252,3 +264,75 @@ class LineageStore:
         row_entries = sum(1 for e in self._entries if e.data_type == "row")
         table_entries = sum(1 for e in self._entries if e.data_type == "table")
         return {"total": len(self._entries), "row": row_entries, "table": table_entries}
+
+
+class ScopedLineageStore(LineageStore):
+    """A per-session overlay over a shared base store.
+
+    New entries are recorded locally, so concurrently running sessions never
+    write into the shared store; *reads* (trace, parents, producing function)
+    fall back to the base store, so a session's provenance chains still reach
+    the base tables and external sources recorded at corpus-load time.
+
+    Local lids start at the base store's next free lid as of scope creation.
+    Everything below that snapshot is base territory (resolved from the base
+    store), everything at or above it is session territory (resolved locally,
+    never from the base) — so even if the base store keeps allocating after
+    the scope was created (e.g. the legacy facade sharing it), foreign edges
+    in the overlapping range stay invisible to this scope.  Every scope
+    starting from the same snapshot allocates the same lids for the same
+    workload, which is what makes parallel session batches row-identical to
+    serial runs.
+    """
+
+    def __init__(self, base: LineageStore, level: Optional[str] = None):
+        scope_start = base.peek_next_lid()
+        super().__init__(level=base.level if level is None else level,
+                         start_lid=scope_start)
+        self.base = base
+        self._scope_start = scope_start
+
+    def rebase_if_unused(self) -> None:
+        """Re-snapshot the scope boundary while this scope is still empty.
+
+        A scope created *before* the base store finished growing (a session
+        built before ``load_corpus``, or after legacy facade queries advanced
+        the shared store) would otherwise allocate lids colliding with base
+        entries and mask them.  Until the scope records its first edge the
+        snapshot is free to slide forward, making all current base content
+        visible base-territory.
+        """
+        if not self._entries:
+            fresh = self.base.peek_next_lid()
+            if fresh > self._scope_start:
+                self._scope_start = fresh
+                self._next_lid = fresh
+
+    def new_lid(self) -> int:
+        self.rebase_if_unused()
+        return super().new_lid()
+
+    def _entries_of(self, lid: int) -> List[LineageEntry]:
+        if lid >= self._scope_start:
+            return super()._entries_of(lid)
+        return self.base._entries_of(lid)
+
+    def _child_entries_of(self, lid: int) -> List[LineageEntry]:
+        local = super()._child_entries_of(lid)
+        # Base edges whose child lies in the scope's range were recorded by
+        # someone else after this scope was created; they are not ours.
+        base = [e for e in self.base._child_entries_of(lid)
+                if e.lid < self._scope_start]
+        return local + base
+
+    def to_table(self, name: str = "lineage") -> Table:
+        """Export this scope's view: the base as of scope creation, plus the
+        session's own entries."""
+        table = Table(name, Schema(list(LINEAGE_SCHEMA.columns)),
+                      description="Unified provenance table (paper Table 3).")
+        for entry in self.base.entries:
+            if entry.lid < self._scope_start:
+                table.insert(entry.to_row())
+        for entry in self._entries:
+            table.insert(entry.to_row())
+        return table

@@ -13,6 +13,7 @@ Executes a physical plan operator by operator while:
 
 from repro.executor.result import ExecutionRecord, QueryResult
 from repro.executor.monitor import Anomaly, ExecutionMonitor
+from repro.executor.context import ExecutionContext
 from repro.executor.engine import ExecutionEngine
 
 __all__ = [
@@ -20,5 +21,6 @@ __all__ = [
     "QueryResult",
     "Anomaly",
     "ExecutionMonitor",
+    "ExecutionContext",
     "ExecutionEngine",
 ]

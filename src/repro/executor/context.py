@@ -1,0 +1,54 @@
+"""Per-execution state for the engine.
+
+Historically the engine wrote every intermediate table into the shared
+:class:`~repro.relational.catalog.Catalog` (with ``replace=True``!) and every
+provenance edge into one global lineage store, so two in-flight queries
+corrupted each other.  An :class:`ExecutionContext` carries that state
+explicitly instead: the intermediates namespace, the table-lid map, and the
+lineage scope all belong to the caller (a session), and the catalog stays
+read-only for the whole execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.datamodel.lineage import LineageStore
+from repro.relational.catalog import Catalog
+from repro.relational.table import Table
+
+
+@dataclass
+class ExecutionContext:
+    """Everything one plan execution reads and writes besides the catalog.
+
+    ``intermediates`` maps output-table names to materialized tables; passing
+    the same dict across executions gives a session a persistent namespace in
+    which later queries can reference earlier results.  ``table_lids`` maps
+    lowercase table names to their lineage ids.  ``lineage`` is the store new
+    provenance edges are recorded into (a session passes its scoped store).
+    """
+
+    intermediates: Dict[str, Table] = field(default_factory=dict)
+    table_lids: Dict[str, int] = field(default_factory=dict)
+    lineage: Optional[LineageStore] = None
+
+    @classmethod
+    def for_catalog(cls, catalog: Catalog, lineage: Optional[LineageStore] = None,
+                    intermediates: Optional[Dict[str, Table]] = None,
+                    table_lids: Optional[Dict[str, int]] = None) -> "ExecutionContext":
+        """A context seeded with the lineage ids of the catalog's tables.
+
+        Passing persistent ``intermediates`` *and* ``table_lids`` dicts gives
+        a session a namespace whose cross-query references keep their lineage
+        parents; catalog lids are merged in without clobbering them.
+        """
+        context = cls(intermediates=intermediates if intermediates is not None else {},
+                      table_lids=table_lids if table_lids is not None else {},
+                      lineage=lineage)
+        for name in catalog.table_names():
+            entry = catalog.entry(name)
+            if entry.lineage_id is not None:
+                context.table_lids.setdefault(name.lower(), entry.lineage_id)
+        return context

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional
 
 from repro.datamodel.lineage import DependencyPattern, LineageStore
 from repro.errors import FunctionExecutionError, RepairFailedError
+from repro.executor.context import ExecutionContext
 from repro.executor.monitor import ANOMALY_OPTIONS, ExecutionMonitor
 from repro.executor.result import ExecutionRecord, QueryResult
 from repro.fao.codegen import Coder
@@ -30,7 +31,7 @@ class ExecutionEngine:
     def __init__(self, models: ModelSuite, catalog: Catalog, lineage: LineageStore,
                  registry: FunctionRegistry, coder: Optional[Coder] = None,
                  monitor: Optional[ExecutionMonitor] = None,
-                 max_repair_rounds: int = 3, register_intermediates: bool = True):
+                 max_repair_rounds: int = 3):
         self.models = models
         self.catalog = catalog
         self.lineage = lineage
@@ -38,34 +39,43 @@ class ExecutionEngine:
         self.coder = coder or Coder(models)
         self.monitor = monitor or ExecutionMonitor(models)
         self.max_repair_rounds = max_repair_rounds
-        self.register_intermediates = register_intermediates
 
     # -- public API -----------------------------------------------------------------
     def execute(self, plan: PhysicalPlan, channel: InteractionChannel,
-                nl_query: str = "") -> QueryResult:
-        """Execute one physical plan and return the full query result."""
+                nl_query: str = "",
+                context: Optional[ExecutionContext] = None) -> QueryResult:
+        """Execute one physical plan and return the full query result.
+
+        ``context`` carries the intermediates namespace, the table-lid map,
+        and the lineage scope.  When omitted (the legacy single-user path) an
+        ephemeral context over the engine's own lineage store is used.  The
+        catalog is never written to during execution.
+        """
+        if context is None:
+            context = ExecutionContext.for_catalog(self.catalog, lineage=self.lineage)
+        if context.lineage is None:
+            context.lineage = self.lineage
         result = QueryResult(nl_query=nl_query, final_table=Table("empty", Schema([])),
                              physical_plan=plan, logical_plan=plan.logical_plan,
-                             lineage=self.lineage, transcript=channel.transcript)
-        intermediates: Dict[str, Table] = {}
-        table_lids: Dict[str, int] = {}
-        for name in self.catalog.table_names():
-            entry = self.catalog.entry(name)
-            if entry.lineage_id is not None:
-                table_lids[name.lower()] = entry.lineage_id
+                             lineage=context.lineage, transcript=channel.transcript)
 
         total_timer = Timer()
         marker = self.models.cost_meter.snapshot()
+        produced: List[str] = []
         with total_timer:
             for operator in plan.operators:
-                record = self._execute_operator(operator, intermediates, table_lids,
-                                                channel, result)
+                record = self._execute_operator(operator, context, channel, result)
                 result.records.append(record)
+                produced.append(operator.node.output)
 
-        result.intermediates = intermediates
-        result.table_lids = dict(table_lids)
+        # The result carries exactly this execution's outputs; the context may
+        # hold more (a session's namespace accumulates across queries).
+        result.intermediates = {name: context.intermediates[name] for name in produced
+                                if name in context.intermediates}
+        result.table_lids = dict(context.table_lids)
         final_name = plan.final_output()
-        result.final_table = intermediates.get(final_name, Table(final_name, Schema([])))
+        result.final_table = context.intermediates.get(final_name,
+                                                       Table(final_name, Schema([])))
         result.total_tokens = self.models.cost_meter.tokens_since(marker)
         result.total_runtime_s = total_timer.elapsed
         return result
@@ -83,13 +93,13 @@ class ExecutionEngine:
                 inputs[name] = Table(name, Schema([]))
         return inputs
 
-    def _execute_operator(self, operator: PhysicalOperator, intermediates: Dict[str, Table],
-                          table_lids: Dict[str, int], channel: InteractionChannel,
+    def _execute_operator(self, operator: PhysicalOperator, context: ExecutionContext,
+                          channel: InteractionChannel,
                           result: QueryResult) -> ExecutionRecord:
         node = operator.node
         function = operator.function
-        inputs = self._resolve_inputs(operator, intermediates)
-        context = FunctionContext(models=self.models, catalog=self.catalog)
+        inputs = self._resolve_inputs(operator, context.intermediates)
+        fn_context = FunctionContext(models=self.models, catalog=self.catalog)
         primary = inputs.get(node.inputs[0]) if node.inputs else None
         rows_in = len(primary) if primary is not None else 0
 
@@ -101,7 +111,7 @@ class ExecutionEngine:
         marker = self.models.cost_meter.snapshot()
         timer = Timer()
         with timer:
-            output, function = self._run_with_repair(node, function, inputs, context,
+            output, function = self._run_with_repair(node, function, inputs, fn_context,
                                                      channel, record)
             operator.function = function
 
@@ -119,8 +129,8 @@ class ExecutionEngine:
                     self.registry.register(function)
                     operator.function = function
                     record.repairs.append(f"adjusted after anomaly: {hint}")
-                    output, function = self._run_with_repair(node, function, inputs, context,
-                                                             channel, record)
+                    output, function = self._run_with_repair(node, function, inputs,
+                                                             fn_context, channel, record)
                     operator.function = function
 
         record.runtime_s = timer.elapsed
@@ -130,14 +140,12 @@ class ExecutionEngine:
 
         # Lineage recording.
         record.lineage_data_type = self._record_lineage(node, function, inputs, output,
-                                                        table_lids, record)
+                                                        context, record)
         record.rows_out = len(output)
 
-        intermediates[node.output] = output
-        if self.register_intermediates:
-            self.catalog.register(output, kind="intermediate", replace=True,
-                                  lineage_id=table_lids.get(node.output.lower()),
-                                  compute_stats=False)
+        # Intermediates live in the execution context (session namespace); the
+        # shared catalog is never mutated during execution.
+        context.intermediates[node.output] = output
         return record
 
     def _run_with_repair(self, node, function: GeneratedFunction, inputs, context,
@@ -169,12 +177,14 @@ class ExecutionEngine:
 
     # -- lineage ------------------------------------------------------------------------
     def _record_lineage(self, node, function: GeneratedFunction, inputs, output: Table,
-                        table_lids: Dict[str, int], record: ExecutionRecord) -> str:
+                        context: ExecutionContext, record: ExecutionRecord) -> str:
         """Record lineage for one operator; returns the data_type recorded."""
-        if not self.lineage.enabled:
+        lineage = context.lineage
+        table_lids = context.table_lids
+        if not lineage.enabled:
             return "off"
         input_lids = [table_lids.get(name.lower()) for name in node.inputs]
-        narrow = function.dependency_pattern.is_narrow and self.lineage.row_tracking_enabled
+        narrow = function.dependency_pattern.is_narrow and lineage.row_tracking_enabled
 
         if narrow:
             primary_name = node.inputs[0] if node.inputs else None
@@ -184,15 +194,15 @@ class ExecutionEngine:
             for row in output.rows:
                 inherited = row.get(LID_COLUMN)
                 parent = inherited if inherited is not None else primary_lid
-                new_lid = self.lineage.record_row(function.func_id, function.version, parent)
+                new_lid = lineage.record_row(function.func_id, function.version, parent)
                 row[LID_COLUMN] = new_lid
             # The output table itself also gets a table-level handle so later
             # wide operators can reference it as a parent.
-            table_lid = self.lineage.record_table(function.func_id, function.version,
-                                                  input_lids)
+            table_lid = lineage.record_table(function.func_id, function.version,
+                                             input_lids)
             table_lids[node.output.lower()] = table_lid
             return "row"
 
-        table_lid = self.lineage.record_table(function.func_id, function.version, input_lids)
+        table_lid = lineage.record_table(function.func_id, function.version, input_lids)
         table_lids[node.output.lower()] = table_lid
         return "table"

@@ -10,6 +10,7 @@ as a source file plus a metadata JSON.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -23,6 +24,9 @@ class FunctionRegistry:
     def __init__(self, workspace: Optional[Union[str, Path]] = None):
         self._versions: Dict[str, List[GeneratedFunction]] = {}
         self.workspace = Path(workspace) if workspace else None
+        # The registry is shared by every session of a service; registration
+        # must stay atomic when concurrent queries repair functions.
+        self._lock = threading.Lock()
         if self.workspace is not None:
             self.workspace.mkdir(parents=True, exist_ok=True)
 
@@ -33,9 +37,10 @@ class FunctionRegistry:
         The function's ``version`` attribute is overwritten with the assigned
         version (existing versions are never modified or removed).
         """
-        versions = self._versions.setdefault(function.name, [])
-        function.version = len(versions) + 1
-        versions.append(function)
+        with self._lock:
+            versions = self._versions.setdefault(function.name, [])
+            function.version = len(versions) + 1
+            versions.append(function)
         if self.workspace is not None:
             self._persist(function)
         return function

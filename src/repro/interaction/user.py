@@ -31,9 +31,34 @@ class UserAgent:
     def notify(self, message: str) -> None:
         """Receive a one-way notice (default: ignore)."""
 
+    def interaction_fingerprint(self) -> Optional[str]:
+        """A stable digest of every reply this agent could give.
+
+        Two agents with the same fingerprint drive parsing to the same query
+        sketch, so their prepared plans are interchangeable.  The safe default
+        is ``None`` (uncacheable): a subclass must opt in by returning a
+        digest that really captures all of its replies.
+        """
+        return None
+
+    def clone(self) -> "UserAgent":
+        """An agent equivalent to this one for a *separate* query.
+
+        The service fans batches out to worker threads; a stateful agent
+        (one whose replies depend on what it has already been asked) must
+        return an independent copy here so concurrent queries don't race its
+        internal cursor.  Stateless agents simply return themselves.
+        """
+        return self
+
 
 class SilentUser(UserAgent):
     """A user who never answers anything; KathDB proceeds with defaults."""
+
+    def interaction_fingerprint(self) -> Optional[str]:
+        # Exact type only: a subclass overriding reply behaviour must opt in
+        # itself, or it would share cached plans with plain silent users.
+        return "silent" if type(self) is SilentUser else None
 
 
 class ScriptedUser(UserAgent):
@@ -81,6 +106,23 @@ class ScriptedUser(UserAgent):
     def notify(self, message: str) -> None:
         self.notices.append(message)
 
+    def interaction_fingerprint(self) -> Optional[str]:
+        from repro.utils.seed import stable_hash
+        if type(self) is not ScriptedUser:
+            return None  # a subclass's overridden replies aren't in the hash
+        # Only the corrections *not yet consumed* steer future parses: a
+        # partially-replayed user must not share cached plans with a fresh one.
+        script = (tuple(sorted(self.clarification_answers.items())),
+                  tuple(self._corrections[self._correction_index:]),
+                  self.anomaly_choice)
+        return f"scripted:{stable_hash(script):016x}"
+
+    def clone(self) -> "ScriptedUser":
+        """An independent user continuing from this one's current state."""
+        return ScriptedUser(self.clarification_answers,
+                            self._corrections[self._correction_index:],
+                            self.anomaly_choice)
+
 
 class ConsoleUser(UserAgent):
     """A real user at a terminal (used by the interactive example script)."""
@@ -102,3 +144,6 @@ class ConsoleUser(UserAgent):
 
     def notify(self, message: str) -> None:
         print(f"[KathDB] {message}")
+
+    def interaction_fingerprint(self) -> Optional[str]:
+        return None  # a human's replies cannot be fingerprinted ahead of time

@@ -33,6 +33,10 @@ class ModelSuite:
     ner: EntityExtractor
     detector: PixelObjectDetector
     ocr: OCRTextExtractor
+    # Creation parameters, retained so sessions can fork seed-identical suites.
+    seed: object = 0
+    vlm_error_rate: float = 0.05
+    ocr_error_rate: float = 0.02
 
     @classmethod
     def create(cls, seed: object = 0, vlm_error_rate: float = 0.05,
@@ -53,7 +57,8 @@ class ModelSuite:
         cost_meter:
             A shared cost meter; a fresh one is created when omitted.
         """
-        meter = cost_meter or CostMeter()
+        # CostMeter is sized (a fresh one is falsy), so test for None explicitly.
+        meter = cost_meter if cost_meter is not None else CostMeter()
         lex = lexicon or default_lexicon()
         return cls(
             cost_meter=meter,
@@ -64,7 +69,29 @@ class ModelSuite:
             ner=EntityExtractor(cost_meter=meter, lexicon=lex),
             detector=PixelObjectDetector(cost_meter=meter),
             ocr=OCRTextExtractor(cost_meter=meter, seed=seed, error_rate=ocr_error_rate),
+            seed=seed,
+            vlm_error_rate=vlm_error_rate,
+            ocr_error_rate=ocr_error_rate,
         )
+
+    def fork(self, cost_meter: Optional[CostMeter] = None,
+             lexicon: Optional[Lexicon] = None) -> "ModelSuite":
+        """A session-scoped suite: same seeds and noise levels as this one, but
+        a fresh cost meter and a private copy of the lexicon.
+
+        Because every simulated model derives its randomness per input (the
+        RNGs fork on the item being processed, not on call order), a forked
+        suite produces bit-identical outputs to its parent; only the ledgers
+        and the mutable lexicon are isolated.
+        """
+        meter = cost_meter if cost_meter is not None else \
+            CostMeter(latency_scale=self.cost_meter.latency_scale,
+                      max_sleep_s=self.cost_meter.max_sleep_s)
+        return ModelSuite.create(seed=self.seed,
+                                 vlm_error_rate=self.vlm_error_rate,
+                                 ocr_error_rate=self.ocr_error_rate,
+                                 lexicon=lexicon or self.lexicon.copy(),
+                                 cost_meter=meter)
 
     def reset_costs(self) -> None:
         """Clear the shared cost meter."""

@@ -10,6 +10,7 @@ synthetic latency, tagged with the model name and a free-form *purpose*
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -64,8 +65,14 @@ class CostMeter:
         "ocr": 0.000003,
     }
 
-    def __init__(self):
+    def __init__(self, latency_scale: float = 0.0, max_sleep_s: float = 0.05):
         self._calls: List[ModelCall] = []
+        # When > 0, every recorded call actually *sleeps* its synthetic latency
+        # multiplied by this scale (capped per call).  Real model calls are
+        # network-bound, so this is what makes the concurrency benchmarks
+        # honest: sleeping releases the GIL exactly like an HTTP wait would.
+        self.latency_scale = latency_scale
+        self.max_sleep_s = max_sleep_s
 
     # -- recording ------------------------------------------------------------
     def record(self, model: str, purpose: str, prompt_tokens: int,
@@ -80,6 +87,8 @@ class CostMeter:
                          completion_tokens=max(0, int(completion_tokens)),
                          latency_s=latency_s)
         self._calls.append(call)
+        if self.latency_scale > 0.0 and call.latency_s > 0.0:
+            time.sleep(min(call.latency_s * self.latency_scale, self.max_sleep_s))
         return call
 
     def reset(self) -> None:

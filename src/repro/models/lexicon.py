@@ -64,6 +64,28 @@ class Lexicon:
         else:
             concept.terms.update(normalize(t) for t in terms)
 
+    def fingerprint(self) -> str:
+        """A process-stable digest of every concept cluster.
+
+        Clarifications extend a session's private lexicon at runtime and the
+        lexicon steers parsing/keyword generation, so prepared-query cache
+        keys include this digest: sessions whose lexicons diverged must not
+        share compiled plans.
+        """
+        from repro.utils.seed import stable_hash
+        payload = tuple((name, tuple(sorted(self._concepts[name].terms)))
+                        for name in sorted(self._concepts))
+        return f"{stable_hash(payload):016x}"
+
+    def copy(self) -> "Lexicon":
+        """A deep copy of this lexicon.
+
+        Sessions clone the shared lexicon so that user clarifications recorded
+        in one session never leak into concurrently running sessions.
+        """
+        return Lexicon(Concept(c.name, set(c.terms), c.description)
+                       for c in self._concepts.values())
+
     # -- queries -----------------------------------------------------------------
     def concept_names(self) -> List[str]:
         """All registered concept names."""

@@ -52,6 +52,37 @@ class PhysicalPlan:
         self.operators.append(operator)
         return operator
 
+    def clone(self) -> "PhysicalPlan":
+        """A per-execution copy: fresh operator shells over the shared nodes
+        and functions.
+
+        The engine reassigns ``operator.function`` when it repairs an
+        implementation on the fly, so a cached (prepared) plan must never be
+        executed directly — each run gets its own operator objects instead.
+        """
+        operators = [PhysicalOperator(node=op.node, function=op.function,
+                                      estimated_tokens=op.estimated_tokens,
+                                      estimated_runtime_s=op.estimated_runtime_s,
+                                      estimated_cardinality=op.estimated_cardinality,
+                                      profile=op.profile,
+                                      alternatives_considered=op.alternatives_considered)
+                     for op in self.operators]
+        return PhysicalPlan(operators=operators, logical_plan=self.logical_plan,
+                            rewrites_applied=list(self.rewrites_applied))
+
+    def pin_versions(self, registry, versions: Dict[str, int]) -> "PhysicalPlan":
+        """Swap specific function versions into this plan's operators.
+
+        ``versions`` maps operator names to version ids resolved from the
+        ``registry``; unmentioned operators are untouched.  Call this on a
+        per-execution :meth:`clone`, never on a cached plan.  Returns self.
+        """
+        for operator in self.operators:
+            if operator.name in versions:
+                operator.function = registry.get(operator.name,
+                                                 versions[operator.name])
+        return self
+
     def operator(self, name: str) -> PhysicalOperator:
         """Look up an operator by its node name."""
         for operator in self.operators:

@@ -11,6 +11,7 @@ queries skip the per-candidate execution of sample rows.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -76,6 +77,10 @@ class ProfileCache:
         self.path = Path(path) if path else None
         self.min_samples = min_samples
         self._entries: Dict[Tuple[str, str], CachedProfile] = {}
+        # One cache is shared by every session's optimizer; updates are
+        # multi-field read-modify-writes and must stay atomic under
+        # concurrent compiles.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         if self.path is not None and self.path.exists():
@@ -84,18 +89,22 @@ class ProfileCache:
     # -- lookups -----------------------------------------------------------------
     def get(self, family: str, variant: str) -> Optional[CachedProfile]:
         """A usable cached profile, or None (counts hit/miss)."""
-        entry = self._entries.get((family, variant))
-        if entry is not None and entry.samples >= self.min_samples:
-            self.hits += 1
-            return entry
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get((family, variant))
+            if entry is not None and entry.samples >= self.min_samples:
+                self.hits += 1
+                # Hand out a snapshot so callers read a consistent set of
+                # averages even if another thread folds in a sample now.
+                return CachedProfile.from_dict(entry.to_dict())
+            self.misses += 1
+            return None
 
     def record(self, family: str, variant: str, profile: ProfileResult) -> CachedProfile:
         """Fold a freshly measured profile into the cache."""
-        entry = self._entries.setdefault((family, variant), CachedProfile())
-        entry.update(profile)
-        return entry
+        with self._lock:
+            entry = self._entries.setdefault((family, variant), CachedProfile())
+            entry.update(profile)
+            return entry
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -13,6 +13,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.errors import DuplicateTableError, UnknownTableError
 from repro.relational.schema import Schema
 from repro.relational.table import Table
+from repro.utils.seed import stable_hash
 
 
 @dataclass
@@ -122,6 +123,21 @@ class Catalog:
 
     def __iter__(self) -> Iterable[CatalogEntry]:
         return iter(self._entries.values())
+
+    def fingerprint(self) -> str:
+        """A process-stable digest of the catalog's registered contents.
+
+        Covers table names, kinds, row counts, and column names — everything
+        that determines how a query parses, plans, and optimizes.  Prepared
+        queries are keyed on this, so reloading or altering the corpus
+        invalidates cached plans.
+        """
+        parts = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            parts.append((entry.table.name, entry.kind, len(entry.table),
+                          tuple(entry.table.schema.column_names())))
+        return f"{stable_hash(tuple(parts), bits=64):016x}"
 
     # -- agent context ------------------------------------------------------------
     def sample_rows(self, name: str, n: int = 3) -> List[Dict[str, Any]]:

@@ -1,0 +1,399 @@
+"""Tests for the layered Session/Service API.
+
+Covers the concurrency contract of the redesign: session isolation (shared
+catalog/lineage/lexicon stay read-only during queries), prepared-query cache
+behaviour, batch determinism under worker threads, and the structured
+request/response surface.
+"""
+
+import pytest
+
+from repro import (
+    KathDB,
+    KathDBConfig,
+    KathDBService,
+    QueryOptions,
+    QueryRequest,
+    ScriptedUser,
+    SilentUser,
+    build_movie_corpus,
+)
+from repro.data.workloads import (
+    FLAGSHIP_CLARIFICATION,
+    FLAGSHIP_CORRECTION,
+    FLAGSHIP_QUERY,
+)
+from repro.interaction.user import UserAgent
+
+BORING_QUERY = "Which films have a boring poster?"
+RECENT_QUERY = "List the films released after 2000."
+
+
+def flagship_user() -> ScriptedUser:
+    return ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}, [FLAGSHIP_CORRECTION])
+
+
+def service_config(**overrides) -> KathDBConfig:
+    defaults = dict(seed=7, monitor_enabled=False, explore_variants=False)
+    defaults.update(overrides)
+    return KathDBConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def service(corpus):
+    svc = KathDBService(service_config())
+    svc.load_corpus(corpus)
+    yield svc
+    svc.shutdown()
+
+
+def fresh_service(corpus, **overrides) -> KathDBService:
+    svc = KathDBService(service_config(**overrides))
+    svc.load_corpus(corpus)
+    return svc
+
+
+def rows_of(response):
+    assert response.ok, response.error
+    return [dict(row) for row in response.result.final_table]
+
+
+class TestSessionIsolation:
+    def test_interleaved_sessions_match_solo_runs(self, corpus):
+        # Reference: each session's query sequence runs alone on its own service.
+        ref_a = fresh_service(corpus).session(name="a")
+        expected_boring = rows_of(ref_a.query(BORING_QUERY))
+        expected_recent = rows_of(ref_a.query(RECENT_QUERY))
+        ref_b = fresh_service(corpus).session(name="b", user=flagship_user())
+        expected_flagship = rows_of(ref_b.query(FLAGSHIP_QUERY))
+
+        # Interleaved: the same two sequences take turns on one shared service.
+        svc = fresh_service(corpus)
+        a = svc.session(name="a")
+        b = svc.session(name="b", user=flagship_user())
+        got_boring = rows_of(a.query(BORING_QUERY))
+        got_flagship = rows_of(b.query(FLAGSHIP_QUERY))
+        got_recent = rows_of(a.query(RECENT_QUERY))
+
+        assert got_boring == expected_boring
+        assert got_flagship == expected_flagship
+        assert got_recent == expected_recent
+
+    def test_queries_leave_shared_state_untouched(self, corpus):
+        svc = fresh_service(corpus)
+        tables_before = set(svc.catalog.table_names())
+        lineage_before = len(svc.lineage)
+        concepts_before = set(svc.models.lexicon.concept_names())
+
+        session = svc.session(user=flagship_user())
+        response = session.query(FLAGSHIP_QUERY)
+        assert response.ok
+
+        # Catalog: no intermediate tables registered.
+        assert set(svc.catalog.table_names()) == tables_before
+        # Shared lineage store: execution recorded only into the session scope.
+        assert len(svc.lineage) == lineage_before
+        assert len(session.lineage) > 0
+        # Shared lexicon: the clarification taught only the session's copy.
+        assert set(svc.models.lexicon.concept_names()) == concepts_before
+        assert "exciting" in session.models.lexicon.concept_names()
+        # The session exposes its private intermediates namespace instead.
+        assert "films_with_final_score" in session.intermediates()
+
+    def test_scoped_lineage_traces_to_corpus_sources(self, corpus):
+        svc = fresh_service(corpus)
+        session = svc.session(user=flagship_user())
+        result = session.query(FLAGSHIP_QUERY).result
+        lid = result.rows()[0]["lid"]
+        # The scoped store resolves the full derivation, down to the raw files
+        # recorded in the *base* store at corpus-load time.
+        ancestors = session.lineage.ancestors_of(lid)
+        uris = [session.lineage.entries_for(a)[0].src_uri for a in ancestors]
+        assert any(uri and "movie_table" in uri for uri in uris)
+        # ...but the base store has never heard of the session's lids.
+        assert not svc.lineage.has_lid(lid)
+
+    def test_session_table_lids_persist_across_queries(self, corpus):
+        svc = fresh_service(corpus)
+        session = svc.session()
+        session.query(BORING_QUERY)
+        # The lid map kept the first query's intermediates, so a later query
+        # referencing them would record real parents, not NULLs.
+        context = session.execution_context()
+        assert "films_with_boring_flag" in context.intermediates
+        assert context.table_lids.get("films_with_boring_flag") is not None
+
+    def test_facade_and_session_lineage_scopes_stay_disjoint(self, corpus):
+        # The legacy facade allocates from the shared base store; a session
+        # created *before* a facade query must not see the facade's edges
+        # even though both ranges overlap numerically.
+        db = KathDB(service_config())
+        db.load_corpus(corpus)
+        session = db.session()
+        db.query(BORING_QUERY, user=SilentUser())   # base store advances
+        base_entries_before_use = len(db.lineage)
+        response = session.query(RECENT_QUERY)       # scope rebases past the facade
+        # Session lids never collide with base lids (including the facade's).
+        local_lids = {e.lid for e in session.lineage.entries}
+        base_lids = {e.lid for e in db.lineage.entries}
+        assert local_lids and local_lids.isdisjoint(base_lids)
+        # The export is exactly: base-as-of-first-use plus the session's edges.
+        exported = session.lineage.to_table()
+        assert len(exported) == base_entries_before_use + len(session.lineage)
+        # The session still resolves its own lids and their ancestry.
+        top_lid = response.result.rows()[0]["lid"]
+        assert session.lineage.producing_function(top_lid) is not None
+        assert session.lineage.ancestors_of(top_lid)
+
+    def test_session_created_before_load_corpus_still_traces(self, corpus):
+        # A session built before the corpus was loaded must not mask or
+        # collide with the lineage recorded during population.
+        svc = KathDBService(service_config())
+        early = svc.session()
+        svc.load_corpus(corpus)
+        response = early.query(BORING_QUERY)
+        assert response.ok
+        top_lid = response.result.rows()[0]["lid"]
+        ancestors = early.lineage.ancestors_of(top_lid)
+        uris = [early.lineage.entries_for(a)[0].src_uri for a in ancestors]
+        assert any(uri and "movie_table" in uri for uri in uris)
+        local_lids = {e.lid for e in early.lineage.entries}
+        assert local_lids.isdisjoint({e.lid for e in svc.lineage.entries})
+
+    def test_session_token_ledgers_are_private(self, corpus):
+        svc = fresh_service(corpus)
+        shared_before = svc.total_tokens()
+        session = svc.session()
+        response = session.query(BORING_QUERY)
+        assert response.total_tokens > 0
+        assert session.total_tokens() == response.total_tokens
+        assert svc.total_tokens() == shared_before
+
+
+class TestPreparedQueries:
+    def test_second_identical_query_hits_the_cache(self, corpus):
+        svc = fresh_service(corpus)
+        first = svc.query(BORING_QUERY)
+        second = svc.query(BORING_QUERY)
+        assert not first.prepared_hit and first.prepare_tokens > 0
+        assert second.prepared_hit and second.prepare_tokens == 0
+        assert rows_of(first) == rows_of(second)
+        stats = svc.prepared_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_normalization_shares_plans_across_spellings(self, corpus):
+        svc = fresh_service(corpus)
+        svc.query(BORING_QUERY)
+        variant = svc.query("  which FILMS have a  boring poster ")
+        assert variant.prepared_hit
+
+    def test_different_user_scripts_do_not_share_plans(self, corpus):
+        svc = fresh_service(corpus)
+        exciting = ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION})
+        awards = ScriptedUser({"exciting": "films that won many awards"})
+        first = svc.query("Rank every film by how exciting its plot is.", user=exciting)
+        second = svc.query("Rank every film by how exciting its plot is.", user=awards)
+        assert first.ok and second.ok
+        assert not second.prepared_hit  # different clarification -> different key
+
+    def test_partially_consumed_scripted_user_gets_its_own_key(self):
+        # A ScriptedUser that already spent a correction steers parsing
+        # differently from a fresh one, so their fingerprints must differ.
+        fresh = flagship_user()
+        consumed = flagship_user()
+        consumed.review_sketch("(sketch v1)", 1)
+        assert fresh.interaction_fingerprint() != consumed.interaction_fingerprint()
+        # Once fully drained it matches a user scripted with no corrections.
+        drained = ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION})
+        assert consumed.interaction_fingerprint() == drained.interaction_fingerprint()
+
+    def test_custom_agents_are_uncacheable_by_default(self):
+        class HomegrownUser(UserAgent):
+            pass  # forgets to define interaction_fingerprint
+
+        assert HomegrownUser().interaction_fingerprint() is None
+        assert SilentUser().interaction_fingerprint() == "silent"
+
+    def test_failed_compiles_release_their_key_locks(self):
+        svc = KathDBService(service_config())  # no corpus -> compiles fail
+        for _ in range(3):
+            assert not svc.query(BORING_QUERY).ok
+        assert svc.prepared._key_locks == {}
+
+    def test_unfingerprintable_user_is_uncacheable(self, corpus):
+        class OpaqueUser(UserAgent):
+            def interaction_fingerprint(self):
+                return None
+
+        svc = fresh_service(corpus)
+        response = svc.query(BORING_QUERY, user=OpaqueUser())
+        assert response.ok and not response.prepared_hit
+        assert svc.prepared_stats()["uncacheable"] == 1
+
+    def test_use_prepared_false_bypasses_the_cache(self, corpus):
+        svc = fresh_service(corpus)
+        svc.query(BORING_QUERY)
+        bypass = svc.query(BORING_QUERY, options=QueryOptions(use_prepared=False))
+        assert not bypass.prepared_hit and bypass.prepare_tokens > 0
+
+    def test_cached_plans_adopt_runtime_repairs(self, corpus):
+        # A data-dependent fault repaired during one execution must be folded
+        # back into the cached plan — later hits start from the repaired
+        # version instead of re-paying the repair (and re-registering a new
+        # registry version) on every request.
+        from repro.fao.codegen import FAULT_SYNTACTIC_FRAGILE
+        svc = fresh_service(
+            corpus,
+            variant_overrides={"classify_boring": "scene_statistics"},
+            fault_injection={"classify_boring": FAULT_SYNTACTIC_FRAGILE})
+        # The fault only fires on an unsupported format beyond the optimizer's
+        # profiling sample, so it surfaces at execution time (as in the
+        # interactive_repair example).
+        posters = svc.catalog.table("poster_images")
+        victim = posters.rows[10]
+        victim["image_uri"] = victim["image_uri"].replace(".png", ".heic")
+
+        first = svc.query(BORING_QUERY)
+        assert first.ok and first.result.repairs_performed() > 0
+        versions_after_first = svc.registry.version_count("classify_boring")
+        second = svc.query(BORING_QUERY)
+        assert second.ok and second.prepared_hit
+        assert second.result.repairs_performed() == 0
+        assert svc.registry.version_count("classify_boring") == versions_after_first
+        assert rows_of(first) == rows_of(second)
+
+    def test_reload_invalidates_prepared_plans(self, corpus):
+        svc = fresh_service(corpus)
+        svc.query(BORING_QUERY)
+        assert len(svc.prepared) == 1
+        svc.load_corpus(build_movie_corpus(size=8, seed=3))
+        assert len(svc.prepared) == 0
+        fresh = svc.query(BORING_QUERY)
+        assert not fresh.prepared_hit
+
+
+class TestBatchExecution:
+    WORKLOAD = [BORING_QUERY, RECENT_QUERY, BORING_QUERY, RECENT_QUERY,
+                BORING_QUERY, RECENT_QUERY, BORING_QUERY, RECENT_QUERY]
+
+    def _requests(self):
+        return [QueryRequest(nl_query=q, user=SilentUser()) for q in self.WORKLOAD]
+
+    def test_query_batch_with_four_workers_matches_serial(self, corpus):
+        svc = fresh_service(corpus)
+        serial = svc.query_batch(self._requests(), jobs=1)
+        parallel = svc.query_batch(self._requests(), jobs=4)
+        assert all(r.ok for r in serial) and all(r.ok for r in parallel)
+        for s, p in zip(serial, parallel):
+            assert rows_of(s) == rows_of(p)
+
+    def test_batch_includes_interactive_scripted_queries(self, corpus):
+        svc = fresh_service(corpus)
+        requests = [QueryRequest(nl_query=FLAGSHIP_QUERY, user=flagship_user())
+                    for _ in range(4)]
+        serial = svc.query_batch(requests, jobs=1)
+        parallel = svc.query_batch(
+            [QueryRequest(nl_query=FLAGSHIP_QUERY, user=flagship_user())
+             for _ in range(4)], jobs=4)
+        reference = rows_of(serial[0])
+        assert reference[0]["title"] == "Guilty by Suspicion"
+        for response in serial + parallel:
+            assert rows_of(response) == reference
+
+    def test_shared_user_convenience_is_cloned_per_request(self, corpus):
+        # Passing one stateful user for a whole batch must not race its
+        # correction cursor: every request gets an equivalent private copy.
+        svc = fresh_service(corpus)
+        shared = flagship_user()
+        responses = svc.query_batch([FLAGSHIP_QUERY] * 4, user=shared, jobs=4)
+        assert all(r.ok for r in responses)
+        reference = rows_of(responses[0])
+        assert all(rows_of(r) == reference for r in responses)
+        # The caller's own agent was never consumed.
+        assert shared._correction_index == 0
+        # The same holds when the shared agent is embedded in the requests.
+        embedded = flagship_user()
+        requests = [QueryRequest(nl_query=FLAGSHIP_QUERY, user=embedded)
+                    for _ in range(4)]
+        responses = svc.query_batch(requests, jobs=4)
+        assert all(rows_of(r) == reference for r in responses)
+        assert embedded._correction_index == 0
+
+    def test_diverged_session_lexicons_do_not_share_plans(self, corpus):
+        svc = fresh_service(corpus)
+        taught = svc.session(user=flagship_user())
+        taught.query(FLAGSHIP_QUERY)      # clarification extends taught's lexicon
+        follow_up = taught.query(BORING_QUERY)
+        pristine = svc.session()
+        fresh = pristine.query(BORING_QUERY)
+        # The diverged session compiled its own plan; the pristine one did not
+        # inherit a plan built under the taught lexicon.
+        assert not follow_up.prepared_hit and not fresh.prepared_hit
+        assert rows_of(follow_up) and rows_of(fresh)
+
+    def test_submit_and_gather(self, corpus):
+        svc = fresh_service(corpus)
+        futures = [svc.submit(q) for q in (BORING_QUERY, RECENT_QUERY)]
+        responses = svc.gather(futures)
+        assert [len(r.result.final_table) for r in responses] == \
+            [len(rows_of(svc.query(q))) for q in (BORING_QUERY, RECENT_QUERY)]
+        svc.shutdown()
+
+    def test_failures_are_captured_not_raised(self):
+        svc = KathDBService(service_config())  # no corpus loaded
+        response = svc.query(BORING_QUERY)
+        assert not response.ok
+        assert "PlanVerificationError" in response.error
+        with pytest.raises(RuntimeError):
+            response.raise_for_error()
+
+
+class TestRequestOptions:
+    def test_function_version_pins(self, corpus):
+        svc = fresh_service(corpus, explore_variants=True)
+        first = svc.query(FLAGSHIP_QUERY, user=flagship_user())
+        assert first.ok
+        versions = svc.registry.versions("gen_excitement_score")
+        keyword = next(f for f in versions if f.variant == "keyword_overlap")
+        pinned = svc.query(
+            FLAGSHIP_QUERY, user=flagship_user(),
+            options=QueryOptions(function_versions={"gen_excitement_score": keyword.version}))
+        record = pinned.result.record_for("gen_excitement_score")
+        assert record.function_variant == "keyword_overlap"
+        # Pins are applied per execution, so the pinned request shares the
+        # compiled artifact instead of recompiling...
+        assert pinned.prepared_hit and pinned.prepare_tokens == 0
+        # ...and never leaks back into the cached plan.
+        replay = svc.query(FLAGSHIP_QUERY, user=flagship_user())
+        assert replay.result.record_for("gen_excitement_score").function_variant != \
+            "keyword_overlap"
+
+    def test_explanations_attached_on_request(self, service):
+        response = service.query(BORING_QUERY,
+                                 options=QueryOptions(explain=True, explain_top=True))
+        assert response.explanation and response.explanation.startswith("How KathDB answered")
+        assert response.top_explanation and "derivation chain" in response.top_explanation
+
+    def test_response_describe_mentions_cache_state(self, service):
+        response = service.query(RECENT_QUERY)
+        text = response.describe()
+        assert "rows" in text and "tokens" in text
+
+
+class TestFacadeSessionBridge:
+    def test_kathdb_sessions_share_the_loaded_corpus(self, corpus):
+        db = KathDB(service_config())
+        db.load_corpus(corpus)
+        session = db.session()
+        response = session.query(BORING_QUERY)
+        legacy = db.query(BORING_QUERY, user=SilentUser())
+        assert rows_of(response) == [dict(r) for r in legacy.final_table]
+        # The isolated session never moved the facade's ledger or lineage.
+        assert session.total_tokens() > 0
+        assert not db.catalog.has_table("films_with_boring_flag")
+
+    def test_default_session_is_exposed(self, corpus):
+        db = KathDB(service_config())
+        db.load_corpus(corpus)
+        db.query(BORING_QUERY, user=SilentUser())
+        assert db.default_session.last_result is db.last_result

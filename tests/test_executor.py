@@ -59,14 +59,29 @@ class TestBasicExecution:
         assert result.record_for("rank_films").rows_out == len(result.final_table)
         assert "execution records" in result.describe()
 
-    def test_intermediates_registered_in_catalog(self, corpus):
+    def test_intermediates_stay_out_of_the_catalog(self, corpus):
+        # Intermediates live in the execution context / result, never in the
+        # shared catalog: concurrent queries must not see each other's state.
         models, catalog, lineage, registry, optimizer, engine = build_environment(corpus)
         channel = flagship_channel()
         physical, _ = optimizer.optimize(flagship_plan(models, catalog, channel))
+        tables_before = set(catalog.table_names())
         result = engine.execute(physical, channel)
         assert "films_with_final_score" in result.intermediates
-        assert catalog.has_table("films_with_final_score")
-        assert catalog.entry("films_with_final_score").kind == "intermediate"
+        assert not catalog.has_table("films_with_final_score")
+        assert set(catalog.table_names()) == tables_before
+
+    def test_execution_context_namespace_persists(self, corpus):
+        # A caller-supplied context accumulates intermediates across runs,
+        # giving sessions a private namespace later queries can reference.
+        from repro.executor.context import ExecutionContext
+        models, catalog, lineage, registry, optimizer, engine = build_environment(corpus)
+        channel = flagship_channel()
+        physical, _ = optimizer.optimize(flagship_plan(models, catalog, channel))
+        context = ExecutionContext.for_catalog(catalog, lineage=lineage)
+        engine.execute(physical, channel, context=context)
+        assert "films_with_final_score" in context.intermediates
+        assert context.table_lids["films_with_final_score"] > 0
 
     def test_row_lineage_for_narrow_and_table_for_wide(self, corpus):
         models, catalog, lineage, registry, optimizer, engine = build_environment(corpus)

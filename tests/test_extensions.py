@@ -159,6 +159,20 @@ class TestRollbackAndRerun:
         with pytest.raises(ValueError):
             db.rerun_with_versions(None, {})
 
+    def test_rerun_preserves_the_source_transcript(self, rollback_db):
+        # Regression: the rerun used to build a fresh InteractionChannel with
+        # no transcript, silently dropping the original query's clarification
+        # and correction history (and any recorded explanations).
+        db, original = rollback_db
+        original_turns = original.transcript.user_turns()
+        assert original_turns > 0
+        rerun = db.rerun_with_versions(original)
+        assert rerun.transcript is original.transcript
+        assert rerun.transcript.user_turns() >= original_turns
+        clarifications = [i for i in rerun.transcript
+                          if "exciting" in (i.metadata or {}).get("term", "")]
+        assert clarifications, "the original clarification must survive the rerun"
+
 
 class TestCLI:
     def test_parse_clarifications(self):
