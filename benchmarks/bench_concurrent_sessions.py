@@ -62,8 +62,13 @@ def make_requests(count: int) -> List[QueryRequest]:
 def run_benchmark(corpus_size: int = 20, requests: int = 8, jobs: int = 4,
                   latency_scale: float = LATENCY_SCALE) -> Dict:
     """Serve the batch serially and concurrently; return the recorded metrics."""
+    # The model gateway is disabled here on purpose: this benchmark isolates
+    # worker-pool *execution overlap* (every request must pay its own model
+    # calls, hence the serial-vs-parallel token parity assertion below).
+    # bench_gateway.py measures the gateway's cross-request dedup on top.
     service = KathDBService(KathDBConfig(seed=7, monitor_enabled=False,
                                          explore_variants=False,
+                                         enable_model_gateway=False,
                                          simulate_model_latency=latency_scale))
     service.load_corpus(build_movie_corpus(size=corpus_size, seed=7))
 
@@ -140,9 +145,14 @@ def main() -> int:
         args.size, args.requests = 12, 4
     record = run_benchmark(corpus_size=args.size, requests=args.requests,
                            jobs=args.jobs, latency_scale=args.scale)
-    save(record)
-    print(report(record))
-    print(f"wrote {RESULT_PATH}")
+    if args.quick:
+        # Smoke runs validate via the exit code only: the committed record
+        # holds the full workload, which a quick run must not overwrite.
+        print(report(record))
+    else:
+        save(record)
+        print(report(record))
+        print(f"wrote {RESULT_PATH}")
     ok = record["row_identical"] and record["speedup"] >= 2.0
     return 0 if ok else 1
 

@@ -62,6 +62,10 @@ class QueryResponse:
     wall_clock_s: float = 0.0
     explanation: Optional[str] = None
     top_explanation: Optional[str] = None
+    # What the model gateway did for this request (hits/misses/coalesced/
+    # semantic_hits/tokens_saved/tokens_charged); None when no gateway routed
+    # the session.
+    gateway_stats: Optional[Dict[str, int]] = None
 
     @property
     def total_tokens(self) -> int:
@@ -80,5 +84,8 @@ class QueryResponse:
             return f"[{self.session_id}] ERROR: {self.error}"
         rows = len(self.result.final_table) if self.result is not None else 0
         hit = " (prepared)" if self.prepared_hit else ""
+        saved = ""
+        if self.gateway_stats and self.gateway_stats.get("tokens_saved"):
+            saved = f", {self.gateway_stats['tokens_saved']} tokens saved by gateway"
         return (f"[{self.session_id}] {rows} rows, {self.total_tokens} tokens, "
-                f"{self.wall_clock_s * 1000:.1f} ms{hit}")
+                f"{self.wall_clock_s * 1000:.1f} ms{hit}{saved}")

@@ -26,6 +26,7 @@ from repro.data.mmqa import MovieCorpus
 from repro.datamodel.lineage import LineageStore
 from repro.datamodel.views import PopulationReport, ViewPopulator
 from repro.fao.registry import FunctionRegistry
+from repro.gateway.gateway import ModelGateway
 from repro.interaction.user import UserAgent
 from repro.models.base import ModelSuite
 from repro.models.cost import CostMeter
@@ -47,7 +48,16 @@ class KathDBService:
         self.catalog = Catalog()
         self.lineage = LineageStore(level=self.config.lineage_level)
         self.registry = FunctionRegistry(workspace=self.config.workspace)
-        self.populator = ViewPopulator(self.models, self.catalog, self.lineage)
+        # The model gateway fronts all foundation-model traffic from service
+        # sessions (and corpus population): shared exact/semantic caching,
+        # in-flight coalescing, micro-batching, and admission control.
+        gateway_config = self.config.gateway_config()
+        self.gateway: Optional[ModelGateway] = (
+            ModelGateway(gateway_config) if gateway_config is not None else None)
+        populator_models = (
+            self.gateway.route(self.models, "loader", quota_exempt=True)
+            if self.gateway is not None else self.models)
+        self.populator = ViewPopulator(populator_models, self.catalog, self.lineage)
         self.profile_cache = (ProfileCache(path=self.config.profile_cache_path)
                               if self.config.enable_profile_cache else None)
         self.prepared: Optional[PreparedQueryCache] = (
@@ -66,6 +76,15 @@ class KathDBService:
         This is the only phase that writes to the shared catalog and lineage
         store; afterwards both are treated as read-only by every session.
         """
+        # Swapping corpora invalidates cached gateway results: their keys are
+        # content-addressed (image URIs, plot texts) and URIs *collide*
+        # across corpora — two corpora both contain
+        # file://posters/clean_and_sober.png with different pixels.  Clear
+        # before populating so the population pass itself never reads a
+        # previous corpus's results.  (Prepared plans are cleared after
+        # population, below, once the new catalog fingerprint is final.)
+        if self.gateway is not None:
+            self.gateway.clear()
         self.population_report = self.populator.load_corpus(corpus,
                                                             populate_views=populate_views)
         self.invalidate_prepared()
@@ -194,6 +213,10 @@ class KathDBService:
         """Prepared-query cache counters (empty when the cache is disabled)."""
         return self.prepared.stats.as_dict() if self.prepared is not None else {}
 
+    def gateway_stats(self) -> Dict[str, int]:
+        """Headline model-gateway counters (empty when the gateway is off)."""
+        return self.gateway.flat_stats() if self.gateway is not None else {}
+
     def describe(self) -> str:
         """A short status summary for operators."""
         lines = [f"KathDBService: {len(self.catalog)} catalog tables, "
@@ -201,4 +224,6 @@ class KathDBService:
                  f"{self.max_workers} workers"]
         if self.prepared is not None:
             lines.append(self.prepared.describe())
+        if self.gateway is not None:
+            lines.append(self.gateway.describe())
         return "\n".join(lines)

@@ -47,7 +47,17 @@ class Session:
         self.service = service
         self.id = session_id
         self.default_user = user or SilentUser()
-        self.models = models if models is not None else service.models.fork()
+        if models is not None:
+            # Legacy facade path: the caller wired the suite explicitly (the
+            # shared one); keep its historical direct accounting un-routed.
+            self.models = models
+        else:
+            self.models = service.models.fork()
+            if service.gateway is not None:
+                # Route the fork through the shared gateway: identical calls
+                # across sessions are cached/coalesced/batched service-wide
+                # while misses still charge this session's private meter.
+                self.models = self.models.routed(service.gateway, session_id)
         # ``or`` would discard an *empty* store (LineageStore is sized, and a
         # fresh one is falsy), so test for None explicitly.
         self.lineage = lineage if lineage is not None else ScopedLineageStore(service.lineage)
@@ -109,6 +119,9 @@ class Session:
         transcript = request.transcript if request.transcript is not None else self.transcript
         channel = InteractionChannel(agent, transcript)
 
+        gateway_client = getattr(self.models, "gateway_client", None)
+        gateway_marker = gateway_client.counters.snapshot() if gateway_client else None
+
         timer = Timer()
         with timer:
             prepared, hit = self._prepare(request, channel)
@@ -133,6 +146,10 @@ class Session:
                                  prepare_tokens=0 if hit else prepared.prepare_tokens,
                                  execute_tokens=execute_tokens,
                                  wall_clock_s=timer.elapsed)
+        if gateway_client is not None:
+            # What the shared gateway did for *this* request (per-session
+            # counters are race-free: a session runs one query at a time).
+            response.gateway_stats = gateway_client.counters.delta(gateway_marker)
         if opts.explain:
             response.explanation = self.stack.explainer.explain_pipeline(result)
         if opts.explain_top and len(result.final_table) and \

@@ -69,6 +69,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="run the query N times through the service layer (default: 1)")
     parser.add_argument("--no-prepared", action="store_true",
                         help="disable the prepared-query cache in batch mode")
+    parser.add_argument("--no-model-cache", action="store_true",
+                        help="disable the model gateway's shared result cache "
+                             "(coalescing/batching stay on; forces service mode)")
+    parser.add_argument("--gateway-stats", action="store_true",
+                        help="print the model gateway's counters after the run "
+                             "(forces service mode)")
     parser.add_argument("--simulate-latency", type=float, default=0.0, metavar="SCALE",
                         help="sleep each model call's synthetic latency times SCALE "
                              "(makes batch throughput numbers honest; default: 0)")
@@ -107,6 +113,7 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
     config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
                           monitor_enabled=not args.no_monitor,
                           enable_prepared_cache=not args.no_prepared,
+                          enable_model_cache=not args.no_model_cache,
                           service_max_workers=max(1, args.jobs),
                           simulate_model_latency=max(0.0, args.simulate_latency))
     service = KathDBService(config)
@@ -145,6 +152,14 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
         stats = service.prepared_stats()
         print("prepared-query cache: " + ", ".join(f"{k}={v}" for k, v in stats.items()),
               file=output)
+    if args.gateway_stats:
+        if service.gateway is None:
+            print("model gateway: disabled", file=output)
+        else:
+            print(service.gateway.describe(), file=output)
+            if args.no_model_cache:
+                print("model gateway: result cache disabled (--no-model-cache)",
+                      file=output)
     first_ok = next((r for r in responses if r.ok), None)
     if first_ok is not None:
         print(first_ok.result.final_table.pretty(limit=args.limit), file=output)
@@ -168,10 +183,14 @@ def run(args: argparse.Namespace, output=None) -> int:
     if not query:
         print("error: provide --query or --flagship", file=output)
         return 2
-    if args.jobs > 1 or args.repeat > 1:
+    # Gateway flags only make sense on the service path (the legacy facade
+    # keeps its direct, un-routed accounting), so they force batch mode.
+    service_mode = (args.jobs > 1 or args.repeat > 1
+                    or args.gateway_stats or args.no_model_cache)
+    if service_mode:
         if args.interactive:
-            print("error: --interactive cannot be combined with batch mode "
-                  "(--jobs/--repeat)", file=output)
+            print("error: --interactive cannot be combined with service mode "
+                  "(--jobs/--repeat/--gateway-stats/--no-model-cache)", file=output)
             return 2
         return run_batch(args, query, output)
 

@@ -60,6 +60,29 @@ class KathDBConfig:
     # this factor (like a real network-bound model call would), so concurrency
     # benchmarks measure genuine overlap rather than GIL contention.
     simulate_model_latency: float = 0.0
+    # Model gateway: the shared front door for all foundation-model traffic
+    # (service sessions only; the legacy single-user facade keeps its
+    # historical direct accounting).  See src/repro/gateway/.
+    enable_model_gateway: bool = True
+    # Exact-match result cache (and the semantic tier riding on it).
+    enable_model_cache: bool = True
+    gateway_cache_entries: int = 4096
+    gateway_cache_token_budget: Optional[int] = None
+    # In-flight coalescing of identical concurrent calls.
+    enable_request_coalescing: bool = True
+    # Micro-batching of batchable kinds (embeddings, NER, detector).  A None
+    # window auto-selects: a few ms when model latency is simulated (there is
+    # wall-clock to amortize), zero (pure pass-through batching) otherwise.
+    enable_micro_batching: bool = True
+    gateway_batch_window_s: Optional[float] = None
+    gateway_max_batch: int = 32
+    # Semantic near-match tier for embeddings-backed predicates.  Off by
+    # default: with it off, gateway results are bit-identical to uncached runs.
+    enable_semantic_cache: bool = False
+    semantic_similarity_threshold: float = 0.97
+    # Admission control.
+    gateway_max_concurrency: int = 16
+    session_token_quota: Optional[int] = None
 
     def __post_init__(self):
         if self.lineage_level not in (LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE, LINEAGE_LEVEL_OFF):
@@ -74,3 +97,37 @@ class KathDBConfig:
             raise KathDBError("prepared_cache_size must be at least 1")
         if self.simulate_model_latency < 0:
             raise KathDBError("simulate_model_latency must be non-negative")
+        if self.gateway_cache_entries < 1:
+            raise KathDBError("gateway_cache_entries must be at least 1")
+        if self.gateway_batch_window_s is not None and self.gateway_batch_window_s < 0:
+            raise KathDBError("gateway_batch_window_s must be non-negative")
+        if self.gateway_max_batch < 1:
+            raise KathDBError("gateway_max_batch must be at least 1")
+        if not 0.0 < self.semantic_similarity_threshold <= 1.0:
+            raise KathDBError("semantic_similarity_threshold must be in (0, 1]")
+        if self.gateway_max_concurrency < 1:
+            raise KathDBError("gateway_max_concurrency must be at least 1")
+        if self.session_token_quota is not None and self.session_token_quota < 1:
+            raise KathDBError("session_token_quota must be positive when set")
+
+    def gateway_config(self):
+        """The :class:`~repro.gateway.gateway.GatewayConfig` these knobs imply,
+        or None when the gateway is disabled."""
+        if not self.enable_model_gateway:
+            return None
+        from repro.gateway.gateway import GatewayConfig
+        window = self.gateway_batch_window_s
+        if window is None:
+            window = 0.004 if self.simulate_model_latency > 0 else 0.0
+        return GatewayConfig(
+            enable_cache=self.enable_model_cache,
+            cache_entries=self.gateway_cache_entries,
+            cache_token_budget=self.gateway_cache_token_budget,
+            enable_coalescing=self.enable_request_coalescing,
+            enable_batching=self.enable_micro_batching,
+            batch_window_s=window,
+            max_batch=self.gateway_max_batch,
+            enable_semantic=self.enable_semantic_cache,
+            semantic_threshold=self.semantic_similarity_threshold,
+            max_concurrency=self.gateway_max_concurrency,
+            session_token_quota=self.session_token_quota)

@@ -130,3 +130,26 @@ class InteractionError(KathDBError):
 
 class UserAbortError(InteractionError):
     """The user explicitly aborted the current query."""
+
+
+# --------------------------------------------------------------------------
+# Model-gateway errors
+# --------------------------------------------------------------------------
+class GatewayError(KathDBError):
+    """Base class for model-gateway failures."""
+
+
+class SessionQuotaExceededError(GatewayError):
+    """A session hit its model-token quota; the gateway refused the call.
+
+    Admission control checks the quota *before* executing a miss, so a
+    session may overshoot by at most one call's cost.
+    """
+
+    def __init__(self, session_id: str, spent: int, quota: int):
+        super().__init__(
+            f"session {session_id!r} exceeded its model-token quota "
+            f"({spent} tokens spent, quota {quota})")
+        self.session_id = session_id
+        self.spent = spent
+        self.quota = quota

@@ -108,6 +108,11 @@ class ExecutionEngine:
             function_version=function.version, rows_in=rows_in, rows_out=0,
             runtime_s=0.0, tokens=0, lineage_data_type="off", output_table=node.output)
 
+        # Per-operator gateway delta: the suite's client counters are
+        # session-private, and a session executes one operator at a time.
+        gateway_client = getattr(self.models, "gateway_client", None)
+        gateway_marker = gateway_client.counters.snapshot() if gateway_client else None
+
         marker = self.models.cost_meter.snapshot()
         timer = Timer()
         with timer:
@@ -137,6 +142,11 @@ class ExecutionEngine:
         record.tokens = self.models.cost_meter.tokens_since(marker)
         record.function_version = function.version
         record.function_variant = function.variant
+        if gateway_client is not None:
+            delta = gateway_client.counters.delta(gateway_marker)
+            record.gateway_hits = (delta["hits"] + delta["coalesced"]
+                                   + delta["semantic_hits"])
+            record.gateway_tokens_saved = delta["tokens_saved"]
 
         # Lineage recording.
         record.lineage_data_type = self._record_lineage(node, function, inputs, output,

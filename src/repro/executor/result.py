@@ -30,6 +30,11 @@ class ExecutionRecord:
     table_lid: Optional[int] = None
     repairs: List[str] = field(default_factory=list)
     anomalies: List[str] = field(default_factory=list)
+    # Model-gateway activity while this operator ran (0 when no gateway
+    # routes the executing suite): calls answered without executing a model,
+    # and the tokens those answers would have cost.
+    gateway_hits: int = 0
+    gateway_tokens_saved: int = 0
 
     def describe(self) -> str:
         extras = []
@@ -37,6 +42,8 @@ class ExecutionRecord:
             extras.append(f"repairs={len(self.repairs)}")
         if self.anomalies:
             extras.append(f"anomalies={len(self.anomalies)}")
+        if self.gateway_hits:
+            extras.append(f"gateway_hits={self.gateway_hits}")
         suffix = (" [" + ", ".join(extras) + "]") if extras else ""
         return (f"{self.operator_name} v{self.function_version} ({self.function_variant}): "
                 f"{self.rows_in}->{self.rows_out} rows, {self.runtime_s * 1000:.1f} ms, "

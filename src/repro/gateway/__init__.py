@@ -1,0 +1,37 @@
+"""The model gateway: shared cache, coalescing, micro-batching, admission.
+
+See :mod:`repro.gateway.gateway` for the tier stack and
+:mod:`repro.gateway.proxy` for how model suites are routed through it.
+"""
+
+from repro.gateway.admission import AdmissionController
+from repro.gateway.batching import MicroBatcher
+from repro.gateway.cache import ExactResultCache
+from repro.gateway.coalesce import RequestCoalescer
+from repro.gateway.fingerprint import RequestKey, canonicalize, request_key
+from repro.gateway.gateway import (
+    GatewayConfig,
+    ModelGateway,
+    SessionCounters,
+    SessionGatewayClient,
+)
+from repro.gateway.proxy import is_routed, route_suite
+from repro.gateway.semantic import SEMANTIC_METHODS, SemanticNearCache
+
+__all__ = [
+    "AdmissionController",
+    "ExactResultCache",
+    "GatewayConfig",
+    "MicroBatcher",
+    "ModelGateway",
+    "RequestCoalescer",
+    "RequestKey",
+    "SEMANTIC_METHODS",
+    "SemanticNearCache",
+    "SessionCounters",
+    "SessionGatewayClient",
+    "canonicalize",
+    "is_routed",
+    "request_key",
+    "route_suite",
+]

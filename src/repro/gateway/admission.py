@@ -1,0 +1,112 @@
+"""Admission control: per-session token quotas and a global concurrency cap.
+
+The gateway is the one place every model call funnels through, so it is the
+natural enforcement point for the two production guardrails the ROADMAP's
+"heavy traffic" north star needs:
+
+* a **global concurrency limiter** — at most ``max_concurrency`` underlying
+  model executions run at once, service-wide (cache hits and coalesced
+  followers never take a slot), and
+* **per-session token quotas** — a session that has already charged its
+  quota is refused further *misses* (hits stay free: they cost the service
+  nothing).  The check runs before execution, so a session can overshoot by
+  at most one call.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from repro.errors import SessionQuotaExceededError
+
+
+class AdmissionController:
+    """Semaphore-gated execution slots plus per-session spend ledgers."""
+
+    #: LRU bound on tracked per-session spend ledgers: a service creates one
+    #: throwaway session per request, and the ledger must not grow forever.
+    #: Sessions that have exhausted their quota are never evicted — evicting
+    #: them would hand an idle-but-blocked session a fresh quota (each entry
+    #: is just an id + int, so retaining them is cheap); under-quota idle
+    #: entries are the ones dropped.
+    MAX_TRACKED_SESSIONS = 4096
+
+    def __init__(self, max_concurrency: int = 16,
+                 session_token_quota: Optional[int] = None):
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.session_token_quota = session_token_quota
+        self._semaphore = threading.Semaphore(self.max_concurrency)
+        self._lock = threading.Lock()
+        self._spent: "OrderedDict[str, int]" = OrderedDict()
+        self._active = 0
+        self.peak_concurrency = 0
+        self.waits = 0          # slot acquisitions that had to block
+        self.rejections = 0     # calls refused over quota
+
+    @contextmanager
+    def slot(self):
+        """Occupy one global execution slot for the duration of a call."""
+        if not self._semaphore.acquire(blocking=False):
+            with self._lock:
+                self.waits += 1
+            self._semaphore.acquire()
+        with self._lock:
+            self._active += 1
+            self.peak_concurrency = max(self.peak_concurrency, self._active)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+            self._semaphore.release()
+
+    def precheck(self, session_id: str) -> None:
+        """Refuse the call if the session already spent its quota."""
+        quota = self.session_token_quota
+        if quota is None:
+            return
+        with self._lock:
+            spent = self._spent.get(session_id, 0)
+            if spent >= quota:
+                self.rejections += 1
+                raise SessionQuotaExceededError(session_id, spent, quota)
+
+    def charge(self, session_id: str, tokens: int) -> int:
+        """Record tokens a session paid; returns its running total."""
+        quota = self.session_token_quota
+        with self._lock:
+            total = self._spent.get(session_id, 0) + max(0, int(tokens))
+            self._spent[session_id] = total
+            self._spent.move_to_end(session_id)
+            if len(self._spent) > self.MAX_TRACKED_SESSIONS:
+                # Evict lowest-spend-first among under-quota entries: a
+                # throwaway per-request session spends once and idles near
+                # zero, while a long-lived session that is *nearly*
+                # exhausted keeps its ledger (evicting it would refresh its
+                # quota).  Exhausted entries are never dropped at all.
+                overflow = len(self._spent) - self.MAX_TRACKED_SESSIONS
+                candidates = sorted(
+                    (sid for sid, spent in self._spent.items()
+                     if quota is None or spent < quota),
+                    key=lambda sid: self._spent[sid])
+                for sid in candidates[:overflow]:
+                    del self._spent[sid]
+                # All-exhausted overflow: keep every ledger — quota
+                # correctness outranks the soft bound here.
+            return total
+
+    def spent(self, session_id: str) -> int:
+        """Tokens charged against one session so far."""
+        with self._lock:
+            return self._spent.get(session_id, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {"max_concurrency": self.max_concurrency,
+                    "peak_concurrency": self.peak_concurrency,
+                    "waits": self.waits,
+                    "rejections": self.rejections,
+                    "sessions": len(self._spent)}

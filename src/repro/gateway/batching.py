@@ -1,0 +1,136 @@
+"""Micro-batching for the batchable model kinds.
+
+Embeddings, entity extraction, and pixel detection are the model kinds a
+real serving stack batches: they are cheap per item, high-volume, and their
+backends accept many inputs per invocation.  The :class:`MicroBatcher`
+groups gateway misses of one kind that arrive within a small window and
+executes them as **one batched invocation**: a single admission slot is
+taken for the whole batch, the batch leader drains the queue and runs every
+member's thunk back-to-back, and each member's result (and token charge —
+each thunk charges its own session's meter) is delivered through its future.
+
+With ``window_s == 0`` the batcher is a pure pass-through that still
+opportunistically drains whatever queued *while the leader held the slot* —
+zero added latency, which is the right default when model latency is not
+being simulated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.gateway.admission import AdmissionController
+
+
+@dataclass
+class _Pending:
+    """One queued call: the execution thunk and the future its caller awaits."""
+
+    thunk: Callable[[], Tuple[Any, int]]
+    future: "Future[Tuple[Any, int]]"
+
+
+@dataclass
+class BatchStats:
+    """Counters for the micro-batching tier."""
+
+    batches: int = 0
+    batched_calls: int = 0    # calls that shared a batch with at least one other
+    largest_batch: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"batches": self.batches, "batched_calls": self.batched_calls,
+                "largest_batch": self.largest_batch}
+
+
+class MicroBatcher:
+    """Groups same-kind calls arriving within ``window_s`` into one invocation."""
+
+    def __init__(self, admission: AdmissionController,
+                 window_s: float = 0.0, max_batch: int = 32):
+        self._admission = admission
+        self.window_s = max(0.0, float(window_s))
+        self.max_batch = max(1, int(max_batch))
+        self._queues: Dict[str, List[_Pending]] = {}
+        self._leaders: Dict[str, bool] = {}
+        self._lock = threading.Lock()
+        self.stats = BatchStats()
+
+    def submit(self, kind: str,
+               thunk: Callable[[], Tuple[Any, int]]) -> "Future[Tuple[Any, int]]":
+        """Enqueue one call of ``kind``; leads the batch if nobody else is.
+
+        The returned future resolves to the thunk's ``(result, token_cost)``.
+        The leader runs batches *inline* on the calling thread until the
+        queue drains, so no background threads are involved and a crash in
+        one member only fails that member's future.
+        """
+        pending = _Pending(thunk=thunk, future=Future())
+        with self._lock:
+            self._queues.setdefault(kind, []).append(pending)
+            lead = not self._leaders.get(kind, False)
+            if lead:
+                self._leaders[kind] = True
+        if lead:
+            try:
+                while True:
+                    self._drain(kind)
+                    # Release leadership and re-check the queue under one
+                    # lock: a follower that enqueued during the drain is
+                    # seen here (loop again); one that enqueues afterwards
+                    # finds no leader and leads its own batch.
+                    with self._lock:
+                        if not self._queues.get(kind):
+                            self._leaders[kind] = False
+                            break
+            except BaseException as error:
+                # _drain only raises on infrastructure failure (member
+                # exceptions are delivered through their futures); don't
+                # strand queued followers without a leader.
+                with self._lock:
+                    stranded = self._queues.pop(kind, [])
+                    self._leaders[kind] = False
+                for member in stranded:
+                    if not member.future.done():
+                        member.future.set_exception(error)
+                raise
+        return pending.future
+
+    def _drain(self, kind: str) -> None:
+        """Run queued calls of one kind in admission-slot-sized batches."""
+        if self.window_s > 0:
+            time.sleep(self.window_s)
+        while True:
+            with self._lock:
+                queue = self._queues.get(kind, [])
+                chunk, self._queues[kind] = queue[:self.max_batch], queue[self.max_batch:]
+            if not chunk:
+                return
+            with self._lock:
+                self.stats.batches += 1
+                self.stats.largest_batch = max(self.stats.largest_batch, len(chunk))
+                if len(chunk) > 1:
+                    self.stats.batched_calls += len(chunk)
+            try:
+                with self._admission.slot():
+                    for member in chunk:
+                        if member.future.done():  # pragma: no cover - defensive
+                            continue
+                        try:
+                            member.future.set_result(member.thunk())
+                        except BaseException as error:  # noqa: BLE001 - delivered to caller
+                            member.future.set_exception(error)
+            except BaseException as error:
+                # The chunk is already dequeued, so submit()'s stranded-
+                # follower sweep cannot see it: an infra failure here (e.g.
+                # KeyboardInterrupt while blocking on the admission
+                # semaphore) must fail the extracted members itself, or
+                # their callers hang forever on future.result().
+                for member in chunk:
+                    if not member.future.done():
+                        member.future.set_exception(error)
+                raise

@@ -1,0 +1,121 @@
+"""The exact-match result cache shared by every session of one service.
+
+Entries are keyed on the compact :data:`~repro.gateway.fingerprint.RequestKey`
+and store a deep copy of the model's result plus the token cost the filling
+session paid for it.  Lookups return a fresh deep copy, so callers may mutate
+what they get back without poisoning the cache.
+
+Two bounds keep the cache honest under heavy traffic: an entry-count capacity
+(plain LRU) and an optional *token budget* — the summed token cost of all
+cached entries — so a handful of enormous results cannot pin the whole
+cache.  Both evict least-recently-used first.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.gateway.fingerprint import RequestKey
+
+
+@dataclass
+class CacheEntry:
+    """One cached model result."""
+
+    key: RequestKey
+    result: Any
+    token_cost: int = 0      # tokens the filling session paid to produce it
+    hits: int = 0
+
+
+@dataclass
+class ExactCacheStats:
+    """Counters for the exact-match tier."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    tokens_saved: int = 0    # sum of token_cost over every hit
+    cached_tokens: int = 0   # current token mass held by the cache
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "tokens_saved": self.tokens_saved,
+                "cached_tokens": self.cached_tokens}
+
+
+class ExactResultCache:
+    """A thread-safe LRU of model results with per-entry token accounting."""
+
+    def __init__(self, capacity: int = 4096, token_budget: Optional[int] = None):
+        self.capacity = max(1, capacity)
+        self.token_budget = token_budget
+        self._entries: "OrderedDict[RequestKey, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = ExactCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: RequestKey) -> Optional[CacheEntry]:
+        """Look one result up; returns an entry whose ``result`` is a private
+        deep copy, or None on a miss.
+
+        Misses are *not* counted here — a missed lookup may still be
+        answered by coalescing onto an in-flight execution; the gateway
+        counts a miss (:meth:`note_miss`) only when a model actually runs.
+        The deep copy happens outside the lock (stored results are immutable
+        — the cache only holds and hands out private copies), so concurrent
+        hits do not serialize on the copy of a large result.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            self.stats.tokens_saved += entry.token_cost
+            result, token_cost, hits = entry.result, entry.token_cost, entry.hits
+        return CacheEntry(key=key, result=copy.deepcopy(result),
+                          token_cost=token_cost, hits=hits)
+
+    def note_miss(self) -> None:
+        """Count one request that led to a real model execution."""
+        with self._lock:
+            self.stats.misses += 1
+
+    def put(self, key: RequestKey, result: Any, token_cost: int = 0) -> None:
+        """Insert one result (stored as a private deep copy)."""
+        stored = CacheEntry(key=key, result=copy.deepcopy(result),
+                            token_cost=max(0, int(token_cost)))
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.stats.cached_tokens -= previous.token_cost
+            self._entries[key] = stored
+            self.stats.cached_tokens += stored.token_cost
+            while len(self._entries) > self.capacity or (
+                    self.token_budget is not None
+                    and self.stats.cached_tokens > self.token_budget
+                    and len(self._entries) > 1):
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.cached_tokens -= evicted.token_cost
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached result."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.cached_tokens = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            payload = self.stats.as_dict()
+            payload["entries"] = len(self._entries)
+            return payload

@@ -1,0 +1,118 @@
+"""In-flight request coalescing.
+
+When two sessions issue the *same* model call concurrently, only the first
+(the leader) executes it; every other caller (a follower) blocks on the
+leader's in-flight slot and receives the shared result.  The leader's session
+pays the tokens; followers pay nothing — exactly the behaviour of a shared
+inference endpoint de-duplicating identical requests.
+
+The in-flight table is keyed on the same compact
+:data:`~repro.gateway.fingerprint.RequestKey` as the exact cache and holds
+only live slots, so its memory footprint is bounded by the number of calls
+actually executing at any instant.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.gateway.fingerprint import RequestKey
+
+
+class InFlightCall:
+    """One executing model call that followers may wait on."""
+
+    __slots__ = ("key", "event", "result", "token_cost", "error", "followers")
+
+    def __init__(self, key: RequestKey):
+        self.key = key
+        self.event = threading.Event()
+        self.result: Any = None
+        self.token_cost = 0
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+@dataclass
+class CoalesceStats:
+    """Counters for the coalescing tier."""
+
+    led: int = 0           # calls that executed as the leader
+    coalesced: int = 0     # calls that piggy-backed on a leader
+    tokens_saved: int = 0  # token cost followers did not pay
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"led": self.led, "coalesced": self.coalesced,
+                "tokens_saved": self.tokens_saved}
+
+
+class RequestCoalescer:
+    """Tracks in-flight calls and parks identical concurrent requests."""
+
+    def __init__(self):
+        self._inflight: Dict[RequestKey, InFlightCall] = {}
+        self._lock = threading.Lock()
+        self.stats = CoalesceStats()
+
+    def begin(self, key: RequestKey) -> Tuple[bool, InFlightCall]:
+        """Join the in-flight table.
+
+        Returns ``(True, slot)`` when the caller is the leader and must
+        execute (then :meth:`complete` or :meth:`fail` the slot), or
+        ``(False, slot)`` when an identical call is already executing and the
+        caller should :meth:`wait` on it.
+        """
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                existing.followers += 1
+                self.stats.coalesced += 1
+                return False, existing
+            slot = InFlightCall(key)
+            self._inflight[key] = slot
+            self.stats.led += 1
+            return True, slot
+
+    def complete(self, slot: InFlightCall, result: Any, token_cost: int) -> None:
+        """Publish the leader's result and release every follower.
+
+        When followers are waiting, a private deep copy is published: the
+        leader's caller owns (and may mutate) the original object, and
+        followers deep-copy the slot's result concurrently — they must never
+        read a live object.  Popping the slot first fixes the follower
+        count: later identical calls become leaders of their own slot.
+        """
+        slot.token_cost = max(0, int(token_cost))
+        with self._lock:
+            self._inflight.pop(slot.key, None)
+            followers = slot.followers
+            self.stats.tokens_saved += slot.token_cost * followers
+        slot.result = copy.deepcopy(result) if followers else result
+        slot.event.set()
+
+    def fail(self, slot: InFlightCall, error: BaseException) -> None:
+        """Propagate the leader's failure to every follower."""
+        slot.error = error
+        with self._lock:
+            self._inflight.pop(slot.key, None)
+        slot.event.set()
+
+    def wait(self, slot: InFlightCall, timeout: Optional[float] = None) -> Tuple[Any, int]:
+        """Block until the leader finishes; returns (result, token_cost).
+
+        The returned result is the leader's object — the gateway deep-copies
+        it before handing it to the follower.  Re-raises the leader's error.
+        """
+        if not slot.event.wait(timeout):
+            raise TimeoutError(f"in-flight model call {slot.key} did not finish "
+                               f"within {timeout} s")
+        if slot.error is not None:
+            raise slot.error
+        return slot.result, slot.token_cost
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)

@@ -1,0 +1,91 @@
+"""Compact request fingerprints for the model gateway.
+
+Every model call routed through the gateway is identified by a fixed-width
+key — (model kind digest, payload digest), two 64-bit integers — rather than
+by the raw request payload.  Keeping the lookup keys this compact is what
+makes the shared cache and the in-flight table cheap at high request rates:
+a lookup is one dict probe over 16 bytes of key material, in the spirit of
+memory-efficient high-rate lookup structures such as Othello hashing and
+SHIP (see PAPERS.md), instead of hashing kilobytes of prompt text on every
+probe.
+
+The payload digest covers:
+
+* the model's configured identity (its ``name``, which encodes family and
+  variant, e.g. ``vlm:sim-scene-graph``),
+* the method being invoked,
+* every positional and keyword argument, canonicalized (images collapse to
+  their URI — the corpus is content-addressed by URI within one service —
+  numpy arrays to a digest of their bytes, dicts to sorted item tuples), and
+* the calling suite's lexicon fingerprint for lexicon-grounded models, so
+  sessions whose lexicons diverged (clarifications!) never share results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.utils.seed import stable_hash
+
+#: The gateway cache key: (kind digest, payload digest), 64 bits each.
+RequestKey = Tuple[int, int]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce an argument to a compact, stable, hashable structure.
+
+    The output only needs a stable ``repr`` (``stable_hash`` consumes it);
+    equality of canonical forms must imply equality of the original inputs
+    for every argument type the simulated models accept.
+    """
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    if isinstance(value, str):
+        # Long prompts are digested so keys stay small; short strings are
+        # kept verbatim (cheaper than hashing, and most args are terms).
+        return value if len(value) <= 64 else ("#s", len(value), stable_hash(value))
+    if isinstance(value, bytes):
+        return ("#b", len(value), stable_hash(value))
+    uri = getattr(value, "uri", None)
+    if isinstance(uri, str):
+        # Synthetic images (and anything else content-addressed by URI).
+        return ("#uri", type(value).__name__, uri)
+    if isinstance(value, dict):
+        return tuple((canonicalize(k), canonicalize(v))
+                     for k, v in sorted(value.items(), key=lambda kv: repr(kv[0])))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalize(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((canonicalize(v) for v in value), key=repr))
+    if hasattr(value, "tobytes"):  # numpy arrays / scalars
+        try:
+            return ("#a", getattr(value, "shape", ()), stable_hash(value.tobytes()))
+        except Exception:  # noqa: BLE001 - fall through to repr
+            pass
+    return repr(value)
+
+
+def request_key(model_name: str, method: str, args: Tuple[Any, ...],
+                kwargs: Optional[Dict[str, Any]] = None,
+                lexicon_fingerprint: str = "") -> RequestKey:
+    """The compact cache/coalescing key for one model invocation."""
+    kind_digest = stable_hash(model_name, method)
+    payload_digest = stable_hash(
+        canonicalize(args),
+        canonicalize(kwargs or {}),
+        lexicon_fingerprint,
+    )
+    return (kind_digest, payload_digest)
+
+
+def lexicon_fingerprint_of(model: Any) -> str:
+    """The (version-cached) lexicon fingerprint of a lexicon-grounded model.
+
+    Models without a lexicon (detector, OCR) contribute an empty string.
+    ``Lexicon.fingerprint`` caches per mutation version, so this is a couple
+    of attribute reads per call rather than a digest walk.
+    """
+    lexicon = getattr(model, "lexicon", None)
+    if lexicon is None:
+        return ""
+    return lexicon.fingerprint()

@@ -1,0 +1,331 @@
+"""The model gateway: one front door for all foundation-model traffic.
+
+Every model call a :class:`~repro.api.service.KathDBService` makes — from
+any session, the view populator, or the CLI batch path — funnels through one
+:class:`ModelGateway`.  The gateway stacks four tiers in front of the
+simulated model suite, cheapest first:
+
+1. **exact cache** — identical requests answered from a shared LRU
+   (:mod:`repro.gateway.cache`); hits cost the hitting session nothing;
+2. **semantic near-match** — opt-in cosine-keyed reuse for the
+   embeddings-backed predicates (:mod:`repro.gateway.semantic`);
+3. **coalescing** — identical requests *currently executing* share one
+   execution (:mod:`repro.gateway.coalesce`);
+4. **admission + micro-batching** — misses take a global concurrency slot,
+   batchable kinds in admission-slot-sized groups
+   (:mod:`repro.gateway.admission`, :mod:`repro.gateway.batching`).
+
+Sessions talk to the gateway through a :class:`SessionGatewayClient`, which
+carries the session identity (for quota enforcement and per-session
+counters) and is what the model proxies in :mod:`repro.gateway.proxy` hold.
+
+Token accounting is strictly *pay-for-your-misses*: an executing call
+charges the executing session's own cost meter (the models already do this);
+hits, near-hits, and coalesced followers charge nobody and are tallied as
+``tokens_saved``.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.gateway.admission import AdmissionController
+from repro.gateway.batching import MicroBatcher
+from repro.gateway.cache import ExactResultCache
+from repro.gateway.coalesce import RequestCoalescer
+from repro.gateway.fingerprint import canonicalize, lexicon_fingerprint_of, request_key
+from repro.gateway.semantic import SemanticNearCache, term_signature
+
+
+@dataclass
+class GatewayConfig:
+    """Tuning knobs for one gateway instance (service-owned)."""
+
+    enable_cache: bool = True
+    cache_entries: int = 4096
+    cache_token_budget: Optional[int] = None
+    enable_coalescing: bool = True
+    enable_batching: bool = True
+    batch_window_s: float = 0.0
+    max_batch: int = 32
+    enable_semantic: bool = False
+    semantic_threshold: float = 0.97
+    semantic_entries: int = 512
+    max_concurrency: int = 16
+    session_token_quota: Optional[int] = None
+
+
+@dataclass
+class SessionCounters:
+    """Per-session view of what the gateway did for one caller."""
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    semantic_hits: int = 0
+    tokens_saved: int = 0
+    tokens_charged: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "coalesced": self.coalesced, "semantic_hits": self.semantic_hits,
+                "tokens_saved": self.tokens_saved,
+                "tokens_charged": self.tokens_charged}
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return (self.hits, self.misses, self.coalesced, self.semantic_hits,
+                self.tokens_saved, self.tokens_charged)
+
+    def delta(self, marker: Tuple[int, ...]) -> Dict[str, int]:
+        now = self.snapshot()
+        keys = ("hits", "misses", "coalesced", "semantic_hits",
+                "tokens_saved", "tokens_charged")
+        return {k: now[i] - marker[i] for i, k in enumerate(keys)}
+
+
+class SessionGatewayClient:
+    """One session's handle on the shared gateway.
+
+    ``quota_exempt`` marks administrative callers (corpus population) that
+    the per-session token quota must not throttle.
+    """
+
+    def __init__(self, gateway: "ModelGateway", session_id: str,
+                 quota_exempt: bool = False):
+        self.gateway = gateway
+        self.session_id = session_id
+        self.quota_exempt = quota_exempt
+        self.counters = SessionCounters()
+
+    def invoke(self, model: Any, method: str, args: Tuple[Any, ...],
+               kwargs: Optional[Dict[str, Any]] = None, *,
+               batchable: bool = False,
+               semantic_terms: Optional[Tuple[Any, Any]] = None) -> Any:
+        return self.gateway.invoke(self, model, method, args, kwargs or {},
+                                   batchable=batchable,
+                                   semantic_terms=semantic_terms)
+
+    def spent(self) -> int:
+        """Tokens this session has been charged for through the gateway."""
+        return self.gateway.admission.spent(self.session_id)
+
+
+class ModelGateway:
+    """Shared semantic cache + coalescing + micro-batching + admission."""
+
+    def __init__(self, config: Optional[GatewayConfig] = None):
+        self.config = config or GatewayConfig()
+        self.cache = ExactResultCache(capacity=self.config.cache_entries,
+                                      token_budget=self.config.cache_token_budget)
+        self.coalescer = RequestCoalescer()
+        self.admission = AdmissionController(
+            max_concurrency=self.config.max_concurrency,
+            session_token_quota=self.config.session_token_quota)
+        self.batcher = MicroBatcher(self.admission,
+                                    window_s=self.config.batch_window_s,
+                                    max_batch=self.config.max_batch)
+        self.semantic = SemanticNearCache(threshold=self.config.semantic_threshold,
+                                          capacity=self.config.semantic_entries)
+        self._clients_lock = threading.Lock()
+        self._clients: "OrderedDict[str, SessionGatewayClient]" = OrderedDict()
+
+    #: Internal (quota-exempt) client ids live under this prefix; caller
+    #: session ids may not use it, so a session named "loader" can never
+    #: alias the populator's exemption.
+    RESERVED_PREFIX = "#"
+    #: LRU bound on tracked per-session client objects: throwaway sessions
+    #: (one per service request) must not grow the registry forever.
+    #: Eviction only drops the stats/ledger entry — live sessions hold their
+    #: client through their model proxies regardless.
+    MAX_TRACKED_SESSIONS = 4096
+
+    # -- clients and routing --------------------------------------------------------
+    def client(self, session_id: str) -> SessionGatewayClient:
+        """The (one) client for a caller session id, created on first use."""
+        if session_id.startswith(self.RESERVED_PREFIX):
+            raise ValueError(f"session ids must not start with "
+                             f"{self.RESERVED_PREFIX!r} (reserved for internal "
+                             f"gateway clients): {session_id!r}")
+        return self._client(session_id, quota_exempt=False)
+
+    def internal_client(self, name: str) -> SessionGatewayClient:
+        """A quota-exempt client for service-internal traffic (population)."""
+        return self._client(self.RESERVED_PREFIX + name, quota_exempt=True)
+
+    def _client(self, session_id: str, quota_exempt: bool) -> SessionGatewayClient:
+        with self._clients_lock:
+            existing = self._clients.get(session_id)
+            if existing is None:
+                existing = SessionGatewayClient(self, session_id,
+                                                quota_exempt=quota_exempt)
+                self._clients[session_id] = existing
+                while len(self._clients) > self.MAX_TRACKED_SESSIONS:
+                    self._clients.popitem(last=False)
+            else:
+                self._clients.move_to_end(session_id)
+            return existing
+
+    def route(self, suite, session_id: str, quota_exempt: bool = False):
+        """A view of ``suite`` whose models call through this gateway.
+
+        Convenience wrapper over :func:`repro.gateway.proxy.route_suite`.
+        ``quota_exempt`` is for service-internal traffic and registers the
+        client under the reserved internal namespace.
+        """
+        from repro.gateway.proxy import route_suite
+        client = (self.internal_client(session_id) if quota_exempt
+                  else self.client(session_id))
+        return route_suite(suite, client)
+
+    # -- the funnel -----------------------------------------------------------------
+    def invoke(self, client: SessionGatewayClient, model: Any, method: str,
+               args: Tuple[Any, ...], kwargs: Dict[str, Any], *,
+               batchable: bool = False,
+               semantic_terms: Optional[Tuple[Any, Any]] = None) -> Any:
+        """Answer one model call through the tier stack.
+
+        ``semantic_terms`` is the (query_terms, candidate_terms) pair for
+        predicate methods eligible for the near-match tier; None otherwise.
+        """
+        cfg = self.config
+        lexicon_fp = lexicon_fingerprint_of(model)
+        # The purpose tag never reaches the model — it only labels the cost
+        # record — so it must not partition results: two operators issuing
+        # the byte-identical call under different node names share one
+        # execution.  (The executing leader's purpose is what lands in the
+        # ledger; hits and followers record nothing anyway.)
+        keyed_kwargs = {k: v for k, v in kwargs.items() if k != "purpose"}
+        key = request_key(getattr(model, "name", type(model).__name__), method,
+                          args, keyed_kwargs, lexicon_fp)
+
+        # Tier 1: exact cache.
+        if cfg.enable_cache:
+            entry = self.cache.get(key)
+            if entry is not None:
+                client.counters.hits += 1
+                client.counters.tokens_saved += entry.token_cost
+                return entry.result
+
+        # Tier 2: semantic near-match (opt-in, predicates only).
+        signature = None
+        signature_vector = None
+        semantic_group = None
+        if cfg.enable_semantic and cfg.enable_cache and semantic_terms is not None:
+            # Non-purpose kwargs (e.g. match_fraction's threshold=) change
+            # the answer, so they partition the signature space; the purpose
+            # tag is pure accounting and must not.
+            qualifier = canonicalize({k: v for k, v in kwargs.items()
+                                      if k != "purpose"})
+            semantic_group = (getattr(model, "name", ""), method, lexicon_fp,
+                              qualifier)
+            signature = term_signature(*semantic_terms)
+            signature_vector = self.semantic.embed_signature(signature)
+            near = self.semantic.lookup(semantic_group, signature_vector, signature)
+            if near is not None:
+                client.counters.semantic_hits += 1
+                client.counters.tokens_saved += near.token_cost
+                return near.result
+            # Below threshold: guaranteed fall-through to exact execution.
+
+        # Quota check before joining the in-flight table: an over-quota
+        # session must be refused here, not become a leader whose rejection
+        # would propagate to under-quota followers of the same request.
+        if not client.quota_exempt:
+            self.admission.precheck(client.session_id)
+
+        # Tier 3: coalesce onto an identical in-flight execution.
+        slot = None
+        if cfg.enable_coalescing:
+            leader, slot = self.coalescer.begin(key)
+            if not leader:
+                result, token_cost = self.coalescer.wait(slot)
+                client.counters.coalesced += 1
+                client.counters.tokens_saved += token_cost
+                return copy.deepcopy(result)
+
+        # Tier 4: execute (admission-gated, possibly micro-batched).  The
+        # model charges its own cost meter — i.e. the calling session's.
+        try:
+            def execute() -> Tuple[Any, int]:
+                meter = getattr(model, "cost_meter", None)
+                marker = meter.snapshot() if meter is not None else 0
+                out = getattr(model, method)(*args, **kwargs)
+                cost = meter.tokens_since(marker) if meter is not None else 0
+                return out, cost
+
+            if cfg.enable_batching and batchable:
+                result, token_cost = self.batcher.submit(method, execute).result()
+            else:
+                with self.admission.slot():
+                    result, token_cost = execute()
+        except BaseException as error:
+            if slot is not None:
+                self.coalescer.fail(slot, error)
+            raise
+
+        # Post-execution bookkeeping must never strand the in-flight slot:
+        # if e.g. cache.put's deep copy raises, followers (current and
+        # future — the key stays in the table until resolved) would block
+        # forever.  Publish the result no matter what.
+        try:
+            client.counters.misses += 1
+            client.counters.tokens_charged += token_cost
+            self.admission.charge(client.session_id, token_cost)
+            if cfg.enable_cache:
+                self.cache.note_miss()
+                self.cache.put(key, result, token_cost)
+            if semantic_group is not None and signature_vector is not None:
+                self.semantic.put(semantic_group, signature_vector, signature,
+                                  result, token_cost)
+        finally:
+            if slot is not None:
+                self.coalescer.complete(slot, result, token_cost)
+        return result
+
+    # -- observability --------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Nested counters from every tier plus the per-session rollup."""
+        with self._clients_lock:
+            sessions = {sid: c.counters.as_dict() for sid, c in self._clients.items()}
+        return {
+            "cache": self.cache.as_dict(),
+            "coalescing": self.coalescer.stats.as_dict(),
+            "batching": self.batcher.stats.as_dict(),
+            "semantic": self.semantic.as_dict(),
+            "admission": self.admission.as_dict(),
+            "sessions": sessions,
+        }
+
+    def flat_stats(self) -> Dict[str, int]:
+        """The headline counters as one flat dict (CLI / response surface)."""
+        stats = self.stats()
+        return {
+            "cache_hits": stats["cache"]["hits"],
+            "cache_misses": stats["cache"]["misses"],
+            "cache_entries": stats["cache"]["entries"],
+            "evictions": stats["cache"]["evictions"],
+            "coalesced": stats["coalescing"]["coalesced"],
+            "batches": stats["batching"]["batches"],
+            "batched_calls": stats["batching"]["batched_calls"],
+            "semantic_hits": stats["semantic"]["near_hits"],
+            "tokens_saved": (stats["cache"]["tokens_saved"]
+                             + stats["coalescing"]["tokens_saved"]
+                             + stats["semantic"]["tokens_saved"]),
+            "peak_concurrency": stats["admission"]["peak_concurrency"],
+            "quota_rejections": stats["admission"]["rejections"],
+        }
+
+    def describe(self) -> str:
+        """A short human-readable summary for operators."""
+        flat = self.flat_stats()
+        return ("model gateway: "
+                + ", ".join(f"{k}={v}" for k, v in flat.items()))
+
+    def clear(self) -> None:
+        """Drop cached results (exact + semantic); counters are kept."""
+        self.cache.clear()
+        self.semantic.clear()

@@ -1,0 +1,158 @@
+"""The opt-in semantic near-match tier for embeddings-backed predicates.
+
+Exact caching only helps when two requests are byte-identical.  The
+embeddings-backed predicate methods (``match_fraction``,
+``aggregate_similarity``, ``max_similarity``) are *smooth* in their term
+sets, so a request whose terms are nearly the same as an already-answered
+one ("gun, murder, chase" vs "guns, murder, chase") produces a nearly
+identical score.  This tier keys answered predicate requests by an
+embedding of their term signature and serves a stored answer when a new
+request's signature is within ``threshold`` cosine similarity.
+
+Correctness guard: the tier is **off by default** — disabled, results are
+bit-identical to an uncached run — and only ever consulted for the
+predicate methods.  When enabled it is *approximate by contract*: a lookup
+below the threshold always falls back to exact execution, an entry whose
+canonical signature is string-identical to the request's is authoritative
+(same sorted term multisets compute the same answer), and anything between
+is a deliberate near-match.  Entries are grouped per (model, method,
+lexicon fingerprint, non-purpose kwargs) — diverged lexicons, or the same
+terms under a different ``threshold=`` argument, never share.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.embeddings import EmbeddingModel, cosine_similarity
+
+#: Embedding-model methods eligible for near-match reuse.
+SEMANTIC_METHODS = ("match_fraction", "aggregate_similarity", "max_similarity")
+
+
+@dataclass
+class SemanticEntry:
+    """One answered predicate request: signature (text + vector) + answer."""
+
+    vector: np.ndarray
+    signature: str
+    result: Any
+    token_cost: int = 0
+    hits: int = 0
+
+
+@dataclass
+class SemanticStats:
+    """Counters for the semantic tier."""
+
+    near_hits: int = 0
+    fallbacks: int = 0       # lookups below threshold (exact execution ran)
+    tokens_saved: int = 0
+    entries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"near_hits": self.near_hits, "fallbacks": self.fallbacks,
+                "tokens_saved": self.tokens_saved, "entries": self.entries}
+
+
+def term_signature(query_terms: Sequence[Any], candidate_terms: Sequence[Any]) -> str:
+    """The order-insensitive canonical signature of one predicate request.
+
+    Structural (``repr`` of the sorted term tuples) rather than
+    space-joined, so distinct term sets — ``["a b"]`` vs ``["a", "b"]``, or
+    terms containing a separator — never canonicalize to the same string;
+    string equality of signatures therefore implies an identical request.
+    """
+    left = tuple(sorted(str(t) for t in query_terms))
+    right = tuple(sorted(str(t) for t in candidate_terms))
+    return repr((left, right))
+
+
+class SemanticNearCache:
+    """Cosine-keyed reuse of embeddings-backed predicate answers."""
+
+    def __init__(self, threshold: float = 0.97, capacity: int = 512,
+                 embedder: Optional[EmbeddingModel] = None):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("semantic threshold must be in (0, 1]")
+        self.threshold = threshold
+        #: Global bound on stored entries across *all* groups (the number of
+        #: groups is open-ended — every diverged lexicon fingerprint mints
+        #: new ones — so a per-group cap alone would not bound memory).
+        self.capacity = max(1, capacity)
+        # A private, meter-less embedder: signature lookups are index
+        # maintenance, not model traffic, and must not charge anyone.
+        self._embedder = embedder or EmbeddingModel(cost_meter=None)
+        # Groups in LRU order (most recently stored-into last); entries
+        # within a group in insertion order.
+        self._groups: "OrderedDict[Tuple, List[SemanticEntry]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = SemanticStats()
+
+    def embed_signature(self, signature: str) -> np.ndarray:
+        return self._embedder.embed_text(signature, purpose="gateway_signature")
+
+    def lookup(self, group: Tuple, vector: np.ndarray,
+               signature: str) -> Optional[SemanticEntry]:
+        """The stored answer matching ``signature``/``vector``, if any.
+
+        A signature-identical entry wins outright (it is the same request,
+        canonically); otherwise the cosine-nearest entry is served when it
+        clears the threshold.  Returns None (counted as a fallback) when no
+        stored request qualifies — the caller must then execute exactly.
+        """
+        with self._lock:
+            best: Optional[SemanticEntry] = None
+            best_score = 0.0
+            for entry in self._groups.get(group, ()):
+                if entry.signature == signature:
+                    best, best_score = entry, 1.0
+                    break
+                score = cosine_similarity(vector, entry.vector)
+                if score > best_score:
+                    best, best_score = entry, score
+            if best is None or best_score < self.threshold:
+                self.stats.fallbacks += 1
+                return None
+            best.hits += 1
+            self.stats.near_hits += 1
+            self.stats.tokens_saved += best.token_cost
+            return SemanticEntry(vector=best.vector, signature=best.signature,
+                                 result=copy.deepcopy(best.result),
+                                 token_cost=best.token_cost, hits=best.hits)
+
+    def put(self, group: Tuple, vector: np.ndarray, signature: str, result: Any,
+            token_cost: int = 0) -> None:
+        """Store one exactly-computed answer for future near-matches."""
+        entry = SemanticEntry(vector=vector, signature=signature,
+                              result=copy.deepcopy(result),
+                              token_cost=max(0, int(token_cost)))
+        with self._lock:
+            entries = self._groups.setdefault(group, [])
+            self._groups.move_to_end(group)
+            entries.append(entry)
+            self.stats.entries += 1
+            # Evict globally, oldest-group-first, so the configured capacity
+            # bounds the whole tier rather than each group.
+            while self.stats.entries > self.capacity:
+                oldest_group, oldest_entries = next(iter(self._groups.items()))
+                oldest_entries.pop(0)
+                self.stats.entries -= 1
+                if not oldest_entries:
+                    del self._groups[oldest_group]
+
+    def clear(self) -> None:
+        """Drop every stored answer (counters are kept)."""
+        with self._lock:
+            self._groups.clear()
+            self.stats.entries = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return self.stats.as_dict()

@@ -37,6 +37,9 @@ class ModelSuite:
     seed: object = 0
     vlm_error_rate: float = 0.05
     ocr_error_rate: float = 0.02
+    # Set on gateway-routed views of a suite (see :meth:`routed`): the
+    # session's handle on the shared model gateway, or None for direct suites.
+    gateway_client: Optional[object] = None
 
     @classmethod
     def create(cls, seed: object = 0, vlm_error_rate: float = 0.05,
@@ -92,6 +95,17 @@ class ModelSuite:
                                  ocr_error_rate=self.ocr_error_rate,
                                  lexicon=lexicon or self.lexicon.copy(),
                                  cost_meter=meter)
+
+    def routed(self, gateway, session_id: str) -> "ModelSuite":
+        """A view of this suite whose models call through a shared gateway.
+
+        The view shares this suite's cost meter and lexicon — accounting and
+        clarifications are unchanged — but every charged model entry point is
+        wrapped in a gateway proxy, so identical requests from concurrent
+        sessions are cached, coalesced, and micro-batched service-wide.
+        Routing an already-routed suite returns it unchanged.
+        """
+        return gateway.route(self, session_id)
 
     def reset_costs(self) -> None:
         """Clear the shared cost meter."""

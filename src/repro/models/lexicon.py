@@ -43,6 +43,11 @@ class Lexicon:
 
     def __init__(self, concepts: Optional[Iterable[Concept]] = None):
         self._concepts: Dict[str, Concept] = {}
+        # Mutation version: bumped by add/add_terms so fingerprint() can be
+        # cached between mutations (the gateway fingerprints every model
+        # call; a digest walk per call would dwarf the lookup it keys).
+        self._version = 0
+        self._fingerprint_cache: Optional[Tuple[int, str]] = None
         for concept in concepts or []:
             self.add(concept)
 
@@ -50,12 +55,15 @@ class Lexicon:
     def add(self, concept: Concept) -> None:
         """Register a concept cluster."""
         self._concepts[concept.name] = concept
+        self._version += 1
 
     def add_terms(self, concept_name: str, terms: Sequence[str]) -> None:
         """Add extra terms to an existing concept (creating it if needed).
 
         This is how user feedback updates the system's interpretation of a
         subjective term (paper Figure 4): clarifications extend the cluster.
+        Mutate concepts through this method (not ``concept.terms`` directly),
+        or the cached :meth:`fingerprint` will go stale.
         """
         concept = self._concepts.get(concept_name)
         if concept is None:
@@ -63,19 +71,32 @@ class Lexicon:
             self._concepts[concept_name] = concept
         else:
             concept.terms.update(normalize(t) for t in terms)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (add / add_terms bump it)."""
+        return self._version
 
     def fingerprint(self) -> str:
         """A process-stable digest of every concept cluster.
 
         Clarifications extend a session's private lexicon at runtime and the
         lexicon steers parsing/keyword generation, so prepared-query cache
-        keys include this digest: sessions whose lexicons diverged must not
-        share compiled plans.
+        keys and gateway request keys include this digest: sessions whose
+        lexicons diverged must not share compiled plans or model results.
+        The digest is cached per mutation version — repeated calls between
+        mutations are two attribute reads.
         """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         from repro.utils.seed import stable_hash
         payload = tuple((name, tuple(sorted(self._concepts[name].terms)))
                         for name in sorted(self._concepts))
-        return f"{stable_hash(payload):016x}"
+        digest = f"{stable_hash(payload):016x}"
+        self._fingerprint_cache = (self._version, digest)
+        return digest
 
     def copy(self) -> "Lexicon":
         """A deep copy of this lexicon.

@@ -24,7 +24,7 @@ from repro.relational import operators as ops
 from repro.relational.sql import execute_sql, parse_sql
 from repro.relational.view import View, MaterializedView
 from repro.relational.indexes import HashIndex
-from repro.relational.storage import TableStorage
+from repro.relational.storage import LossyBlobWarning, TableStorage
 
 __all__ = [
     "DataType",
@@ -40,5 +40,6 @@ __all__ = [
     "View",
     "MaterializedView",
     "HashIndex",
+    "LossyBlobWarning",
     "TableStorage",
 ]

@@ -22,6 +22,7 @@ class HashIndex:
         self.column = table.schema.column(column).name
         self._positions: Dict[Any, List[int]] = {}
         self._built_size = 0
+        self._built_version = -1
         self.rebuild()
 
     def rebuild(self) -> None:
@@ -31,6 +32,7 @@ class HashIndex:
             key = self._key(row.get(self.column))
             self._positions.setdefault(key, []).append(position)
         self._built_size = len(self.table)
+        self._built_version = getattr(self.table, "non_append_version", 0)
 
     def _key(self, value: Any) -> Any:
         try:
@@ -40,8 +42,18 @@ class HashIndex:
             return repr(value)
 
     def _maybe_refresh(self) -> None:
-        # The table only grows (append-only inserts); index the new suffix.
-        if len(self.table) < self._built_size:
+        """Bring the index up to date with the backing table.
+
+        Pure appends (the common case: insert/insert_many) are indexed
+        incrementally by walking only the new suffix.  Any non-append
+        mutation — ``update_where``, ``delete_where``, ``truncate``,
+        ``add_column`` — bumps the table's ``non_append_version`` and forces
+        a full rebuild here: before this check, a delete-then-insert that
+        kept the row count constant (or an in-place value update) silently
+        served stale positions.
+        """
+        if getattr(self.table, "non_append_version", 0) != self._built_version \
+                or len(self.table) < self._built_size:
             self.rebuild()
             return
         for position in range(self._built_size, len(self.table)):

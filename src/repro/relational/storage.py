@@ -3,12 +3,23 @@
 from __future__ import annotations
 
 import json
-import os
+import warnings
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import List, Union
 
 from repro.errors import StorageError
 from repro.relational.table import Table
+
+
+class LossyBlobWarning(UserWarning):
+    """A loaded table's BLOB column(s) came back as NULL.
+
+    BLOB payloads are replaced by markers at save time (only a marker is
+    stored, matching the paper's practice of persisting file paths rather
+    than pixels), so the restore is lossy by design.  This warning — and the
+    ``lossy_columns`` attribute on the loaded table — make the loss
+    detectable instead of silent.
+    """
 
 
 class TableStorage:
@@ -17,8 +28,11 @@ class TableStorage:
     KathDB materializes intermediate results and persists generated functions;
     this class covers the table side of that requirement.  BLOB columns (raw
     pixel arrays) are not serialized — they are replaced by a marker and come
-    back as NULL, matching the paper's practice of storing file paths rather
-    than pixels for persisted data.
+    back as NULL.  :meth:`load` flags such lossy restores: the returned
+    table's ``lossy_columns`` lists the affected columns and a
+    :class:`LossyBlobWarning` is emitted, so callers that need the payloads
+    can re-render them (e.g. from the original image URIs) rather than
+    silently reading NULLs.
     """
 
     def __init__(self, directory: Union[str, Path]):
@@ -41,7 +55,11 @@ class TableStorage:
         return path
 
     def load(self, name: str) -> Table:
-        """Load one table by name."""
+        """Load one table by name.
+
+        Emits a :class:`LossyBlobWarning` (and sets ``table.lossy_columns``)
+        when BLOB columns were restored as NULL.
+        """
         path = self._path(name)
         if not path.exists():
             raise StorageError(f"no stored table named {name!r} in {self.directory}")
@@ -50,7 +68,14 @@ class TableStorage:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError) as error:
             raise StorageError(f"failed to load table {name!r}: {error}") from error
-        return Table.from_dict(payload)
+        table = Table.from_dict(payload)
+        if table.lossy_columns:
+            warnings.warn(
+                f"table {name!r} was restored with NULL BLOB column(s) "
+                f"{table.lossy_columns} (payloads are not persisted); "
+                "check table.lossy_columns before relying on them",
+                LossyBlobWarning, stacklevel=2)
+        return table
 
     def exists(self, name: str) -> bool:
         """Whether a stored table with this name exists."""

@@ -27,6 +27,15 @@ class Table:
         self.schema = schema
         self.description = description
         self._rows: List[Dict[str, Any]] = []
+        # Bumped by every mutation that is *not* a pure append (delete,
+        # update, truncate, add_column): secondary indexes use it to tell
+        # "new rows were appended" (index the suffix) from "existing rows
+        # changed" (rebuild).  Direct ``rows`` mutation bypasses it, exactly
+        # as it bypasses validation.
+        self._non_append_version = 0
+        # Column names whose values were lost in a serialization round-trip
+        # (BLOBs come back as NULL); set by :meth:`from_dict`.
+        self.lossy_columns: List[str] = []
         if rows:
             self.insert_many(rows)
 
@@ -67,8 +76,14 @@ class Table:
 
     @property
     def rows(self) -> List[Dict[str, Any]]:
-        """The underlying row list (mutating it bypasses validation)."""
+        """The underlying row list (mutating it bypasses validation and
+        index staleness tracking)."""
         return self._rows
+
+    @property
+    def non_append_version(self) -> int:
+        """Counter of non-append mutations (see ``__init__``)."""
+        return self._non_append_version
 
     def column_names(self) -> List[str]:
         """Column names, in schema order."""
@@ -93,7 +108,10 @@ class Table:
         """Delete rows matching ``predicate``; returns how many were removed."""
         before = len(self._rows)
         self._rows = [row for row in self._rows if not predicate(row)]
-        return before - len(self._rows)
+        removed = before - len(self._rows)
+        if removed:
+            self._non_append_version += 1
+        return removed
 
     def update_where(self, predicate: Callable[[Dict[str, Any]], bool],
                      updates: Dict[str, Any]) -> int:
@@ -101,13 +119,24 @@ class Table:
         for key in updates:
             if not self.schema.has_column(key):
                 raise UnknownColumnError(f"unknown column in update: {key!r}")
+        # Validate every value up front (validation is row-independent): a
+        # bad value must raise before any row is touched, not mid-loop with
+        # half the rows mutated.
+        validated = {}
+        for key, value in updates.items():
+            col = self.schema.column(key)
+            validated[col.name] = col.validate(value)
         count = 0
-        for row in self._rows:
-            if predicate(row):
-                for key, value in updates.items():
-                    col = self.schema.column(key)
-                    row[col.name] = col.validate(value)
-                count += 1
+        try:
+            for row in self._rows:
+                if predicate(row):
+                    row.update(validated)
+                    count += 1
+        finally:
+            # A predicate that raises mid-scan has already mutated earlier
+            # rows; indexes must still see the change.
+            if count:
+                self._non_append_version += 1
         return count
 
     def add_column(self, column: Column, default: Any = None,
@@ -119,10 +148,12 @@ class Table:
         for row in self._rows:
             value = compute(row) if compute is not None else default
             row[column.name] = column.validate(value)
+        self._non_append_version += 1
 
     def truncate(self) -> None:
         """Remove all rows."""
         self._rows = []
+        self._non_append_version += 1
 
     # -- dataframe-style helpers --------------------------------------------------
     def head(self, n: int = 5) -> List[Dict[str, Any]]:
@@ -209,17 +240,28 @@ class Table:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Table":
-        """Inverse of :meth:`to_dict` (blob markers become None)."""
+        """Inverse of :meth:`to_dict` (blob markers become None).
+
+        The restore is *lossy* for BLOB columns: their payloads were replaced
+        by markers at save time and come back as NULL.  Affected column names
+        are recorded on ``table.lossy_columns`` so callers can detect the
+        loss instead of silently reading NULLs
+        (:meth:`~repro.relational.storage.TableStorage.load` also emits a
+        :class:`~repro.relational.storage.LossyBlobWarning`).
+        """
         schema = Schema.from_dict(payload["schema"])
         table = cls(payload["name"], schema, description=payload.get("description", ""))
+        lossy = set()
         for row in payload.get("rows", []):
             cleaned = {}
             for key, value in row.items():
                 if isinstance(value, dict) and value.get("__blob__"):
                     cleaned[key] = None
+                    lossy.add(key)
                 else:
                     cleaned[key] = value
             table.insert(cleaned)
+        table.lossy_columns = sorted(lossy)
         return table
 
     def pretty(self, limit: int = 10) -> str:

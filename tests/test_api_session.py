@@ -271,6 +271,53 @@ class TestPreparedQueries:
         fresh = svc.query(BORING_QUERY)
         assert not fresh.prepared_hit
 
+    def test_eviction_under_concurrent_batches(self, corpus):
+        # A capacity-1 cache thrashes when two distinct queries alternate
+        # concurrently: correctness (rows identical to serial) must survive
+        # the churn, and the evictions must be accounted.
+        svc = fresh_service(corpus, prepared_cache_size=1)
+        workload = [BORING_QUERY, RECENT_QUERY] * 4
+        serial_reference = fresh_service(corpus)
+        expected = {q: rows_of(serial_reference.query(q))
+                    for q in (BORING_QUERY, RECENT_QUERY)}
+
+        responses = svc.query_batch(
+            [QueryRequest(nl_query=q, user=SilentUser()) for q in workload], jobs=4)
+        assert all(r.ok for r in responses)
+        for query, response in zip(workload, responses):
+            assert rows_of(response) == expected[query]
+        stats = svc.prepared_stats()
+        assert len(svc.prepared) == 1
+        assert stats["evictions"] > 0
+        assert stats["hits"] + stats["misses"] == len(workload)
+        # Thrashing must not leak per-key build locks.
+        assert svc.prepared._key_locks == {}
+
+    def test_fingerprint_invalidation_under_concurrent_batches(self, corpus):
+        # A catalog mutation between batches shifts every prepared key; the
+        # next *concurrent* batch must compile exactly once behind the
+        # per-key lock and share the new plan among the other workers.
+        from repro.relational.table import Table
+        svc = fresh_service(corpus)
+        first = svc.query_batch([BORING_QUERY] * 4, jobs=4)
+        assert all(r.ok for r in first)
+        before = svc.prepared_stats()
+        assert before["misses"] == 1 and before["hits"] == 3
+
+        # Direct catalog mutation (legacy-style): the fingerprint is computed
+        # fresh per request, so old plans become unreachable immediately.
+        svc.catalog.register(Table.from_rows(
+            "scratch_notes", [{"note_id": 1, "text": "hello"}]))
+        second = svc.query_batch([BORING_QUERY] * 4, jobs=4)
+        assert all(r.ok for r in second)
+        after = svc.prepared_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 3
+        # Both keys (old and new fingerprint) now live in the cache.
+        assert len(svc.prepared) == 2
+        for a, b in zip(first, second):
+            assert rows_of(a) == rows_of(b)
+
 
 class TestBatchExecution:
     WORKLOAD = [BORING_QUERY, RECENT_QUERY, BORING_QUERY, RECENT_QUERY,

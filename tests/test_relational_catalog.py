@@ -5,7 +5,7 @@ import pytest
 from repro.errors import DuplicateTableError, StorageError, UnknownTableError
 from repro.relational.catalog import Catalog, TableStats
 from repro.relational.indexes import HashIndex
-from repro.relational.storage import TableStorage
+from repro.relational.storage import LossyBlobWarning, TableStorage
 from repro.relational.table import Table
 from repro.relational.view import MaterializedView, View
 
@@ -111,6 +111,31 @@ class TestStorage:
         with pytest.raises(StorageError):
             TableStorage(tmp_path).load("ghost")
 
+    def test_lossy_blob_roundtrip_is_flagged(self, tmp_path):
+        # BLOB payloads are not persisted; the restore must *signal* the loss
+        # (warning + lossy_columns) instead of silently returning NULLs.
+        from repro.relational.schema import Column, Schema
+        from repro.relational.types import DataType
+        schema = Schema([Column("pid", DataType.INTEGER),
+                         Column("pixels", DataType.BLOB)])
+        table = Table("posters", schema,
+                      [{"pid": 1, "pixels": object()}, {"pid": 2, "pixels": None}])
+        storage = TableStorage(tmp_path)
+        storage.save(table)
+        with pytest.warns(LossyBlobWarning, match="pixels"):
+            restored = storage.load("posters")
+        assert restored.lossy_columns == ["pixels"]
+        assert restored[0]["pixels"] is None
+
+    def test_blob_free_load_is_clean(self, tmp_path, movies_table):
+        import warnings
+        storage = TableStorage(tmp_path)
+        storage.save(movies_table)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            restored = storage.load("movies")
+        assert restored.lossy_columns == []
+
 
 class TestViews:
     def test_view_computes_on_demand(self, movies_table):
@@ -171,3 +196,54 @@ class TestHashIndex:
     def test_duplicate_keys_grouped(self, movies_table):
         index = HashIndex(movies_table, "title")
         assert len(index.lookup("Clean and Sober")) == 2
+
+    def test_index_tracks_growth_since_build(self, movies_table):
+        # Regression: the backing table growing after build must be visible
+        # to every lookup form, not just lookup().
+        index = HashIndex(movies_table, "movie_id")
+        movies_table.insert_many([
+            {"movie_id": 9, "title": "New", "year": 2024},
+            {"movie_id": 10, "title": "Newer", "year": 2025},
+        ])
+        assert 10 in index
+        assert len(index) == 5
+        assert index.lookup_one(9)["title"] == "New"
+
+    def test_index_survives_delete_then_insert_same_length(self, movies_table):
+        # Regression: a delete followed by an insert keeps len(table)
+        # constant; the old suffix-only refresh served stale positions here
+        # (row 1's slot now holds a different movie).
+        index = HashIndex(movies_table, "movie_id")
+        assert index.lookup_one(1)["title"] == "Guilty by Suspicion"
+        movies_table.delete_where(lambda r: r["movie_id"] == 1)
+        movies_table.insert({"movie_id": 7, "title": "Replacement", "year": 2001})
+        assert len(movies_table) == 3  # same length as at build time
+        assert index.lookup(1) == []
+        assert index.lookup_one(7)["title"] == "Replacement"
+
+    def test_index_sees_in_place_updates(self, movies_table):
+        # Regression: update_where changes indexed values without changing
+        # the row count; lookups must reflect the new values.
+        index = HashIndex(movies_table, "title")
+        movies_table.update_where(lambda r: r["movie_id"] == 2,
+                                  {"title": "Renamed"})
+        assert index.lookup_one("Renamed")["movie_id"] == 2
+        assert len(index.lookup("Clean and Sober")) == 1
+
+    def test_index_sees_truncate(self, movies_table):
+        index = HashIndex(movies_table, "movie_id")
+        movies_table.truncate()
+        assert index.lookup(1) == []
+        assert len(index) == 0
+
+    def test_update_where_validates_before_mutating(self, movies_table):
+        # A bad value must leave every row untouched (and the index fresh),
+        # not abort mid-loop with some rows already rewritten.
+        from repro.errors import SchemaError
+        index = HashIndex(movies_table, "title")
+        with pytest.raises(SchemaError):
+            movies_table.update_where(lambda r: True,
+                                      {"title": "New", "year": "not-a-year"})
+        assert movies_table.column_values("title")[0] == "Guilty by Suspicion"
+        assert index.lookup("New") == []
+        assert index.lookup_one("Guilty by Suspicion")["movie_id"] == 1
