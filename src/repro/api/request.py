@@ -63,9 +63,16 @@ class QueryResponse:
     explanation: Optional[str] = None
     top_explanation: Optional[str] = None
     # What the model gateway did for this request (hits/misses/coalesced/
-    # semantic_hits/tokens_saved/tokens_charged); None when no gateway routed
-    # the session.
+    # semantic_hits/tokens_saved/tokens_charged/batch_tokens_saved); None
+    # when no gateway routed the session.
     gateway_stats: Optional[Dict[str, int]] = None
+    # The answering session's quota position after this request, so callers
+    # can back off *before* the gateway raises SessionQuotaExceededError.
+    # ``tokens_used`` counts gateway-charged tokens; ``tokens_remaining`` is
+    # None when no per-session quota applies.
+    tokens_used: int = 0
+    tokens_remaining: Optional[int] = None
+    quota_exhausted: bool = False
 
     @property
     def total_tokens(self) -> int:

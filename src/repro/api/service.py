@@ -181,8 +181,12 @@ class KathDBService:
         try:
             return session.query(request)
         except Exception as error:  # noqa: BLE001 - service boundary
+            quota = session.quota_state()
             return QueryResponse(request=request, result=None, session_id=session.id,
-                                 ok=False, error=f"{type(error).__name__}: {error}")
+                                 ok=False, error=f"{type(error).__name__}: {error}",
+                                 tokens_used=quota["tokens_used"],
+                                 tokens_remaining=quota["tokens_remaining"],
+                                 quota_exhausted=bool(quota["quota_exhausted"]))
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
         with self._pool_lock:

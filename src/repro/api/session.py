@@ -107,6 +107,35 @@ class Session:
         """Tokens spent by this session so far."""
         return self.models.cost_meter.total_tokens
 
+    # -- quota state -----------------------------------------------------------------
+    def quota_state(self) -> Dict[str, Optional[int]]:
+        """This session's live quota position (see the properties below).
+
+        Routed sessions read the gateway's admission ledger — the authority
+        the quota is enforced against; un-routed (legacy facade) sessions
+        fall back to their private meter and never exhaust.
+        """
+        client = getattr(self.models, "gateway_client", None)
+        if client is not None:
+            return client.quota_state()
+        return {"tokens_used": self.models.cost_meter.total_tokens,
+                "tokens_remaining": None, "quota_exhausted": False}
+
+    @property
+    def tokens_used(self) -> int:
+        """Tokens counted against this session's gateway quota so far."""
+        return self.quota_state()["tokens_used"]
+
+    @property
+    def tokens_remaining(self) -> Optional[int]:
+        """Quota headroom left, or None when no per-session quota applies."""
+        return self.quota_state()["tokens_remaining"]
+
+    @property
+    def quota_exhausted(self) -> bool:
+        """True when the next gateway miss would be refused over quota."""
+        return bool(self.quota_state()["quota_exhausted"])
+
     # -- querying --------------------------------------------------------------------
     def query(self, request: Union[str, QueryRequest],
               user: Optional[UserAgent] = None,
@@ -150,6 +179,10 @@ class Session:
             # What the shared gateway did for *this* request (per-session
             # counters are race-free: a session runs one query at a time).
             response.gateway_stats = gateway_client.counters.delta(gateway_marker)
+        quota = self.quota_state()
+        response.tokens_used = quota["tokens_used"]
+        response.tokens_remaining = quota["tokens_remaining"]
+        response.quota_exhausted = bool(quota["quota_exhausted"])
         if opts.explain:
             response.explanation = self.stack.explainer.explain_pipeline(result)
         if opts.explain_top and len(result.final_table) and \

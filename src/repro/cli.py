@@ -75,6 +75,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gateway-stats", action="store_true",
                         help="print the model gateway's counters after the run "
                              "(forces service mode)")
+    parser.add_argument("--batch-window", type=float, default=None, metavar="SECONDS",
+                        help="micro-batch collection window for the batchable model "
+                             "kinds (forces service mode; default: auto — a few ms "
+                             "only when model latency is simulated)")
     parser.add_argument("--simulate-latency", type=float, default=0.0, metavar="SCALE",
                         help="sleep each model call's synthetic latency times SCALE "
                              "(makes batch throughput numbers honest; default: 0)")
@@ -115,7 +119,8 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           enable_prepared_cache=not args.no_prepared,
                           enable_model_cache=not args.no_model_cache,
                           service_max_workers=max(1, args.jobs),
-                          simulate_model_latency=max(0.0, args.simulate_latency))
+                          simulate_model_latency=max(0.0, args.simulate_latency),
+                          gateway_batch_window_s=args.batch_window)
     service = KathDBService(config)
     print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
           file=output)
@@ -157,6 +162,10 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
             print("model gateway: disabled", file=output)
         else:
             print(service.gateway.describe(), file=output)
+            batching = service.gateway.stats()["batching"]
+            for kind, sizes in batching.get("by_kind", {}).items():
+                print(f"  batched {kind}: {sizes['batches']} batches, "
+                      f"largest={sizes['largest_batch']}", file=output)
             if args.no_model_cache:
                 print("model gateway: result cache disabled (--no-model-cache)",
                       file=output)
@@ -186,11 +195,13 @@ def run(args: argparse.Namespace, output=None) -> int:
     # Gateway flags only make sense on the service path (the legacy facade
     # keeps its direct, un-routed accounting), so they force batch mode.
     service_mode = (args.jobs > 1 or args.repeat > 1
-                    or args.gateway_stats or args.no_model_cache)
+                    or args.gateway_stats or args.no_model_cache
+                    or args.batch_window is not None)
     if service_mode:
         if args.interactive:
             print("error: --interactive cannot be combined with service mode "
-                  "(--jobs/--repeat/--gateway-stats/--no-model-cache)", file=output)
+                  "(--jobs/--repeat/--gateway-stats/--no-model-cache/"
+                  "--batch-window)", file=output)
             return 2
         return run_batch(args, query, output)
 

@@ -147,6 +147,7 @@ class ExecutionEngine:
             record.gateway_hits = (delta["hits"] + delta["coalesced"]
                                    + delta["semantic_hits"])
             record.gateway_tokens_saved = delta["tokens_saved"]
+            record.gateway_batch_tokens_saved = delta["batch_tokens_saved"]
 
         # Lineage recording.
         record.lineage_data_type = self._record_lineage(node, function, inputs, output,

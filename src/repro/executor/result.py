@@ -32,9 +32,11 @@ class ExecutionRecord:
     anomalies: List[str] = field(default_factory=list)
     # Model-gateway activity while this operator ran (0 when no gateway
     # routes the executing suite): calls answered without executing a model,
-    # and the tokens those answers would have cost.
+    # the tokens those answers would have cost, and the discount
+    # micro-batched misses received off their serial price.
     gateway_hits: int = 0
     gateway_tokens_saved: int = 0
+    gateway_batch_tokens_saved: int = 0
 
     def describe(self) -> str:
         extras = []
@@ -44,6 +46,8 @@ class ExecutionRecord:
             extras.append(f"anomalies={len(self.anomalies)}")
         if self.gateway_hits:
             extras.append(f"gateway_hits={self.gateway_hits}")
+        if self.gateway_batch_tokens_saved:
+            extras.append(f"batch_saved={self.gateway_batch_tokens_saved}")
         suffix = (" [" + ", ".join(extras) + "]") if extras else ""
         return (f"{self.operator_name} v{self.function_version} ({self.function_variant}): "
                 f"{self.rows_in}->{self.rows_out} rows, {self.runtime_s * 1000:.1f} ms, "

@@ -5,7 +5,7 @@ See :mod:`repro.gateway.gateway` for the tier stack and
 """
 
 from repro.gateway.admission import AdmissionController
-from repro.gateway.batching import MicroBatcher
+from repro.gateway.batching import BatchStats, KindBatchStats, MicroBatcher
 from repro.gateway.cache import ExactResultCache
 from repro.gateway.coalesce import RequestCoalescer
 from repro.gateway.fingerprint import RequestKey, canonicalize, request_key
@@ -20,7 +20,9 @@ from repro.gateway.semantic import SEMANTIC_METHODS, SemanticNearCache
 
 __all__ = [
     "AdmissionController",
+    "BatchStats",
     "ExactResultCache",
+    "KindBatchStats",
     "GatewayConfig",
     "MicroBatcher",
     "ModelGateway",

@@ -1,18 +1,23 @@
 """Micro-batching for the batchable model kinds.
 
-Embeddings, entity extraction, and pixel detection are the model kinds a
-real serving stack batches: they are cheap per item, high-volume, and their
-backends accept many inputs per invocation.  The :class:`MicroBatcher`
+Embeddings, entity extraction, pixel detection, and OCR are the model kinds
+a real serving stack batches: they are cheap per item, high-volume, and
+their backends accept many inputs per invocation.  The :class:`MicroBatcher`
 groups gateway misses of one kind that arrive within a small window and
-executes them as **one batched invocation**: a single admission slot is
-taken for the whole batch, the batch leader drains the queue and runs every
-member's thunk back-to-back, and each member's result (and token charge —
-each thunk charges its own session's meter) is delivered through its future.
+executes them as **one batched invocation** through
+:func:`repro.models.batching.plan_batch`: a single admission slot is taken
+for the whole batch, duplicate members share one computation, the batch pays
+one shared prompt/setup overhead plus per-member marginal cost (sub-linear
+token growth), and each member's session meter is charged its fair share as
+a :class:`~repro.models.cost.BatchedModelCall`.
 
-With ``window_s == 0`` the batcher is a pure pass-through that still
-opportunistically drains whatever queued *while the leader held the slot* —
-zero added latency, which is the right default when model latency is not
-being simulated.
+The batch window only sleeps when the leader is *alone* — when followers are
+already queued there is a batch to run, and waiting a further window would
+add pure latency.  Each call therefore waits at most one window beyond its
+execution time.  With ``window_s == 0`` the batcher is a pure pass-through
+that still opportunistically batches whatever queued *while the leader held
+the slot* — zero added latency, which is the right default when model
+latency is not being simulated.
 """
 
 from __future__ import annotations
@@ -20,18 +25,37 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
 
 from repro.gateway.admission import AdmissionController
+from repro.models.batching import BatchMember, metered_call, plan_batch
+
+
+#: What a member's future resolves to: (result, tokens charged to the
+#: member's session, tokens the call would have cost serially).
+BatchResult = Tuple[Any, int, int]
 
 
 @dataclass
 class _Pending:
-    """One queued call: the execution thunk and the future its caller awaits."""
+    """One queued call: the member description and the future its caller awaits."""
 
-    thunk: Callable[[], Tuple[Any, int]]
-    future: "Future[Tuple[Any, int]]"
+    member: BatchMember
+    future: "Future[BatchResult]"
+
+
+@dataclass
+class KindBatchStats:
+    """Batch-size accounting for one batchable kind."""
+
+    batches: int = 0
+    batched_calls: int = 0
+    largest_batch: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"batches": self.batches, "batched_calls": self.batched_calls,
+                "largest_batch": self.largest_batch}
 
 
 @dataclass
@@ -41,10 +65,15 @@ class BatchStats:
     batches: int = 0
     batched_calls: int = 0    # calls that shared a batch with at least one other
     largest_batch: int = 0
+    token_savings: int = 0    # serial-minus-batched tokens across all batches
+    by_kind: Dict[str, KindBatchStats] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         return {"batches": self.batches, "batched_calls": self.batched_calls,
-                "largest_batch": self.largest_batch}
+                "largest_batch": self.largest_batch,
+                "token_savings": self.token_savings,
+                "by_kind": {kind: stats.as_dict()
+                            for kind, stats in sorted(self.by_kind.items())}}
 
 
 class MicroBatcher:
@@ -59,17 +88,20 @@ class MicroBatcher:
         self._leaders: Dict[str, bool] = {}
         self._lock = threading.Lock()
         self.stats = BatchStats()
+        # Collection windows actually slept (one per leadership when
+        # window_s > 0); regression tests pin the bounded-latency contract
+        # on this instead of wall clocks.
+        self.window_sleeps = 0
 
-    def submit(self, kind: str,
-               thunk: Callable[[], Tuple[Any, int]]) -> "Future[Tuple[Any, int]]":
+    def submit(self, kind: str, member: BatchMember) -> "Future[BatchResult]":
         """Enqueue one call of ``kind``; leads the batch if nobody else is.
 
-        The returned future resolves to the thunk's ``(result, token_cost)``.
-        The leader runs batches *inline* on the calling thread until the
-        queue drains, so no background threads are involved and a crash in
-        one member only fails that member's future.
+        The returned future resolves to ``(result, charged, serial)`` token
+        accounting included.  The leader runs batches *inline* on the calling
+        thread until the queue drains, so no background threads are involved
+        and a crash in one member only fails that member's future.
         """
-        pending = _Pending(thunk=thunk, future=Future())
+        pending = _Pending(member=member, future=Future())
         with self._lock:
             self._queues.setdefault(kind, []).append(pending)
             lead = not self._leaders.get(kind, False)
@@ -77,6 +109,19 @@ class MicroBatcher:
                 self._leaders[kind] = True
         if lead:
             try:
+                # Sleep the collection window **once per leadership**, before
+                # the first drain (the satellite bugfix: the old per-drain
+                # sleep added a full extra window whenever followers were
+                # already queued).  A new leader always starts alone —
+                # leadership is only released on an empty queue — so this is
+                # exactly the accumulation window, and every call waits at
+                # most one window beyond its execution.  Inside the try: an
+                # async exception during the sleep must release leadership
+                # like any other failure.
+                if self.window_s > 0:
+                    with self._lock:
+                        self.window_sleeps += 1
+                    time.sleep(self.window_s)
                 while True:
                     self._drain(kind)
                     # Release leadership and re-check the queue under one
@@ -94,16 +139,14 @@ class MicroBatcher:
                 with self._lock:
                     stranded = self._queues.pop(kind, [])
                     self._leaders[kind] = False
-                for member in stranded:
-                    if not member.future.done():
-                        member.future.set_exception(error)
+                for waiting in stranded:
+                    if not waiting.future.done():
+                        waiting.future.set_exception(error)
                 raise
         return pending.future
 
     def _drain(self, kind: str) -> None:
         """Run queued calls of one kind in admission-slot-sized batches."""
-        if self.window_s > 0:
-            time.sleep(self.window_s)
         while True:
             with self._lock:
                 queue = self._queues.get(kind, [])
@@ -113,24 +156,67 @@ class MicroBatcher:
             with self._lock:
                 self.stats.batches += 1
                 self.stats.largest_batch = max(self.stats.largest_batch, len(chunk))
+                per_kind = self.stats.by_kind.setdefault(kind, KindBatchStats())
+                per_kind.batches += 1
+                per_kind.largest_batch = max(per_kind.largest_batch, len(chunk))
                 if len(chunk) > 1:
                     self.stats.batched_calls += len(chunk)
+                    per_kind.batched_calls += len(chunk)
             try:
                 with self._admission.slot():
-                    for member in chunk:
-                        if member.future.done():  # pragma: no cover - defensive
-                            continue
-                        try:
-                            member.future.set_result(member.thunk())
-                        except BaseException as error:  # noqa: BLE001 - delivered to caller
-                            member.future.set_exception(error)
+                    if len(chunk) == 1:
+                        self._execute_single(chunk[0])
+                    else:
+                        self._execute_batch(chunk)
             except BaseException as error:
                 # The chunk is already dequeued, so submit()'s stranded-
                 # follower sweep cannot see it: an infra failure here (e.g.
                 # KeyboardInterrupt while blocking on the admission
                 # semaphore) must fail the extracted members itself, or
                 # their callers hang forever on future.result().
-                for member in chunk:
-                    if not member.future.done():
-                        member.future.set_exception(error)
+                for waiting in chunk:
+                    if not waiting.future.done():
+                        waiting.future.set_exception(error)
                 raise
+
+    @staticmethod
+    def _execute_single(pending: _Pending) -> None:
+        """A chunk of one keeps exact serial semantics and accounting."""
+        member = pending.member
+        try:
+            result, cost = metered_call(member.model, member.method,
+                                        member.args, member.kwargs)
+            pending.future.set_result((result, cost, cost))
+        except BaseException as error:  # noqa: BLE001 - delivered to caller
+            pending.future.set_exception(error)
+
+    def _execute_batch(self, chunk: List[_Pending]) -> None:
+        """Run one true batched invocation and deliver per-member shares.
+
+        Each member's session meter is charged its fair share of the batch
+        price as a single :class:`~repro.models.cost.BatchedModelCall`; the
+        shares' synthetic latencies sum to **one** invocation's latency, so
+        simulated-latency runs see the batch as one model round trip.
+        """
+        plan = plan_batch([pending.member for pending in chunk])
+        total_saved = 0
+        for pending, outcome in zip(chunk, plan.outcomes):
+            if outcome.error is not None:
+                pending.future.set_exception(outcome.error)
+                continue
+            meter = getattr(pending.member.model, "cost_meter", None)
+            if meter is not None:
+                meter.record_batched(
+                    getattr(pending.member.model, "name",
+                            type(pending.member.model).__name__),
+                    pending.member.purpose,
+                    outcome.charge_prompt, outcome.charge_completion,
+                    batch_size=plan.size, members=1,
+                    serial_tokens=outcome.serial_tokens,
+                    latency_s=outcome.latency_share_s)
+            total_saved += outcome.tokens_saved
+            pending.future.set_result(
+                (outcome.result, outcome.charged_tokens, outcome.serial_tokens))
+        if total_saved:
+            with self._lock:
+                self.stats.token_savings += total_saved

@@ -22,7 +22,10 @@ counters) and is what the model proxies in :mod:`repro.gateway.proxy` hold.
 Token accounting is strictly *pay-for-your-misses*: an executing call
 charges the executing session's own cost meter (the models already do this);
 hits, near-hits, and coalesced followers charge nobody and are tallied as
-``tokens_saved``.
+``tokens_saved``.  Micro-batched misses pay a *discounted* price — each
+member's fair share of one batched invocation (shared setup overhead + its
+marginal content) instead of the full serial cost — and the discount is
+tallied as ``batch_tokens_saved``.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.gateway.admission import AdmissionController
 from repro.gateway.batching import MicroBatcher
+from repro.models.batching import BatchMember, metered_call
 from repro.gateway.cache import ExactResultCache
 from repro.gateway.coalesce import RequestCoalescer
 from repro.gateway.fingerprint import canonicalize, lexicon_fingerprint_of, request_key
@@ -69,22 +73,22 @@ class SessionCounters:
     semantic_hits: int = 0
     tokens_saved: int = 0
     tokens_charged: int = 0
+    # Tokens micro-batching discounted off this session's own misses (the
+    # serial price minus the batched share it actually paid).
+    batch_tokens_saved: int = 0
+
+    _KEYS = ("hits", "misses", "coalesced", "semantic_hits",
+             "tokens_saved", "tokens_charged", "batch_tokens_saved")
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "coalesced": self.coalesced, "semantic_hits": self.semantic_hits,
-                "tokens_saved": self.tokens_saved,
-                "tokens_charged": self.tokens_charged}
+        return {key: getattr(self, key) for key in self._KEYS}
 
     def snapshot(self) -> Tuple[int, ...]:
-        return (self.hits, self.misses, self.coalesced, self.semantic_hits,
-                self.tokens_saved, self.tokens_charged)
+        return tuple(getattr(self, key) for key in self._KEYS)
 
     def delta(self, marker: Tuple[int, ...]) -> Dict[str, int]:
         now = self.snapshot()
-        keys = ("hits", "misses", "coalesced", "semantic_hits",
-                "tokens_saved", "tokens_charged")
-        return {k: now[i] - marker[i] for i, k in enumerate(keys)}
+        return {k: now[i] - marker[i] for i, k in enumerate(self._KEYS)}
 
 
 class SessionGatewayClient:
@@ -112,6 +116,24 @@ class SessionGatewayClient:
     def spent(self) -> int:
         """Tokens this session has been charged for through the gateway."""
         return self.gateway.admission.spent(self.session_id)
+
+    def quota_state(self) -> Dict[str, Any]:
+        """This session's live quota position, for pre-emptive backoff.
+
+        ``tokens_remaining`` is None when no quota applies (unconfigured, or
+        a quota-exempt internal client); ``quota_exhausted`` True means the
+        next miss will be refused with ``SessionQuotaExceededError``.
+        """
+        # Read the admission controller's copy — the authority precheck()
+        # enforces against — not the config snapshot it was built from.
+        quota = (None if self.quota_exempt
+                 else self.gateway.admission.session_token_quota)
+        used = self.spent()
+        return {
+            "tokens_used": used,
+            "tokens_remaining": max(0, quota - used) if quota is not None else None,
+            "quota_exhausted": quota is not None and used >= quota,
+        }
 
 
 class ModelGateway:
@@ -248,20 +270,20 @@ class ModelGateway:
                 return copy.deepcopy(result)
 
         # Tier 4: execute (admission-gated, possibly micro-batched).  The
-        # model charges its own cost meter — i.e. the calling session's.
+        # model charges its own cost meter — i.e. the calling session's;
+        # batched members are charged their fair share of the batch price.
         try:
-            def execute() -> Tuple[Any, int]:
-                meter = getattr(model, "cost_meter", None)
-                marker = meter.snapshot() if meter is not None else 0
-                out = getattr(model, method)(*args, **kwargs)
-                cost = meter.tokens_since(marker) if meter is not None else 0
-                return out, cost
-
             if cfg.enable_batching and batchable:
-                result, token_cost = self.batcher.submit(method, execute).result()
+                member = BatchMember(model=model, method=method, args=args,
+                                     kwargs=kwargs, key=key)
+                batch_kind = f"{getattr(model, 'name', type(model).__name__)}.{method}"
+                result, token_cost, serial_cost = \
+                    self.batcher.submit(batch_kind, member).result()
+                if serial_cost > token_cost:
+                    client.counters.batch_tokens_saved += serial_cost - token_cost
             else:
                 with self.admission.slot():
-                    result, token_cost = execute()
+                    result, token_cost = metered_call(model, method, args, kwargs)
         except BaseException as error:
             if slot is not None:
                 self.coalescer.fail(slot, error)
@@ -311,7 +333,12 @@ class ModelGateway:
             "coalesced": stats["coalescing"]["coalesced"],
             "batches": stats["batching"]["batches"],
             "batched_calls": stats["batching"]["batched_calls"],
+            "batch_token_savings": stats["batching"]["token_savings"],
             "semantic_hits": stats["semantic"]["near_hits"],
+            # Avoided-call savings only, so this reconciles with the sum of
+            # per-session tokens_saved; the batching *discount* on executed
+            # calls is its own key (batch_token_savings), mirroring the
+            # per-session batch_tokens_saved counter.
             "tokens_saved": (stats["cache"]["tokens_saved"]
                              + stats["coalescing"]["tokens_saved"]
                              + stats["semantic"]["tokens_saved"]),

@@ -8,9 +8,10 @@ arguments are normalized to tuples before routing so that semantically equal
 calls (list vs tuple of the same terms) fingerprint identically — the
 underlying models only require ``Sequence``.
 
-The batchable kinds are the ones the issue's serving model batches in real
-deployments: embeddings, entity extraction (NER), and pixel detection.
-LLM/VLM/OCR calls are routed for caching and coalescing but execute singly.
+The batchable kinds are the ones a real serving stack batches: embeddings,
+entity extraction (NER), pixel detection, and OCR — the models that expose a
+true ``*_batch()`` entry point with sub-linear token cost.  LLM/VLM calls
+are routed for caching and coalescing but execute singly.
 """
 
 from __future__ import annotations
@@ -175,10 +176,11 @@ class GatewayDetector(GatewayModelProxy):
 
 
 class GatewayOCR(GatewayModelProxy):
-    """Routes the OCR extractor."""
+    """Routes the OCR extractor (batchable)."""
 
     def extract_text(self, image, purpose="ocr"):
-        return self._invoke("extract_text", (image,), {"purpose": purpose})
+        return self._invoke("extract_text", (image,), {"purpose": purpose},
+                            batchable=True)
 
 
 def is_routed(suite) -> bool:

@@ -24,7 +24,8 @@ that exposes the same *interface* and charges realistic token costs:
 See DESIGN.md ("Substitutions") for why this preserves the paper's behaviour.
 """
 
-from repro.models.cost import CostMeter, ModelCall
+from repro.models.cost import BatchedModelCall, CostMeter, ModelCall
+from repro.models.batching import BatchMember, BatchPlan, plan_batch, run_model_batch
 from repro.models.lexicon import Lexicon, DEFAULT_LEXICON
 from repro.models.embeddings import EmbeddingModel, cosine_similarity
 from repro.models.llm import SimulatedLLM
@@ -38,6 +39,11 @@ from repro.models.base import ModelSuite
 __all__ = [
     "CostMeter",
     "ModelCall",
+    "BatchedModelCall",
+    "BatchMember",
+    "BatchPlan",
+    "plan_batch",
+    "run_model_batch",
     "Lexicon",
     "DEFAULT_LEXICON",
     "EmbeddingModel",

@@ -4,6 +4,11 @@ KathDB's agents need an LLM, a VLM, an embedding model, an entity extractor,
 and the cheaper physical alternatives (pixel detector, OCR), all sharing one
 cost meter and one lexicon.  :class:`ModelSuite` wires them together so the
 rest of the system takes a single dependency.
+
+The batchable members (``embeddings``, ``ner``, ``detector``, ``ocr``)
+expose true ``*_batch()`` entry points with sub-linear token cost (see
+:mod:`repro.models.batching`); the gateway's micro-batcher dispatches
+through the same machinery.
 """
 
 from __future__ import annotations

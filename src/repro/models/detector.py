@@ -11,7 +11,7 @@ it are less accurate -- exactly the cost/accuracy spread the optimizer needs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,11 @@ DETECTOR_CALL_TOKENS = 40
 class PixelObjectDetector:
     """Detects colored regions in synthetic poster pixels."""
 
+    #: Prompt/setup tokens one serial request embeds (detector configuration
+    #: a batched invocation pays once); DETECTOR_CALL_TOKENS is 40, so most
+    #: of a call's prompt is shareable setup — like a real vision backend.
+    BATCH_OVERHEAD_TOKENS = 32
+
     def __init__(self, cost_meter: Optional[CostMeter] = None, name: str = "detector:pixel-stats",
                  min_region_fraction: float = 0.005):
         self.cost_meter = cost_meter
@@ -34,6 +39,18 @@ class PixelObjectDetector:
         if self.cost_meter is not None:
             self.cost_meter.record(self.name, purpose,
                                    prompt_tokens=DETECTOR_CALL_TOKENS, completion_tokens=20)
+
+    def detect_batch(self, images: Sequence[SyntheticImage],
+                     purpose: str = "pixel_detection") -> List[Dict[str, Any]]:
+        """Detect over many posters as one batched invocation.
+
+        Element-wise identical to serial :meth:`detect` calls; charged as a
+        single :class:`~repro.models.cost.BatchedModelCall` (shared setup +
+        per-image marginal cost).
+        """
+        from repro.models.batching import run_model_batch
+        return run_model_batch(self, "detect",
+                               [((image,), {"purpose": purpose}) for image in images])
 
     def detect(self, image: SyntheticImage, purpose: str = "pixel_detection") -> Dict[str, Any]:
         """Detect colored regions and compute poster-level statistics."""

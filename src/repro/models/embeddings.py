@@ -39,6 +39,10 @@ def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
 class EmbeddingModel:
     """Embeds words and texts into a fixed-dimension vector space."""
 
+    #: Prompt/setup tokens one serial request embeds (the request framing a
+    #: batched invocation pays once); see :mod:`repro.models.batching`.
+    BATCH_OVERHEAD_TOKENS = 8
+
     def __init__(self, lexicon: Optional[Lexicon] = None, dimensions: int = 64,
                  concept_weight: float = 3.0, cost_meter: Optional[CostMeter] = None,
                  name: str = "embedding:lexicon-64"):
@@ -101,8 +105,21 @@ class EmbeddingModel:
         return np.mean(vectors, axis=0)
 
     def embed_many(self, texts: Iterable[str], purpose: str = "embed_batch") -> List[np.ndarray]:
-        """Embed a batch of texts."""
+        """Embed a batch of texts (serial accounting; see :meth:`embed_text_batch`)."""
         return [self.embed_text(t, purpose=purpose) for t in texts]
+
+    def embed_text_batch(self, texts: Sequence[str],
+                         purpose: str = "embed_text") -> List[np.ndarray]:
+        """Embed many texts as **one batched invocation**.
+
+        Bit-identical to calling :meth:`embed_text` per text, but charged as
+        a single :class:`~repro.models.cost.BatchedModelCall`: one shared
+        request overhead plus per-text marginal cost (sub-linear in batch
+        size), one invocation's worth of synthetic latency.
+        """
+        from repro.models.batching import run_model_batch
+        return run_model_batch(self, "embed_text",
+                               [((text,), {"purpose": purpose}) for text in texts])
 
     def similarity(self, text_a: str, text_b: str, purpose: str = "similarity") -> float:
         """Cosine similarity between two texts."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.models.cost import CostMeter
 from repro.models.lexicon import DEFAULT_LEXICON, Lexicon
@@ -96,6 +96,10 @@ class ExtractionResult:
 class EntityExtractor:
     """Rule-based text-graph extraction with pronoun coreference."""
 
+    #: Prompt/setup tokens one serial request embeds (extraction schema and
+    #: few-shot preamble a batched invocation pays once).
+    BATCH_OVERHEAD_TOKENS = 48
+
     def __init__(self, cost_meter: Optional[CostMeter] = None, lexicon: Optional[Lexicon] = None,
                  name: str = "ner:rule-coref"):
         self.cost_meter = cost_meter
@@ -107,6 +111,18 @@ class EntityExtractor:
             self.cost_meter.record(self.name, purpose,
                                    prompt_tokens=estimate_tokens(text),
                                    completion_tokens=estimate_tokens(result_repr))
+
+    def extract_batch(self, texts: Sequence[str],
+                      purpose: str = "text_graph_extraction") -> List[ExtractionResult]:
+        """Extract text graphs from many documents as one batched invocation.
+
+        Element-wise identical to serial :meth:`extract` calls; charged as a
+        single :class:`~repro.models.cost.BatchedModelCall` whose token cost
+        is sub-linear (the extraction preamble is paid once per batch).
+        """
+        from repro.models.batching import run_model_batch
+        return run_model_batch(self, "extract",
+                               [((text,), {"purpose": purpose}) for text in texts])
 
     def extract(self, text: str, purpose: str = "text_graph_extraction") -> ExtractionResult:
         """Extract the full text semantic graph from one document."""

@@ -257,13 +257,18 @@ class TestCoalescing:
         # same query concurrently; the combined underlying model executions
         # (every execution records exactly one cost-meter call; cache hits
         # and coalesced followers record none) must equal a solo run's.
-        solo_svc = fresh_service(corpus, simulate_model_latency=0.5)
+        # Micro-batching is pinned off: a batched invocation collapses its
+        # members into one ledger record, which would skew the call *count*
+        # this test uses as its execution proxy.
+        solo_svc = fresh_service(corpus, simulate_model_latency=0.5,
+                                 enable_micro_batching=False)
         solo = solo_svc.session(name="solo")
         assert solo.query(BORING_QUERY).ok
         solo_calls = len(solo.models.cost_meter.calls)
         assert solo_calls > 0
 
-        svc = fresh_service(corpus, simulate_model_latency=0.5)
+        svc = fresh_service(corpus, simulate_model_latency=0.5,
+                            enable_micro_batching=False)
         a, b = svc.session(name="a"), svc.session(name="b")
         barrier = threading.Barrier(2)
 
@@ -304,6 +309,110 @@ class TestMicroBatching:
         assert stats.batches < 6                     # ...but not 6 invocations
         assert stats.largest_batch >= 2
         assert stats.batched_calls >= 2
+
+    def test_batched_members_pay_sublinear_fair_shares(self):
+        # Two sessions' distinct NER calls land in one batch: each session's
+        # meter gets a single BatchedModelCall whose shares sum to the batch
+        # price, which is below the serial price (shared setup paid once).
+        from repro.models.cost import BatchedModelCall
+        from repro.models.lexicon import default_lexicon
+        from repro.models.ner import EntityExtractor
+
+        gateway = ModelGateway(GatewayConfig(enable_cache=False,
+                                             enable_coalescing=False,
+                                             batch_window_s=0.05))
+        lexicon = default_lexicon()
+        meters = {sid: CostMeter() for sid in ("a", "b")}
+        models = {sid: EntityExtractor(cost_meter=meters[sid], lexicon=lexicon)
+                  for sid in meters}
+        texts = {"a": "David Merrill met a gun fight in the city.",
+                 "b": "Ruth Merrill enjoyed a calm garden walk."}
+        serial_cost = {}
+        for sid, text in texts.items():
+            with CostMeter.capture() as records:
+                models[sid].extract(text)
+            serial_cost[sid] = sum(r.total_tokens for r in records)
+
+        barrier = threading.Barrier(2)
+
+        def call(sid):
+            barrier.wait()
+            return gateway.client(sid).invoke(models[sid], "extract",
+                                              (texts[sid],), {},
+                                              batchable=True)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(call, ("a", "b")))
+
+        calls = {sid: meters[sid].calls for sid in meters}
+        assert all(len(c) == 1 and isinstance(c[0], BatchedModelCall)
+                   for c in calls.values())
+        charged = {sid: calls[sid][0].total_tokens for sid in calls}
+        assert sum(charged.values()) < sum(serial_cost.values())
+        for sid in charged:
+            assert calls[sid][0].serial_tokens == serial_cost[sid]
+            assert charged[sid] < serial_cost[sid]   # everyone got a discount
+        saved = sum(serial_cost.values()) - sum(charged.values())
+        assert gateway.batcher.stats.token_savings == saved
+        assert gateway.flat_stats()["batch_token_savings"] == saved
+        per_session = {sid: gateway.client(sid).counters.batch_tokens_saved
+                       for sid in charged}
+        assert sum(per_session.values()) == saved
+        kinds = gateway.batcher.stats.by_kind
+        assert any(kind.endswith(".extract") for kind in kinds)
+        assert max(k.largest_batch for k in kinds.values()) == 2
+
+    def test_queued_followers_skip_the_window_sleep(self):
+        # The satellite bugfix: a follower that is already queued when the
+        # leader loops must be served immediately — not after a further full
+        # window — so each call waits at most one window beyond execution.
+        # Deterministic setup: the leader's execution blocks on an event
+        # until the follower is provably queued, then we count windows.
+        gateway = ModelGateway(GatewayConfig(enable_cache=False,
+                                             enable_coalescing=False,
+                                             batch_window_s=0.5))
+
+        class GatedModel:
+            name = "stub:gated"
+            cost_meter = None
+
+            def __init__(self):
+                self.release = threading.Event()
+                self.leading = threading.Event()
+
+            def ask(self, prompt):
+                if prompt == "lead":
+                    self.leading.set()
+                    assert self.release.wait(5)
+                return {"echo": prompt}
+
+        model = GatedModel()
+        kind = "stub:gated.ask"
+
+        def call(prompt):
+            return gateway.client("s").invoke(model, "ask", (prompt,), {},
+                                              batchable=True)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            lead_future = pool.submit(call, "lead")
+            assert model.leading.wait(5)   # the leader is mid-execution
+            follow_future = pool.submit(call, "follow")
+            # Wait until the follower sits in the queue while the leader is
+            # still executing (its own entry was already dequeued).
+            deadline = time.monotonic() + 5
+            while len(gateway.batcher._queues.get(kind, [])) < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            released_at = time.monotonic()
+            model.release.set()
+            assert lead_future.result()["echo"] == "lead"
+            assert follow_future.result()["echo"] == "follow"
+            follower_wait = time.monotonic() - released_at
+        # One window slept (the leader's own); the queued follower was
+        # dispatched without a second window — the old code slept again at
+        # the top of every drain loop, costing a further 0.5 s here.
+        assert gateway.batcher.window_sleeps == 1
+        assert follower_wait < 0.4
 
     def test_member_failure_only_fails_that_member(self):
         gateway = ModelGateway(GatewayConfig(enable_cache=False,
@@ -435,6 +544,49 @@ class TestAdmissionControl:
         response = svc.query(BORING_QUERY)
         assert not response.ok
         assert "SessionQuotaExceededError" in response.error
+        # The failure response still carries the quota position (satellite:
+        # callers can see the exhaustion, not just the rejection).
+        assert response.quota_exhausted
+        assert response.tokens_remaining == 0
+
+    def test_quota_state_lets_callers_back_off_before_rejection(self, corpus):
+        # The ROADMAP satellite: quota state on Session/QueryResponse so a
+        # caller can stop *before* SessionQuotaExceededError fires.
+        svc = fresh_service(corpus, session_token_quota=1_000_000)
+        session = svc.session(name="careful")
+        assert session.tokens_used == 0
+        assert session.tokens_remaining == 1_000_000
+        assert not session.quota_exhausted
+
+        response = session.query(BORING_QUERY)
+        assert response.ok
+        assert response.tokens_used > 0
+        assert response.tokens_used == session.tokens_used
+        assert response.tokens_remaining == 1_000_000 - response.tokens_used
+        assert not response.quota_exhausted
+        state = session.quota_state()
+        assert state["tokens_used"] == response.tokens_used
+
+        # Shrink the enforced quota under the session's spend: the *state*
+        # flips before any further call is attempted — that is the backoff
+        # signal (quota_state reads the admission controller's copy, the
+        # same one precheck() refuses against).
+        svc.gateway.admission.session_token_quota = response.tokens_used
+        assert session.quota_exhausted
+        assert session.tokens_remaining == 0
+
+    def test_quota_state_without_a_quota_or_gateway(self, corpus):
+        svc = fresh_service(corpus)   # no quota configured
+        session = svc.session(name="free")
+        assert session.query(BORING_QUERY).ok
+        assert session.tokens_remaining is None
+        assert not session.quota_exhausted
+        from repro import KathDB
+        db = KathDB(service_config())
+        db.load_corpus(corpus)
+        legacy = db.default_session
+        assert legacy.tokens_remaining is None   # un-routed: never exhausts
+        assert not legacy.quota_exhausted
 
     def test_internal_namespace_is_not_caller_reachable(self):
         # The populator's quota-exempt client lives under the reserved "#"
