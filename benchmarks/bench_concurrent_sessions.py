@@ -66,9 +66,14 @@ def run_benchmark(corpus_size: int = 20, requests: int = 8, jobs: int = 4,
     # worker-pool *execution overlap* (every request must pay its own model
     # calls, hence the serial-vs-parallel token parity assertion below).
     # bench_gateway.py measures the gateway's cross-request dedup on top.
+    # Vectorized execution is pinned off for the same reason: batching
+    # collapses each request's per-row latency into one invocation, which is
+    # bench_vectorized.py's effect — here every request keeps its serial
+    # per-call latency so the pool's overlap is what gets measured.
     service = KathDBService(KathDBConfig(seed=7, monitor_enabled=False,
                                          explore_variants=False,
                                          enable_model_gateway=False,
+                                         enable_vectorized_execution=False,
                                          simulate_model_latency=latency_scale))
     service.load_corpus(build_movie_corpus(size=corpus_size, seed=7))
 

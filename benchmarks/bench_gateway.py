@@ -66,9 +66,15 @@ def make_requests(count: int) -> List[QueryRequest]:
 def run_arm(corpus, gateway: bool, requests: int, jobs: int,
             latency_scale: float) -> Dict:
     """Warm the prepared cache, then serve the batch; returns measurements."""
+    # Vectorized execution is pinned off in both arms: it cheapens even the
+    # gateway-off arm (un-routed suites batch through the models' *_batch
+    # planners), which would compress the ratio this workload exists to
+    # measure — cross-session cache/coalescing dedup over serial traffic.
+    # bench_vectorized.py measures the single-session batching effect.
     service = KathDBService(KathDBConfig(seed=7, monitor_enabled=False,
                                          explore_variants=False,
                                          enable_model_gateway=gateway,
+                                         enable_vectorized_execution=False,
                                          simulate_model_latency=latency_scale))
     service.load_corpus(corpus)
     warmup = service.query_batch(make_requests(1), jobs=1)[0]
@@ -118,10 +124,14 @@ def run_benchmark(corpus_size: int = 20, requests: int = 8, jobs: int = 4,
 def run_batching_arm(corpus, batching: bool, requests: int, jobs: int,
                      latency_scale: float) -> Dict:
     """One batching-workload arm: cache and coalescing off, batching on/off."""
+    # Vectorized execution pinned off in both arms (see run_arm): this
+    # workload isolates window-formed micro-batches from *concurrent serial*
+    # calls; single-session vectorized batching is bench_vectorized.py's.
     service = KathDBService(KathDBConfig(
         seed=7, monitor_enabled=False, explore_variants=False,
         enable_model_cache=False, enable_request_coalescing=False,
         enable_micro_batching=batching,
+        enable_vectorized_execution=False,
         gateway_batch_window_s=BATCH_WINDOW_S if batching else None,
         simulate_model_latency=latency_scale,
         service_max_workers=jobs))

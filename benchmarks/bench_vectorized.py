@@ -1,0 +1,161 @@
+"""Vectorized-execution benchmark: batched vs row-at-a-time model access.
+
+PR 3 gave the simulated models true ``*_batch()`` entry points, but they only
+fired when *concurrent* sessions collided in the micro-batch window.  This
+benchmark measures the single-session payoff of routing the hot row loops —
+corpus population (scene-graph extraction per poster, NER per plot document)
+and the embeddings match-density scoring body — through the vectorized batch
+client instead.
+
+Both arms pin the gateway's exact cache and coalescing **off**, so every
+saved token comes from true batched execution (one shared prompt/setup per
+chunk, per-member marginal cost), not from cache reuse:
+
+* **serial** — ``enable_vectorized_execution=False``: population and the
+  query's FAO bodies issue one model call per row, full serial price.
+* **vectorized** — the default: the same work arrives as column vectors,
+  one ``BatchedModelCall`` per chunk.
+
+The workload is one service corpus load plus one single-session
+embeddings-scoring query ("Rank every film by how exciting its plot is.").
+Result rows — the query's final table *and* every populated view — must be
+bit-identical across arms; the record lands in ``BENCH_vectorized.json``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_vectorized.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro import KathDBConfig, KathDBService, QueryRequest, ScriptedUser
+from repro.data.mmqa import build_movie_corpus
+from repro.data.workloads import FLAGSHIP_CLARIFICATION
+from repro.utils.timer import Timer
+
+RESULT_PATH = Path(__file__).parent / "BENCH_vectorized.json"
+
+#: An embeddings-heavy ranking query: its execution path is dominated by the
+#: batchable match-density scoring body (no VLM calls).
+SCORING_QUERY = "Rank every film by how exciting its plot is."
+
+FULL_CORPUS = 28
+QUICK_CORPUS = 12
+
+
+def run_arm(corpus, vectorized: bool) -> Dict:
+    """Load the corpus and run the scoring query in one session."""
+    service = KathDBService(KathDBConfig(
+        seed=7, monitor_enabled=False, explore_variants=False,
+        enable_model_cache=False, enable_request_coalescing=False,
+        enable_vectorized_execution=vectorized))
+    timer = Timer()
+    with timer:
+        service.load_corpus(corpus)
+        population_tokens = service.total_tokens()
+        session = service.session()
+        response = session.query(QueryRequest(
+            nl_query=SCORING_QUERY,
+            user=ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION})))
+    assert response.ok, response.error
+    views = {name: [dict(row) for row in service.catalog.table(name)]
+             for name in sorted(service.catalog.table_names())}
+    arm = {
+        "elapsed_s": round(timer.elapsed, 4),
+        "population_tokens": population_tokens,
+        "prepare_tokens": response.prepare_tokens,
+        "execute_tokens": response.execute_tokens,
+        "total_tokens": (population_tokens + response.prepare_tokens
+                         + response.execute_tokens),
+        "gateway_stats": service.gateway_stats(),
+        "rows": [dict(row) for row in response.result.final_table],
+        "views": views,
+    }
+    service.shutdown()
+    return arm
+
+
+def run_benchmark(corpus_size: int = FULL_CORPUS) -> Dict:
+    corpus = build_movie_corpus(size=corpus_size, seed=7)
+    serial = run_arm(corpus, vectorized=False)
+    vectorized = run_arm(corpus, vectorized=True)
+
+    # Pop unconditionally before comparing: rows/views hold objects (poster
+    # images) that must never reach the JSON record, even on a mismatch.
+    serial_rows, vectorized_rows = serial.pop("rows"), vectorized.pop("rows")
+    serial_views, vectorized_views = serial.pop("views"), vectorized.pop("views")
+    identical = (serial_rows == vectorized_rows
+                 and serial_views == vectorized_views)
+    return {
+        "workload": ("corpus population + embeddings-scoring query, "
+                     "single session, cache+coalescing off"),
+        "corpus_size": corpus_size,
+        "query": SCORING_QUERY,
+        "serial": serial,
+        "vectorized": vectorized,
+        "population_token_reduction": round(
+            serial["population_tokens"] / max(vectorized["population_tokens"], 1), 3),
+        "token_reduction": round(
+            serial["total_tokens"] / max(vectorized["total_tokens"], 1), 3),
+        "row_identical": identical,
+    }
+
+
+def save(record: Dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def report(record: Dict) -> str:
+    batches = record["vectorized"]["gateway_stats"].get("batches", 0)
+    return (f"[vectorized] corpus {record['corpus_size']}: "
+            f"serial {record['serial']['total_tokens']} tokens vs "
+            f"vectorized {record['vectorized']['total_tokens']} tokens "
+            f"({batches} batched invocations) -> "
+            f"{record['token_reduction']:.2f}x fewer tokens "
+            f"({record['population_token_reduction']:.2f}x on population), "
+            f"row-identical={record['row_identical']}")
+
+
+def test_vectorized_halves_single_session_tokens():
+    """Vectorized execution must cut tokens >= 2x with identical rows."""
+    record = run_benchmark()
+    save(record)
+    print("\n" + report(record))
+    assert record["row_identical"], \
+        "vectorized execution must not change any result or view row"
+    assert record["token_reduction"] >= 2.0, \
+        f"expected >= 2x token cut, got {record['token_reduction']:.2f}x"
+    assert record["vectorized"]["gateway_stats"].get("batches", 0) > 0, \
+        "the vectorized arm must record batched invocations"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=None, help="corpus size")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus (CI smoke run; >= 1.5x gate)")
+    args = parser.parse_args()
+    size = args.size or (QUICK_CORPUS if args.quick else FULL_CORPUS)
+    floor = 1.5 if args.quick else 2.0
+    record = run_benchmark(corpus_size=size)
+    print(report(record))
+    if not args.quick:
+        # Smoke runs validate via the exit code only: the committed record
+        # holds the full-size workload, which a quick run must not overwrite.
+        save(record)
+        print(f"wrote {RESULT_PATH}")
+    ok = record["row_identical"] and record["token_reduction"] >= floor
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,7 +57,8 @@ class KathDBService:
         populator_models = (
             self.gateway.route(self.models, "loader", quota_exempt=True)
             if self.gateway is not None else self.models)
-        self.populator = ViewPopulator(populator_models, self.catalog, self.lineage)
+        self.populator = ViewPopulator(populator_models, self.catalog, self.lineage,
+                                       batch_size=self.config.effective_batch_size())
         self.profile_cache = (ProfileCache(path=self.config.profile_cache_path)
                               if self.config.enable_profile_cache else None)
         self.prepared: Optional[PreparedQueryCache] = (
@@ -76,15 +77,17 @@ class KathDBService:
         This is the only phase that writes to the shared catalog and lineage
         store; afterwards both are treated as read-only by every session.
         """
-        # Swapping corpora invalidates cached gateway results: their keys are
-        # content-addressed (image URIs, plot texts) and URIs *collide*
-        # across corpora — two corpora both contain
-        # file://posters/clean_and_sober.png with different pixels.  Clear
-        # before populating so the population pass itself never reads a
-        # previous corpus's results.  (Prepared plans are cleared after
-        # population, below, once the new catalog fingerprint is final.)
+        # Swapping corpora invalidates the *URI-keyed* slice of the gateway
+        # cache: image URIs collide across corpora — two corpora both contain
+        # file://posters/clean_and_sober.png with different pixels — so
+        # entries whose request embeds a URI are dropped before populating.
+        # Purely text-keyed entries (NER extraction, embeddings, LLM calls)
+        # hash their own content and stay valid, so a reload that shares
+        # documents with the previous corpus re-uses their results.
+        # (Prepared plans are cleared after population, below, once the new
+        # catalog fingerprint is final.)
         if self.gateway is not None:
-            self.gateway.clear()
+            self.gateway.clear(volatile_only=True)
         self.population_report = self.populator.load_corpus(corpus,
                                                             populate_views=populate_views)
         self.invalidate_prepared()
@@ -217,9 +220,20 @@ class KathDBService:
         """Prepared-query cache counters (empty when the cache is disabled)."""
         return self.prepared.stats.as_dict() if self.prepared is not None else {}
 
-    def gateway_stats(self) -> Dict[str, int]:
-        """Headline model-gateway counters (empty when the gateway is off)."""
-        return self.gateway.flat_stats() if self.gateway is not None else {}
+    def gateway_stats(self, window_s: Optional[float] = None) -> Dict[str, object]:
+        """Headline model-gateway counters (empty when the gateway is off).
+
+        ``window_s`` additionally attaches a ``windowed`` entry with the
+        rolling counters and rates over the last that-many seconds — the
+        live-traffic view for long-running services, alongside the
+        cumulative headline numbers.
+        """
+        if self.gateway is None:
+            return {}
+        stats: Dict[str, object] = dict(self.gateway.flat_stats())
+        if window_s is not None:
+            stats["windowed"] = self.gateway.windowed_stats(window_s)
+        return stats
 
     def describe(self) -> str:
         """A short status summary for operators."""

@@ -75,6 +75,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gateway-stats", action="store_true",
                         help="print the model gateway's counters after the run "
                              "(forces service mode)")
+    parser.add_argument("--no-vectorized", action="store_true",
+                        help="disable vectorized (batched) operator execution and "
+                             "view population; every model call is issued "
+                             "row-at-a-time at full serial token cost")
     parser.add_argument("--batch-window", type=float, default=None, metavar="SECONDS",
                         help="micro-batch collection window for the batchable model "
                              "kinds (forces service mode; default: auto — a few ms "
@@ -118,6 +122,7 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           monitor_enabled=not args.no_monitor,
                           enable_prepared_cache=not args.no_prepared,
                           enable_model_cache=not args.no_model_cache,
+                          enable_vectorized_execution=not args.no_vectorized,
                           service_max_workers=max(1, args.jobs),
                           simulate_model_latency=max(0.0, args.simulate_latency),
                           gateway_batch_window_s=args.batch_window)
@@ -166,6 +171,17 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
             for kind, sizes in batching.get("by_kind", {}).items():
                 print(f"  batched {kind}: {sizes['batches']} batches, "
                       f"largest={sizes['largest_batch']}", file=output)
+            windowed = service.gateway.windowed_stats(60.0)
+            print(f"  last {windowed['window_s']:.0f}s: "
+                  f"{windowed['requests']} requests "
+                  f"({windowed['requests_per_s']:.2f}/s), "
+                  f"{windowed['tokens_charged']} tokens charged, "
+                  f"{windowed['tokens_saved']} saved, "
+                  f"{windowed['batch_tokens_saved']} batch-discounted",
+                  file=output)
+            if args.no_vectorized:
+                print("vectorized execution: disabled (--no-vectorized)",
+                      file=output)
             if args.no_model_cache:
                 print("model gateway: result cache disabled (--no-model-cache)",
                       file=output)
@@ -207,7 +223,8 @@ def run(args: argparse.Namespace, output=None) -> int:
 
     corpus = build_movie_corpus(size=args.size, seed=args.seed)
     config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
-                          monitor_enabled=not args.no_monitor)
+                          monitor_enabled=not args.no_monitor,
+                          enable_vectorized_execution=not args.no_vectorized)
     db = KathDB(config)
     print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
           file=output)

@@ -38,6 +38,13 @@ class KathDBConfig:
     # queries instead of re-profiling every candidate on sample rows.
     enable_profile_cache: bool = False
     profile_cache_path: Optional[Union[str, Path]] = None
+    # Vectorized execution: batchable FAO bodies and the view populators
+    # collect per-row model inputs into column vectors and issue one batched
+    # call per chunk of this many rows (sub-linear token cost; results are
+    # bit-identical to the serial path).  Disabling restores row-at-a-time
+    # model access everywhere.
+    enable_vectorized_execution: bool = True
+    vectorized_batch_size: int = 32
     # Parser interaction modes.
     proactive_clarification: bool = True
     reactive_correction: bool = True
@@ -97,6 +104,8 @@ class KathDBConfig:
             raise KathDBError("prepared_cache_size must be at least 1")
         if self.simulate_model_latency < 0:
             raise KathDBError("simulate_model_latency must be non-negative")
+        if self.vectorized_batch_size < 1:
+            raise KathDBError("vectorized_batch_size must be at least 1")
         if self.gateway_cache_entries < 1:
             raise KathDBError("gateway_cache_entries must be at least 1")
         if self.gateway_batch_window_s is not None and self.gateway_batch_window_s < 0:
@@ -109,6 +118,19 @@ class KathDBConfig:
             raise KathDBError("gateway_max_concurrency must be at least 1")
         if self.session_token_quota is not None and self.session_token_quota < 1:
             raise KathDBError("session_token_quota must be positive when set")
+
+    def effective_batch_size(self) -> int:
+        """The vectorization chunk size execution should use (1 = serial).
+
+        Clamped to ``gateway_max_batch`` when the gateway is on: the batch
+        client re-chunks at that bound anyway, and the optimizer's setup
+        pricing must count the same number of chunks execution will pay for.
+        """
+        if not self.enable_vectorized_execution:
+            return 1
+        if self.enable_model_gateway:
+            return min(self.vectorized_batch_size, self.gateway_max_batch)
+        return self.vectorized_batch_size
 
     def gateway_config(self):
         """The :class:`~repro.gateway.gateway.GatewayConfig` these knobs imply,

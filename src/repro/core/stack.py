@@ -71,7 +71,8 @@ class QueryStack:
             sample_size=config.optimizer_sample_size,
             max_repair_rounds=config.max_repair_rounds,
             min_accuracy=config.min_accuracy,
-            profile_cache=profile_cache)
+            profile_cache=profile_cache,
+            vectorized_batch_size=config.effective_batch_size())
         engine = ExecutionEngine(
             models, catalog, lineage, registry, coder=coder,
             monitor=ExecutionMonitor(models, sample_size=config.monitor_sample_size,

@@ -41,12 +41,20 @@ class PopulationReport:
 
 
 class ViewPopulator:
-    """Loads a corpus into the catalog and materializes the modality views."""
+    """Loads a corpus into the catalog and materializes the modality views.
 
-    def __init__(self, models: ModelSuite, catalog: Catalog, lineage: LineageStore):
+    ``batch_size`` vectorizes view population: scene-graph extraction and
+    NER run as one batched model call per that many rows (sub-linear token
+    cost; gateway-aware when the suite is routed, so every member still
+    populates the shared cache).  ``1`` keeps the serial row-at-a-time path.
+    """
+
+    def __init__(self, models: ModelSuite, catalog: Catalog, lineage: LineageStore,
+                 batch_size: int = 32):
         self.models = models
         self.catalog = catalog
         self.lineage = lineage
+        self.batch_size = max(1, int(batch_size))
 
     def load_corpus(self, corpus: MovieCorpus, populate_views: bool = True) -> PopulationReport:
         """Register the corpus base tables and (optionally) populate views.
@@ -85,10 +93,12 @@ class ViewPopulator:
                              parent_lid: Optional[int] = None) -> SceneGraphTables:
         """Materialize the image scene-graph views from a poster table."""
         return populate_scene_graph(poster_table.rows, self.models.vlm,
-                                    lineage=self.lineage, parent_lid=parent_lid)
+                                    lineage=self.lineage, parent_lid=parent_lid,
+                                    batch_size=self.batch_size)
 
     def populate_text_views(self, plot_table: Table,
                             parent_lid: Optional[int] = None) -> TextGraphTables:
         """Materialize the text semantic-graph views from a plot table."""
         return populate_text_graph(plot_table.rows, self.models.ner,
-                                   lineage=self.lineage, parent_lid=parent_lid)
+                                   lineage=self.lineage, parent_lid=parent_lid,
+                                   batch_size=self.batch_size)

@@ -99,7 +99,12 @@ class ExecutionEngine:
         node = operator.node
         function = operator.function
         inputs = self._resolve_inputs(operator, context.intermediates)
-        fn_context = FunctionContext(models=self.models, catalog=self.catalog)
+        # The optimizer's vectorization hint rides on the operator; batchable
+        # bodies chunk their per-row model inputs accordingly (bit-identical
+        # rows, sub-linear token cost).
+        fn_context = FunctionContext(
+            models=self.models, catalog=self.catalog,
+            batch_size=operator.batch_size if operator.batchable else 0)
         primary = inputs.get(node.inputs[0]) if node.inputs else None
         rows_in = len(primary) if primary is not None else 0
 
@@ -148,6 +153,12 @@ class ExecutionEngine:
                                    + delta["semantic_hits"])
             record.gateway_tokens_saved = delta["tokens_saved"]
             record.gateway_batch_tokens_saved = delta["batch_tokens_saved"]
+            record.batch_calls = delta["batch_calls"]
+            # The audit list is bounded (old entries are trimmed), so read
+            # this operator's batches as a count-sized suffix, not by index.
+            record.batch_sizes = (
+                list(gateway_client.counters.batch_sizes[-record.batch_calls:])
+                if record.batch_calls else [])
 
         # Lineage recording.
         record.lineage_data_type = self._record_lineage(node, function, inputs, output,

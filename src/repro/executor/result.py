@@ -37,6 +37,10 @@ class ExecutionRecord:
     gateway_hits: int = 0
     gateway_tokens_saved: int = 0
     gateway_batch_tokens_saved: int = 0
+    # Vectorized execution: batched invocations this operator issued itself
+    # (through the gateway batch client) and their sizes, in issue order.
+    batch_calls: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
 
     def describe(self) -> str:
         extras = []
@@ -46,6 +50,9 @@ class ExecutionRecord:
             extras.append(f"anomalies={len(self.anomalies)}")
         if self.gateway_hits:
             extras.append(f"gateway_hits={self.gateway_hits}")
+        if self.batch_calls:
+            extras.append(f"batched={self.batch_calls}x"
+                          f"{max(self.batch_sizes, default=0)}")
         if self.gateway_batch_tokens_saved:
             extras.append(f"batch_saved={self.gateway_batch_tokens_saved}")
         suffix = (" [" + ", ".join(extras) + "]") if extras else ""

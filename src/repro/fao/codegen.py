@@ -114,6 +114,8 @@ class Coder:
             parameters=parameters,
             accuracy_prior=spec.accuracy_prior,
             cost_per_row_tokens=spec.cost_per_row_tokens,
+            batchable=spec.batchable,
+            batch_setup_tokens=spec.batch_setup_tokens,
         )
 
         # Charge code-generation tokens: the prompt is the node spec plus the

@@ -27,11 +27,18 @@ class FunctionContext:
     the model suite (for implementations that call the VLM / embeddings), the
     catalog (for SQL-style implementations), and the node parameters the coder
     baked in (keyword lists, weights, thresholds, join keys).
+
+    ``batch_size`` is the executor's vectorization hint: batchable bodies
+    collect their per-row model inputs into chunks of at most this many rows
+    and issue one batched call per chunk.  ``0``/``1`` (the default — also
+    what profiling and ad-hoc execution use) means row-at-a-time.  Results
+    are bit-identical either way; only the token bill changes.
     """
 
     models: ModelSuite
     catalog: Catalog
     parameters: Dict[str, Any] = field(default_factory=dict)
+    batch_size: int = 0
 
 
 #: A function body: ``(inputs by table name, context) -> output table``.
@@ -53,6 +60,12 @@ class GeneratedFunction:
     accuracy_prior: float = 0.9
     cost_per_row_tokens: float = 0.0
     profile_runtime_s: Optional[float] = None
+    # Vectorization: whether the body honours ``FunctionContext.batch_size``
+    # by issuing batched model calls, and the per-call setup tokens the batch
+    # then pays once per chunk instead of once per row (the optimizer's
+    # batch-aware cost formula uses both).
+    batchable: bool = False
+    batch_setup_tokens: float = 0.0
 
     @property
     def name(self) -> str:
@@ -75,6 +88,7 @@ class GeneratedFunction:
             models=context.models,
             catalog=context.catalog,
             parameters={**self.parameters, **context.parameters},
+            batch_size=context.batch_size,
         )
         try:
             result = self.body(inputs, merged_context)
@@ -108,6 +122,8 @@ class GeneratedFunction:
             "parameters": {k: v for k, v in self.parameters.items() if _is_plain(v)},
             "accuracy_prior": self.accuracy_prior,
             "cost_per_row_tokens": self.cost_per_row_tokens,
+            "batchable": self.batchable,
+            "batch_setup_tokens": self.batch_setup_tokens,
         }
 
 

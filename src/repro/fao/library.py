@@ -74,12 +74,42 @@ def _rows_by_key(table: Table, key: str) -> Dict[Any, List[Dict[str, Any]]]:
     return grouped
 
 
+def _batch_size(context: FunctionContext) -> int:
+    """The executor's vectorization hint (0/1 = row-at-a-time)."""
+    return max(0, int(getattr(context, "batch_size", 0) or 0))
+
+
+def _extend_table_rows(source: Table, output_name: str,
+                       new_columns: List[Tuple[str, DataType]],
+                       computed: List[Dict[str, Any]]) -> Table:
+    """Vectorized twin of :func:`_extend_table`: the per-row columns were
+    precomputed (one batched model call per chunk), so feed them back in
+    source-row order through the same code path."""
+    values = iter(computed)
+    return _extend_table(source, output_name, new_columns,
+                         lambda row: next(values))
+
+
+def _chunks(count: int, size: int):
+    """Yield ``range`` slices covering ``count`` rows in ``size`` chunks."""
+    for start in range(0, count, size):
+        yield start, min(count, start + size)
+
+
 # ---------------------------------------------------------------------------
 # Implementation specs
 # ---------------------------------------------------------------------------
 @dataclass
 class ImplementationSpec:
-    """One candidate implementation of a template family."""
+    """One candidate implementation of a template family.
+
+    ``batchable`` marks variants whose body vectorizes: given a
+    ``FunctionContext.batch_size`` hint it collects per-row model inputs
+    into column vectors and issues one batched call per chunk.
+    ``batch_setup_tokens`` is the per-call setup share of
+    ``cost_per_row_tokens`` that a batch then pays once per chunk — the
+    optimizer's batch-aware pricing uses it.
+    """
 
     family: str
     variant: str
@@ -88,6 +118,8 @@ class ImplementationSpec:
     cost_per_row_tokens: float
     build: Callable[[LogicalPlanNode], Tuple[FunctionBody, str]]
     description: str = ""
+    batchable: bool = False
+    batch_setup_tokens: float = 0.0
 
 
 class ImplementationLibrary:
@@ -164,7 +196,8 @@ class ImplementationLibrary:
         self._register(ImplementationSpec(
             "semantic_score", "embedding_similarity", "embedding", 0.92, 6.0,
             self._build_semantic_score_embedding,
-            "Embed the keyword list and extracted entities; score by match density."))
+            "Embed the keyword list and extracted entities; score by match density.",
+            batchable=True, batch_setup_tokens=5.0))
         self._register(ImplementationSpec(
             "semantic_score", "keyword_overlap", "python", 0.85, 0.0,
             self._build_semantic_score_keyword,
@@ -182,11 +215,13 @@ class ImplementationLibrary:
         self._register(ImplementationSpec(
             "classify_image", "vlm_query", "vlm", 0.96, 440.0,
             self._build_classify_image_vlm,
-            "Ask the VLM a visual question about every poster."))
+            "Ask the VLM a visual question about every poster.",
+            batchable=True, batch_setup_tokens=384.0))
         self._register(ImplementationSpec(
             "classify_image", "cascade", "cascade", 0.94, 60.0,
             self._build_classify_image_cascade,
-            "Cheap scene-statistics classifier first; escalate uncertain posters to the VLM."))
+            "Cheap scene-statistics classifier first; escalate uncertain posters to the VLM.",
+            batchable=True, batch_setup_tokens=50.0))
         self._register(ImplementationSpec(
             "flag_filter", "boolean_filter", "python", 0.99, 0.0, self._build_flag_filter,
             "Keep rows whose classification flag matches."))
@@ -326,6 +361,23 @@ class ImplementationLibrary:
             source = _primary_input(node, inputs)
             embeddings = context.models.embeddings
             node_keywords = list(context.parameters.get("keywords") or keywords)
+            chunk = _batch_size(context)
+
+            if chunk > 1 and hasattr(embeddings, "match_fraction_batch"):
+                # Vectorized: one column of per-row term lists, one batched
+                # match-density call per chunk.  Bit-identical to the serial
+                # path (deterministic embeddings), sub-linear token cost.
+                rows = list(source)
+                scores: List[float] = []
+                for start, stop in _chunks(len(rows), chunk):
+                    scores.extend(embeddings.match_fraction_batch(
+                        node_keywords,
+                        [row.get("entity_terms") or [] for row in rows[start:stop]],
+                        purpose=node.name))
+                computed = [{score_column: round(float(score), 6)}
+                            for score in scores]
+                return _extend_table_rows(source, node.output,
+                                          [(score_column, DataType.FLOAT)], computed)
 
             def compute(row: Dict[str, Any]) -> Dict[str, Any]:
                 terms = row.get("entity_terms") or []
@@ -485,19 +537,44 @@ class ImplementationLibrary:
         question = "Is this poster boring and plain?" if "boring" in concept else \
             "Is this poster vivid and action-packed?"
 
+        def outcome(answer: Dict[str, Any]) -> Dict[str, Any]:
+            score = answer["boring_score"] if "boring" in concept else 1.0 - answer["boring_score"]
+            return {score_column: round(float(score), 6), flag_column: bool(answer["answer"])}
+
         def body(inputs: Dict[str, Table], context: FunctionContext) -> Table:
             source = _primary_input(node, inputs)
             posters = context.catalog.table("poster_images")
             image_by_movie = {row["movie_id"]: row.get("image") for row in posters}
             vlm = context.models.vlm
+            chunk = _batch_size(context)
+
+            if chunk > 1 and hasattr(vlm, "answer_visual_question_batch"):
+                # Vectorized: one batched visual-question call per chunk of
+                # rows that have a poster; rows without one keep the serial
+                # path's NULL outcome.
+                rows = list(source)
+                computed: List[Dict[str, Any]] = [
+                    {score_column: None, flag_column: None} for _ in rows]
+                with_image = [i for i, row in enumerate(rows)
+                              if image_by_movie.get(row.get("movie_id")) is not None]
+                for start, stop in _chunks(len(with_image), chunk):
+                    indexes = with_image[start:stop]
+                    answers = vlm.answer_visual_question_batch(
+                        [image_by_movie[rows[i].get("movie_id")] for i in indexes],
+                        question, purpose=node.name)
+                    for i, answer in zip(indexes, answers):
+                        computed[i] = outcome(answer)
+                return _extend_table_rows(
+                    source, node.output,
+                    [(score_column, DataType.FLOAT), (flag_column, DataType.BOOLEAN)],
+                    computed)
 
             def compute(row: Dict[str, Any]) -> Dict[str, Any]:
                 image = image_by_movie.get(row.get("movie_id"))
                 if image is None:
                     return {score_column: None, flag_column: None}
                 answer = vlm.answer_visual_question(image, question, purpose=node.name)
-                score = answer["boring_score"] if "boring" in concept else 1.0 - answer["boring_score"]
-                return {score_column: round(float(score), 6), flag_column: bool(answer["answer"])}
+                return outcome(answer)
 
             return _extend_table(source, node.output,
                                  [(score_column, DataType.FLOAT), (flag_column, DataType.BOOLEAN)],
@@ -559,6 +636,40 @@ class ImplementationLibrary:
                 score = answer["boring_score"] if "boring" in concept else 1.0 - answer["boring_score"]
                 return ({score_column: round(float(score), 6), flag_column: bool(answer["answer"])},
                         max(answer["confidence"], 0.99))
+
+            chunk = _batch_size(context)
+            if chunk > 1 and hasattr(vlm, "answer_visual_question_batch"):
+                # Vectorized cascade: the cheap stage is model-free, so it
+                # runs over every row first; only the uncertain rows (cheap
+                # confidence below the threshold) escalate, and their VLM
+                # queries go out as one batched call per chunk.  Decisions
+                # are identical to ModelCascade.run row by row.
+                rows = list(source)
+                computed: List[Dict[str, Any]] = []
+                escalated: List[int] = []
+                for i, row in enumerate(rows):
+                    prediction, confidence = cheap_stage(row)
+                    computed.append(dict(prediction))
+                    if confidence < threshold:
+                        escalated.append(i)
+                pending = [i for i in escalated
+                           if image_by_movie.get(rows[i].get("movie_id")) is not None]
+                # Escalated rows without a poster keep the cheap answer —
+                # exactly expensive_stage's missing-image fallback.
+                for start, stop in _chunks(len(pending), chunk):
+                    indexes = pending[start:stop]
+                    answers = vlm.answer_visual_question_batch(
+                        [image_by_movie[rows[i].get("movie_id")] for i in indexes],
+                        question, purpose=node.name)
+                    for i, answer in zip(indexes, answers):
+                        score = answer["boring_score"] if "boring" in concept \
+                            else 1.0 - answer["boring_score"]
+                        computed[i] = {score_column: round(float(score), 6),
+                                       flag_column: bool(answer["answer"])}
+                return _extend_table_rows(
+                    source, node.output,
+                    [(score_column, DataType.FLOAT), (flag_column, DataType.BOOLEAN)],
+                    computed)
 
             cascade = ModelCascade([
                 CascadeStage("scene_statistics", cheap_stage, threshold=threshold),

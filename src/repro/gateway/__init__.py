@@ -1,7 +1,9 @@
-"""The model gateway: shared cache, coalescing, micro-batching, admission.
+"""The model gateway: shared cache, coalescing, batching, admission.
 
-See :mod:`repro.gateway.gateway` for the tier stack and
-:mod:`repro.gateway.proxy` for how model suites are routed through it.
+See :mod:`repro.gateway.gateway` for the tier stack,
+:mod:`repro.gateway.proxy` for how model suites are routed through it, and
+:mod:`repro.gateway.vectorized` for the single-session batch client behind
+vectorized operator execution.
 """
 
 from repro.gateway.admission import AdmissionController
@@ -17,11 +19,13 @@ from repro.gateway.gateway import (
 )
 from repro.gateway.proxy import is_routed, route_suite
 from repro.gateway.semantic import SEMANTIC_METHODS, SemanticNearCache
+from repro.gateway.vectorized import GatewayBatchClient, batch_route
 
 __all__ = [
     "AdmissionController",
     "BatchStats",
     "ExactResultCache",
+    "GatewayBatchClient",
     "KindBatchStats",
     "GatewayConfig",
     "MicroBatcher",
@@ -32,6 +36,7 @@ __all__ = [
     "SemanticNearCache",
     "SessionCounters",
     "SessionGatewayClient",
+    "batch_route",
     "canonicalize",
     "is_routed",
     "request_key",

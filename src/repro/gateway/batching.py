@@ -145,6 +145,27 @@ class MicroBatcher:
                 raise
         return pending.future
 
+    def note_external_batch(self, kind: str, size: int,
+                            token_savings: int) -> None:
+        """Fold a batch executed outside the window path into the stats.
+
+        The vectorized single-session batch client
+        (:class:`~repro.gateway.vectorized.GatewayBatchClient`) executes its
+        own chunks but reports them here, so ``BatchStats`` is the one ledger
+        covering every batched invocation a gateway made — micro-batched or
+        vectorized.
+        """
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, size)
+            per_kind = self.stats.by_kind.setdefault(kind, KindBatchStats())
+            per_kind.batches += 1
+            per_kind.largest_batch = max(per_kind.largest_batch, size)
+            if size > 1:
+                self.stats.batched_calls += size
+                per_kind.batched_calls += size
+            self.stats.token_savings += max(0, int(token_savings))
+
     def _drain(self, kind: str) -> None:
         """Run queued calls of one kind in admission-slot-sized batches."""
         while True:

@@ -24,12 +24,20 @@ from repro.gateway.fingerprint import RequestKey
 
 @dataclass
 class CacheEntry:
-    """One cached model result."""
+    """One cached model result.
+
+    ``volatile`` marks entries whose request was keyed on a URI-addressed
+    argument (poster images): they are only valid for the currently loaded
+    corpus and are dropped by :meth:`ExactResultCache.clear` with
+    ``volatile_only=True`` on corpus reload, while content-keyed (pure text)
+    entries survive.
+    """
 
     key: RequestKey
     result: Any
     token_cost: int = 0      # tokens the filling session paid to produce it
     hits: int = 0
+    volatile: bool = False
 
 
 @dataclass
@@ -90,10 +98,12 @@ class ExactResultCache:
         with self._lock:
             self.stats.misses += 1
 
-    def put(self, key: RequestKey, result: Any, token_cost: int = 0) -> None:
+    def put(self, key: RequestKey, result: Any, token_cost: int = 0,
+            volatile: bool = False) -> None:
         """Insert one result (stored as a private deep copy)."""
         stored = CacheEntry(key=key, result=copy.deepcopy(result),
-                            token_cost=max(0, int(token_cost)))
+                            token_cost=max(0, int(token_cost)),
+                            volatile=volatile)
         with self._lock:
             previous = self._entries.pop(key, None)
             if previous is not None:
@@ -108,11 +118,28 @@ class ExactResultCache:
                 self.stats.cached_tokens -= evicted.token_cost
                 self.stats.evictions += 1
 
-    def clear(self) -> None:
-        """Drop every cached result."""
+    def clear(self, volatile_only: bool = False) -> int:
+        """Drop cached results; returns how many entries were dropped.
+
+        ``volatile_only=True`` drops only URI-keyed entries (see
+        :class:`CacheEntry`) and retains content-keyed ones — the corpus
+        reload path, where text-keyed results stay valid but URI-keyed ones
+        collide across corpora.
+        """
         with self._lock:
-            self._entries.clear()
-            self.stats.cached_tokens = 0
+            if not volatile_only:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self.stats.cached_tokens = 0
+                return dropped
+            survivors = OrderedDict(
+                (key, entry) for key, entry in self._entries.items()
+                if not entry.volatile)
+            dropped = len(self._entries) - len(survivors)
+            self._entries = survivors
+            self.stats.cached_tokens = sum(e.token_cost
+                                           for e in survivors.values())
+            return dropped
 
     def as_dict(self) -> Dict[str, int]:
         with self._lock:

@@ -69,13 +69,40 @@ def request_key(model_name: str, method: str, args: Tuple[Any, ...],
                 kwargs: Optional[Dict[str, Any]] = None,
                 lexicon_fingerprint: str = "") -> RequestKey:
     """The compact cache/coalescing key for one model invocation."""
+    return request_key_from_canonical(model_name, method, canonicalize(args),
+                                      canonicalize(kwargs or {}),
+                                      lexicon_fingerprint)
+
+
+def request_key_from_canonical(model_name: str, method: str, canonical_args: Any,
+                               canonical_kwargs: Any,
+                               lexicon_fingerprint: str = "") -> RequestKey:
+    """The request key over already-canonicalized args/kwargs.
+
+    Callers that need the canonical forms for more than hashing (the gateway
+    inspects them for URI markers, the batch client keys many members at
+    once) canonicalize once and build the key from the result.
+    """
     kind_digest = stable_hash(model_name, method)
-    payload_digest = stable_hash(
-        canonicalize(args),
-        canonicalize(kwargs or {}),
-        lexicon_fingerprint,
-    )
+    payload_digest = stable_hash(canonical_args, canonical_kwargs,
+                                 lexicon_fingerprint)
     return (kind_digest, payload_digest)
+
+
+def contains_uri(canonical: Any) -> bool:
+    """Whether a canonical form embeds a URI-addressed argument.
+
+    URI-keyed requests (images, anything content-addressed by location) are
+    only valid within one loaded corpus: two corpora may both contain
+    ``file://posters/foo.png`` with different pixels, so cached results keyed
+    on a URI must be dropped on corpus reload, while purely text-keyed
+    entries (the text itself is the content) survive.
+    """
+    if isinstance(canonical, tuple):
+        if len(canonical) == 3 and canonical[0] == "#uri":
+            return True
+        return any(contains_uri(item) for item in canonical)
+    return False
 
 
 def lexicon_fingerprint_of(model: Any) -> str:

@@ -32,16 +32,22 @@ from __future__ import annotations
 
 import copy
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.gateway.admission import AdmissionController
 from repro.gateway.batching import MicroBatcher
 from repro.models.batching import BatchMember, metered_call
 from repro.gateway.cache import ExactResultCache
 from repro.gateway.coalesce import RequestCoalescer
-from repro.gateway.fingerprint import canonicalize, lexicon_fingerprint_of, request_key
+from repro.gateway.fingerprint import (
+    canonicalize,
+    contains_uri,
+    lexicon_fingerprint_of,
+    request_key_from_canonical,
+)
 from repro.gateway.semantic import SemanticNearCache, term_signature
 
 
@@ -76,9 +82,17 @@ class SessionCounters:
     # Tokens micro-batching discounted off this session's own misses (the
     # serial price minus the batched share it actually paid).
     batch_tokens_saved: int = 0
+    # Batched invocations this session issued itself through the vectorized
+    # batch client (one per executed chunk); micro-batch memberships formed
+    # by cross-session collisions are not counted here.
+    batch_calls: int = 0
+    # Sizes of those batched invocations, in issue order.  Not part of
+    # _KEYS (lists don't delta); the engine snapshots the length instead.
+    batch_sizes: List[int] = field(default_factory=list)
 
     _KEYS = ("hits", "misses", "coalesced", "semantic_hits",
-             "tokens_saved", "tokens_charged", "batch_tokens_saved")
+             "tokens_saved", "tokens_charged", "batch_tokens_saved",
+             "batch_calls")
 
     def as_dict(self) -> Dict[str, int]:
         return {key: getattr(self, key) for key in self._KEYS}
@@ -154,6 +168,13 @@ class ModelGateway:
                                           capacity=self.config.semantic_entries)
         self._clients_lock = threading.Lock()
         self._clients: "OrderedDict[str, SessionGatewayClient]" = OrderedDict()
+        # Rolling event log for windowed_stats(): (monotonic time, kind,
+        # request count, tokens).  Bounded so long-running services cannot
+        # grow it without limit; at the bound the window simply cannot look
+        # further back than the retained events.
+        self._events: Deque[Tuple[float, str, int, int]] = deque(
+            maxlen=self.MAX_TRACKED_EVENTS)
+        self._events_lock = threading.Lock()
 
     #: Internal (quota-exempt) client ids live under this prefix; caller
     #: session ids may not use it, so a session named "loader" can never
@@ -164,6 +185,11 @@ class ModelGateway:
     #: Eviction only drops the stats/ledger entry — live sessions hold their
     #: client through their model proxies regardless.
     MAX_TRACKED_SESSIONS = 4096
+    #: Bound on the rolling event log behind :meth:`windowed_stats`.
+    MAX_TRACKED_EVENTS = 65536
+    #: Events older than this are pruned from the rolling log; windows wider
+    #: than the retention simply see the retained slice.
+    EVENT_RETENTION_S = 3600.0
 
     # -- clients and routing --------------------------------------------------------
     def client(self, session_id: str) -> SessionGatewayClient:
@@ -221,8 +247,11 @@ class ModelGateway:
         # execution.  (The executing leader's purpose is what lands in the
         # ledger; hits and followers record nothing anyway.)
         keyed_kwargs = {k: v for k, v in kwargs.items() if k != "purpose"}
-        key = request_key(getattr(model, "name", type(model).__name__), method,
-                          args, keyed_kwargs, lexicon_fp)
+        canonical_args = canonicalize(args)
+        canonical_kwargs = canonicalize(keyed_kwargs)
+        key = request_key_from_canonical(
+            getattr(model, "name", type(model).__name__), method,
+            canonical_args, canonical_kwargs, lexicon_fp)
 
         # Tier 1: exact cache.
         if cfg.enable_cache:
@@ -230,6 +259,7 @@ class ModelGateway:
             if entry is not None:
                 client.counters.hits += 1
                 client.counters.tokens_saved += entry.token_cost
+                self.note_event("hits", 1, entry.token_cost)
                 return entry.result
 
         # Tier 2: semantic near-match (opt-in, predicates only).
@@ -250,6 +280,7 @@ class ModelGateway:
             if near is not None:
                 client.counters.semantic_hits += 1
                 client.counters.tokens_saved += near.token_cost
+                self.note_event("semantic_hits", 1, near.token_cost)
                 return near.result
             # Below threshold: guaranteed fall-through to exact execution.
 
@@ -267,6 +298,7 @@ class ModelGateway:
                 result, token_cost = self.coalescer.wait(slot)
                 client.counters.coalesced += 1
                 client.counters.tokens_saved += token_cost
+                self.note_event("coalesced", 1, token_cost)
                 return copy.deepcopy(result)
 
         # Tier 4: execute (admission-gated, possibly micro-batched).  The
@@ -281,6 +313,7 @@ class ModelGateway:
                     self.batcher.submit(batch_kind, member).result()
                 if serial_cost > token_cost:
                     client.counters.batch_tokens_saved += serial_cost - token_cost
+                    self.note_event("batch_saved", 0, serial_cost - token_cost)
             else:
                 with self.admission.slot():
                     result, token_cost = metered_call(model, method, args, kwargs)
@@ -296,10 +329,13 @@ class ModelGateway:
         try:
             client.counters.misses += 1
             client.counters.tokens_charged += token_cost
+            self.note_event("misses", 1, token_cost)
             self.admission.charge(client.session_id, token_cost)
             if cfg.enable_cache:
                 self.cache.note_miss()
-                self.cache.put(key, result, token_cost)
+                self.cache.put(key, result, token_cost,
+                               volatile=contains_uri(canonical_args)
+                               or contains_uri(canonical_kwargs))
             if semantic_group is not None and signature_vector is not None:
                 self.semantic.put(semantic_group, signature_vector, signature,
                                   result, token_cost)
@@ -309,6 +345,62 @@ class ModelGateway:
         return result
 
     # -- observability --------------------------------------------------------------
+    def note_event(self, kind: str, requests: int, tokens: int) -> None:
+        """Append one event to the rolling log behind :meth:`windowed_stats`.
+
+        ``kind`` is a :class:`SessionCounters` counter name (``hits``,
+        ``misses``, ``coalesced``, ``semantic_hits``) or ``batch_saved``;
+        ``tokens`` is the saved amount for hit-like kinds and the charged
+        amount for misses.
+        """
+        with self._events_lock:
+            self._events.append((time.monotonic(), kind, requests, tokens))
+
+    def windowed_stats(self, seconds: float = 60.0) -> Dict[str, float]:
+        """Rolling-window counters and rates over the last ``seconds``.
+
+        The cumulative :meth:`stats`/:meth:`flat_stats` counters answer
+        "what has this service done since it started"; this answers "what is
+        it doing *right now*" — the view a long-running service's operators
+        watch.  Events older than the window (or beyond the bounded event
+        log) are excluded.
+        """
+        seconds = max(0.0, float(seconds))
+        now = time.monotonic()
+        horizon = now - seconds
+        totals = {"hits": 0, "misses": 0, "coalesced": 0, "semantic_hits": 0}
+        tokens_saved = tokens_charged = batch_tokens_saved = 0
+        with self._events_lock:
+            # Prune with a fixed retention horizon — never the query window,
+            # or a narrow query would blind a later, wider one.
+            retention = now - self.EVENT_RETENTION_S
+            while self._events and self._events[0][0] < retention:
+                self._events.popleft()
+            events = list(self._events)
+        for stamp, kind, requests, tokens in events:
+            if stamp < horizon:
+                continue
+            if kind == "misses":
+                totals["misses"] += requests
+                tokens_charged += tokens
+            elif kind == "batch_saved":
+                batch_tokens_saved += tokens
+            elif kind in totals:
+                totals[kind] += requests
+                tokens_saved += tokens
+        request_count = sum(totals.values())
+        rate = 1.0 / seconds if seconds > 0 else 0.0
+        return {
+            "window_s": seconds,
+            "requests": request_count,
+            **totals,
+            "tokens_saved": tokens_saved,
+            "tokens_charged": tokens_charged,
+            "batch_tokens_saved": batch_tokens_saved,
+            "requests_per_s": round(request_count * rate, 3),
+            "tokens_charged_per_s": round(tokens_charged * rate, 3),
+        }
+
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Nested counters from every tier plus the per-session rollup."""
         with self._clients_lock:
@@ -352,7 +444,16 @@ class ModelGateway:
         return ("model gateway: "
                 + ", ".join(f"{k}={v}" for k, v in flat.items()))
 
-    def clear(self) -> None:
-        """Drop cached results (exact + semantic); counters are kept."""
-        self.cache.clear()
-        self.semantic.clear()
+    def clear(self, volatile_only: bool = False) -> int:
+        """Drop cached results; counters are kept.  Returns entries dropped.
+
+        ``volatile_only=True`` is the corpus-reload mode: only exact-cache
+        entries keyed on a URI-addressed argument (poster images — URIs
+        collide across corpora) are dropped, while purely content-keyed
+        entries (text payloads hash their own content) and the semantic tier
+        (keyed on term signatures, i.e. text) survive the reload.
+        """
+        dropped = self.cache.clear(volatile_only=volatile_only)
+        if not volatile_only:
+            self.semantic.clear()
+        return dropped

@@ -51,6 +51,17 @@ class GatewayModelProxy:
                                    batchable=batchable,
                                    semantic_terms=semantic_terms)
 
+    def _invoke_batch(self, method: str, calls, **opts) -> list:
+        """Answer a homogeneous column vector of calls through the gateway.
+
+        Each member is cached/keyed exactly as its serial counterpart (the
+        arg shapes must match the serial proxy method), so hits from earlier
+        serial traffic answer batch members and vice versa.
+        """
+        from repro.gateway.vectorized import GatewayBatchClient
+        return GatewayBatchClient(self._client).invoke(self._model, method,
+                                                       calls, **opts)
+
 
 def _terms(value: Optional[Sequence[Any]]) -> Tuple[Any, ...]:
     """Normalize a sequence argument into a fingerprint-stable tuple."""
@@ -114,6 +125,17 @@ class GatewayVLM(GatewayModelProxy):
         return self._invoke("answer_visual_question", (image, question),
                             {"purpose": purpose})
 
+    def extract_scene_graph_batch(self, images, purpose="scene_graph_extraction"):
+        return self._invoke_batch(
+            "extract_scene_graph",
+            [((image,), {"purpose": purpose}) for image in images])
+
+    def answer_visual_question_batch(self, images, question,
+                                     purpose="visual_qa"):
+        return self._invoke_batch(
+            "answer_visual_question",
+            [((image, question), {"purpose": purpose}) for image in images])
+
 
 class GatewayEmbeddings(GatewayModelProxy):
     """Routes the embedding model (batchable; predicates are semantic-eligible)."""
@@ -154,6 +176,23 @@ class GatewayEmbeddings(GatewayModelProxy):
                             {"threshold": threshold, "purpose": purpose},
                             batchable=True, semantic_terms=(query, candidates))
 
+    def match_fraction_batch(self, query_terms, candidate_lists, threshold=0.5,
+                             purpose="match_fraction"):
+        query = _terms(query_terms)
+        return self._invoke_batch(
+            "match_fraction",
+            [((query, _terms(candidates)),
+              {"threshold": threshold, "purpose": purpose})
+             for candidates in candidate_lists],
+            # Members are near-match eligible: when the semantic tier is on,
+            # the batch client routes them through the serial funnel so the
+            # tier keeps seeing (query, candidates) signatures.
+            semantic_terms_of=lambda args, kwargs: (args[0], args[1]))
+
+    def embed_text_batch(self, texts, purpose="embed_text"):
+        return self._invoke_batch(
+            "embed_text", [((text,), {"purpose": purpose}) for text in texts])
+
     def nearest(self, query, candidates, top_k=5, purpose="nearest"):
         return self._invoke("nearest", (query, _terms(candidates)),
                             {"top_k": top_k, "purpose": purpose}, batchable=True)
@@ -166,6 +205,10 @@ class GatewayNER(GatewayModelProxy):
         return self._invoke("extract", (text,), {"purpose": purpose},
                             batchable=True)
 
+    def extract_batch(self, texts, purpose="text_graph_extraction"):
+        return self._invoke_batch(
+            "extract", [((text,), {"purpose": purpose}) for text in texts])
+
 
 class GatewayDetector(GatewayModelProxy):
     """Routes the pixel detector (batchable)."""
@@ -174,6 +217,10 @@ class GatewayDetector(GatewayModelProxy):
         return self._invoke("detect", (image,), {"purpose": purpose},
                             batchable=True)
 
+    def detect_batch(self, images, purpose="pixel_detection"):
+        return self._invoke_batch(
+            "detect", [((image,), {"purpose": purpose}) for image in images])
+
 
 class GatewayOCR(GatewayModelProxy):
     """Routes the OCR extractor (batchable)."""
@@ -181,6 +228,11 @@ class GatewayOCR(GatewayModelProxy):
     def extract_text(self, image, purpose="ocr"):
         return self._invoke("extract_text", (image,), {"purpose": purpose},
                             batchable=True)
+
+    def extract_text_batch(self, images, purpose="ocr"):
+        return self._invoke_batch(
+            "extract_text",
+            [((image,), {"purpose": purpose}) for image in images])
 
 
 def is_routed(suite) -> bool:

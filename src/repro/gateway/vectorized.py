@@ -1,0 +1,272 @@
+"""Vectorized gateway access: one homogeneous batch of model requests.
+
+The micro-batcher (:mod:`repro.gateway.batching`) only forms batches when
+*concurrent* sessions' calls collide inside the batch window.  The hot
+single-session loops — a per-row FAO body scoring every film, the view
+populator extracting a scene graph per poster — used to issue those same
+batchable calls serially and pay full serial price.  The
+:class:`GatewayBatchClient` is their front door: it takes a *column vector*
+of same-method requests from one session and answers it with at most one
+model invocation per chunk:
+
+1. every member is looked up in the shared exact cache individually, so a
+   batch that partially overlaps earlier traffic only executes its misses;
+2. the misses execute as **one** :class:`~repro.models.cost.BatchedModelCall`
+   per ``max_batch`` chunk through :func:`repro.models.batching.plan_batch`
+   (one admission slot per chunk, in-batch dedup of identical members,
+   sub-linear token price: ``max(setup) + sum(marginal)``);
+3. every computed member is inserted back into the shared cache, so
+   single-session batches and cross-session micro-batches feed the same
+   cache — and the same :class:`~repro.gateway.batching.BatchStats`.
+
+Accounting matches the serial funnel exactly: hits are free and tallied as
+``tokens_saved``, executed members charge the session's own meter (one
+batched ledger record per chunk) and the admission spend ledger, and the
+sub-linear discount lands in ``batch_tokens_saved``.
+
+:func:`batch_route` is the entry point the model proxies and raw models
+share: routed models dispatch through the session's gateway client, direct
+(un-routed) suites fall back to :func:`repro.models.batching.run_model_batch`
+so the vectorized FAO bodies behave identically either way.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.gateway.fingerprint import (
+    canonicalize,
+    contains_uri,
+    lexicon_fingerprint_of,
+    request_key_from_canonical,
+)
+from repro.models.batching import BatchMember, plan_batch, run_model_batch
+
+#: One logical call: ``(positional args, keyword args)``.
+BatchCall = Tuple[Tuple[Any, ...], Dict[str, Any]]
+
+
+class GatewayBatchClient:
+    """One session's vectorized handle on the shared gateway."""
+
+    #: Bound on the per-session ``batch_sizes`` audit list; consumers (the
+    #: engine's per-operator records) only ever read recent suffixes.
+    MAX_RECORDED_SIZES = 4096
+
+    def __init__(self, client):
+        self._client = client
+
+    def invoke(self, model: Any, method: str, calls: Sequence[BatchCall], *,
+               semantic_terms_of: Optional[Callable[..., Any]] = None
+               ) -> List[Any]:
+        """Answer a homogeneous batch of calls on one (un-routed) model.
+
+        Exact-cache hits are answered per member; the misses execute as one
+        batched invocation per chunk and populate the cache.  Results are
+        element-wise identical to serial execution, in call order.  A member
+        failure propagates after the members that did execute are billed —
+        exactly as a serial loop would have paid for the calls before the
+        faulty one.
+
+        ``semantic_terms_of(args, kwargs)`` marks members eligible for the
+        opt-in semantic near-match tier; that tier is per-member state the
+        batch planner cannot consult, so when it is enabled the vector
+        routes through the serial funnel instead (trading the batch
+        discount for near-match reuse — the knob keeps working).
+        """
+        client = self._client
+        gateway = client.gateway
+        cfg = gateway.config
+        if not calls:
+            return []
+        semantic_active = (cfg.enable_semantic and cfg.enable_cache
+                           and semantic_terms_of is not None)
+        if not cfg.enable_batching or len(calls) == 1 or semantic_active:
+            # Serial funnel: exact per-call semantics, full tier stack.
+            return [client.invoke(
+                model, method, tuple(args), dict(kwargs), batchable=True,
+                semantic_terms=(semantic_terms_of(tuple(args), dict(kwargs))
+                                if semantic_active else None))
+                for args, kwargs in calls]
+
+        model_name = getattr(model, "name", type(model).__name__)
+        lexicon_fp = lexicon_fingerprint_of(model)
+        results: List[Any] = [None] * len(calls)
+        # Misses grouped by key, in first-occurrence order: duplicates must
+        # land in the same chunk as their representative so in-batch dedup
+        # (not a re-execution in a later chunk) answers them.
+        pending: "OrderedDict[Any, List[Tuple[int, Any, bool, BatchMember]]]" \
+            = OrderedDict()
+        for index, (args, kwargs) in enumerate(calls):
+            args, kwargs = tuple(args), dict(kwargs)
+            # The purpose tag labels cost records, never partitions results.
+            keyed = {k: v for k, v in kwargs.items() if k != "purpose"}
+            canonical_args = canonicalize(args)
+            canonical_kwargs = canonicalize(keyed)
+            key = request_key_from_canonical(model_name, method, canonical_args,
+                                             canonical_kwargs, lexicon_fp)
+            if key not in pending and cfg.enable_cache:
+                entry = gateway.cache.get(key)
+                if entry is not None:
+                    client.counters.hits += 1
+                    client.counters.tokens_saved += entry.token_cost
+                    gateway.note_event("hits", 1, entry.token_cost)
+                    results[index] = entry.result
+                    continue
+            pending.setdefault(key, []).append(
+                (index, key,
+                 contains_uri(canonical_args) or contains_uri(canonical_kwargs),
+                 BatchMember(model=model, method=method,
+                             args=args, kwargs=kwargs, key=key)))
+
+        kind = f"{model_name}.{method}"
+        meter = getattr(model, "cost_meter", None)
+        chunk_size = gateway.batcher.max_batch
+        # Pack whole key-groups into chunks (a group never straddles a
+        # boundary; an oversized group still dedups to one execution).
+        chunks: List[List[Tuple[int, Any, bool, BatchMember]]] = []
+        current: List[Tuple[int, Any, bool, BatchMember]] = []
+        for group in pending.values():
+            if current and len(current) + len(group) > chunk_size:
+                chunks.append(current)
+                current = []
+            current.extend(group)
+        if current:
+            chunks.append(current)
+        # Members an *other* session is already executing: (index, slot).
+        # Waited on only after every own chunk has executed and published —
+        # two sessions batch-following each other therefore always make
+        # progress (each completes its own leaderships before waiting).
+        follower_waits: List[Tuple[int, Any]] = []
+        for chunk in chunks:
+            # Quota is enforced per chunk, mirroring the serial funnel's
+            # per-call precheck: an over-quota session is refused before the
+            # next chunk executes, overshooting by at most one batch.
+            if not client.quota_exempt:
+                gateway.admission.precheck(client.session_id)
+
+            # Tier 3 per member: lead each distinct miss in the in-flight
+            # table (so concurrent serial callers — and other batches —
+            # coalesce onto this execution); members already in flight
+            # elsewhere leave the chunk and are waited on at the end.
+            executing = []            # (index, key, volatile, member)
+            led_slots: Dict[Any, Any] = {}
+            for entry in chunk:
+                key = entry[1]
+                if cfg.enable_coalescing and key not in led_slots:
+                    leader, slot = gateway.coalescer.begin(key)
+                    if not leader:
+                        follower_waits.append((entry[0], slot))
+                        continue
+                    led_slots[key] = slot
+                executing.append(entry)
+            if not executing:
+                continue
+
+            try:
+                with gateway.admission.slot():
+                    plan = plan_batch([member for _, _, _, member in executing])
+            except BaseException as error:
+                for slot in led_slots.values():
+                    gateway.coalescer.fail(slot, error)
+                raise
+
+            # Bill the whole chunk as one BatchedModelCall on the session's
+            # own meter (the raw model shares it), sub-linearly priced.  A
+            # chunk whose members all failed executed nothing: no batch is
+            # recorded anywhere (the errors still propagate below).
+            if plan.size:
+                if meter is not None:
+                    meter.record_batched(
+                        model_name, executing[0][3].purpose,
+                        plan.prompt_tokens, plan.completion_tokens,
+                        batch_size=plan.size, members=plan.size,
+                        serial_tokens=plan.serial_tokens,
+                        latency_s=plan.latency_s)
+                client.counters.misses += plan.size
+                client.counters.tokens_charged += plan.total_tokens
+                client.counters.batch_calls += 1
+                client.counters.batch_sizes.append(plan.size)
+                if len(client.counters.batch_sizes) > self.MAX_RECORDED_SIZES:
+                    # Long-lived clients (the service's corpus loader) must
+                    # not grow this forever; callers read recent suffixes.
+                    del client.counters.batch_sizes[:-self.MAX_RECORDED_SIZES // 2]
+                if plan.tokens_saved:
+                    client.counters.batch_tokens_saved += plan.tokens_saved
+                gateway.admission.charge(client.session_id, plan.total_tokens)
+                gateway.batcher.note_external_batch(kind, plan.size,
+                                                    plan.tokens_saved)
+                gateway.note_event("misses", plan.size, plan.total_tokens)
+                if plan.tokens_saved:
+                    gateway.note_event("batch_saved", 0, plan.tokens_saved)
+
+            # Publish every outcome — results to the caller, representatives
+            # to the cache and the in-flight followers.  The slot completion
+            # lives in a finally so a failed cache insert can never strand a
+            # follower mid-wait.
+            first_error = None
+            published = set()
+            try:
+                for (index, key, volatile, _member), outcome in zip(
+                        executing, plan.outcomes):
+                    if outcome.error is not None:
+                        first_error = first_error or outcome.error
+                        slot = led_slots.pop(key, None)
+                        if slot is not None:
+                            gateway.coalescer.fail(slot, outcome.error)
+                        continue
+                    results[index] = outcome.result
+                    if key in published:
+                        continue
+                    published.add(key)
+                    if cfg.enable_cache:
+                        gateway.cache.note_miss()
+                        gateway.cache.put(key, outcome.result,
+                                          outcome.charged_tokens,
+                                          volatile=volatile)
+                    slot = led_slots.pop(key, None)
+                    if slot is not None:
+                        gateway.coalescer.complete(slot, outcome.result,
+                                                   outcome.charged_tokens)
+            finally:
+                # Anything still led here hit an infrastructure failure
+                # (e.g. the cache insert raised): release its followers.
+                for key, slot in led_slots.items():
+                    outcome = next(
+                        (o for (i, k, v, m), o in zip(executing, plan.outcomes)
+                         if k == key and o.error is None), None)
+                    if outcome is not None:
+                        gateway.coalescer.complete(slot, outcome.result,
+                                                   outcome.charged_tokens)
+                    else:
+                        gateway.coalescer.fail(
+                            slot, first_error
+                            or RuntimeError("batched member never executed"))
+            if first_error is not None:
+                raise first_error
+
+        # Collect members another session computed while this batch ran.
+        for index, slot in follower_waits:
+            result, token_cost = gateway.coalescer.wait(slot)
+            client.counters.coalesced += 1
+            client.counters.tokens_saved += token_cost
+            gateway.note_event("coalesced", 1, token_cost)
+            results[index] = copy.deepcopy(result)
+        return results
+
+
+def batch_route(model: Any, method: str, calls: Sequence[BatchCall],
+                purpose: Optional[str] = None) -> List[Any]:
+    """Run a homogeneous batch on a possibly-routed model.
+
+    Gateway-proxied models (session suites) go through the shared cache and
+    batch accounting via :class:`GatewayBatchClient`; direct models execute
+    the same sub-linear batch plan on their own meter.  Either way the
+    results are element-wise identical to a serial loop.
+    """
+    if getattr(model, "__gateway_proxy__", False):
+        return GatewayBatchClient(model._client).invoke(model.wrapped, method,
+                                                        calls)
+    return run_model_batch(model, method, calls, purpose=purpose)

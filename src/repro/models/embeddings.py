@@ -183,6 +183,26 @@ class EmbeddingModel:
                 matches += 1
         return matches / len(candidate_terms)
 
+    def match_fraction_batch(self, query_terms: Sequence[str],
+                             candidate_lists: Sequence[Sequence[str]],
+                             threshold: float = 0.5,
+                             purpose: str = "match_fraction") -> List[float]:
+        """Score many candidate lists against one query set in one batch.
+
+        This is the column-vector form of :meth:`match_fraction` the
+        vectorized FAO bodies use: one row's extracted terms per member,
+        element-wise identical results, charged as a single
+        :class:`~repro.models.cost.BatchedModelCall` (the query-side
+        embedding/request framing is the shared setup a batch pays once).
+        """
+        from repro.models.batching import run_model_batch
+        query = tuple(query_terms)
+        return run_model_batch(
+            self, "match_fraction",
+            [((query, tuple(candidates)),
+              {"threshold": threshold, "purpose": purpose})
+             for candidates in candidate_lists])
+
     def nearest(self, query: str, candidates: Sequence[str], top_k: int = 5,
                 purpose: str = "nearest") -> List[tuple]:
         """The ``top_k`` candidates most similar to ``query`` as (term, score)."""

@@ -10,7 +10,7 @@ perfect -- the regime in which the paper's critic/monitor loops matter.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.data.images import (
     BORING_OBJECT_CLASSES,
@@ -28,6 +28,13 @@ IMAGE_PROMPT_TOKENS = 420
 
 class SimulatedVLM:
     """Scene-graph extraction and visual question answering over synthetic posters."""
+
+    #: Prompt/setup tokens one serial request embeds — the vision system
+    #: prompt, the extraction schema, and the shared few-shot example images
+    #: that a batched invocation sends once for the whole batch.  Most of the
+    #: per-request framing is shareable; only the poster's own encoded pixels
+    #: (and the completion) stay marginal.  See :mod:`repro.models.batching`.
+    BATCH_OVERHEAD_TOKENS = 384
 
     def __init__(self, cost_meter: Optional[CostMeter] = None, error_rate: float = 0.05,
                  seed: object = 0, lexicon: Optional[Lexicon] = None,
@@ -94,6 +101,21 @@ class SimulatedVLM:
         self._charge(purpose, repr(result))
         return result
 
+    def extract_scene_graph_batch(self, images: Sequence[SyntheticImage],
+                                  purpose: str = "scene_graph_extraction"
+                                  ) -> List[Dict[str, Any]]:
+        """Extract scene graphs from many posters as **one batched invocation**.
+
+        Element-wise identical to serial :meth:`extract_scene_graph` calls
+        (the RNG forks on the image URI, not call order); charged as a single
+        :class:`~repro.models.cost.BatchedModelCall` with sub-linear token
+        cost — the shared vision preamble is paid once per batch.
+        """
+        from repro.models.batching import run_model_batch
+        return run_model_batch(self, "extract_scene_graph",
+                               [((image,), {"purpose": purpose})
+                                for image in images])
+
     def caption(self, image: SyntheticImage, purpose: str = "caption") -> str:
         """A one-sentence caption of the poster."""
         graph = self.extract_scene_graph(image, purpose=purpose)
@@ -137,3 +159,17 @@ class SimulatedVLM:
                   "boring_score": boring_score, "evidence": vivid_evidence}
         self._charge(purpose, repr(result))
         return result
+
+    def answer_visual_question_batch(self, images: Sequence[SyntheticImage],
+                                     question: str, purpose: str = "visual_qa"
+                                     ) -> List[Dict[str, Any]]:
+        """Answer the same visual question about many posters in one batch.
+
+        Element-wise identical to serial :meth:`answer_visual_question`
+        calls; charged as a single
+        :class:`~repro.models.cost.BatchedModelCall`.
+        """
+        from repro.models.batching import run_model_batch
+        return run_model_batch(self, "answer_visual_question",
+                               [((image, question), {"purpose": purpose})
+                                for image in images])

@@ -86,14 +86,45 @@ class CostModel:
         return input_rows
 
     # -- cost estimation ---------------------------------------------------------------
+    @staticmethod
+    def batched_tokens(tokens_per_row: float, setup_tokens: float,
+                       rows: int, batch_size: int) -> float:
+        """The PR-3 sub-linear batch price at estimation time.
+
+        A serial run pays ``tokens_per_row × rows``; a batched run pays the
+        per-call setup once per chunk plus every row's marginal content:
+        ``ceil(rows / batch_size) × setup + rows × (tokens_per_row − setup)``
+        — the planning-time analogue of ``max(setup) + sum(marginal)``.
+        Setup never swallows a row's whole price (at least one token stays
+        marginal), mirroring the execution-time cap in
+        :func:`repro.models.batching.plan_batch`.
+        """
+        if rows <= 0:
+            return 0.0
+        setup = min(max(0.0, setup_tokens), max(0.0, tokens_per_row - 1.0))
+        chunks = -(-rows // max(1, batch_size))  # ceil division
+        return chunks * setup + rows * (tokens_per_row - setup)
+
     def estimate(self, node: LogicalPlanNode, function: GeneratedFunction,
-                 profile: Optional[ProfileResult] = None) -> CostEstimate:
-        """Estimate the cost of running ``function`` for ``node`` at full scale."""
+                 profile: Optional[ProfileResult] = None,
+                 batch_size: int = 0) -> CostEstimate:
+        """Estimate the cost of running ``function`` for ``node`` at full scale.
+
+        ``batch_size`` > 1 prices batchable implementations with the
+        sub-linear batch formula instead of ``cost_per_row_tokens × rows``,
+        so physical choice sees vectorized variants at the bill they will
+        actually pay.
+        """
         input_rows = self.input_cardinality(node)
         tokens_per_row = function.cost_per_row_tokens
         if profile is not None and profile.success and profile.rows_in > 0:
             tokens_per_row = profile.tokens_per_row
-        tokens = tokens_per_row * input_rows
+        if function.batchable and batch_size > 1:
+            tokens = self.batched_tokens(tokens_per_row,
+                                         function.batch_setup_tokens,
+                                         input_rows, batch_size)
+        else:
+            tokens = tokens_per_row * input_rows
         runtime = tokens / 1000.0 * _SECONDS_PER_1K_TOKENS + input_rows * _SECONDS_PER_ROW
         if profile is not None and profile.success and profile.rows_in > 0:
             runtime += (profile.runtime_s / profile.rows_in) * input_rows

@@ -72,7 +72,8 @@ class QueryOptimizer:
                  variant_overrides: Optional[Dict[str, str]] = None,
                  sample_size: int = 4, max_repair_rounds: int = 3,
                  min_accuracy: float = 0.88,
-                 profile_cache: Optional[ProfileCache] = None):
+                 profile_cache: Optional[ProfileCache] = None,
+                 vectorized_batch_size: int = 32):
         self.models = models
         self.catalog = catalog
         self.registry = registry
@@ -89,6 +90,10 @@ class QueryOptimizer:
         self.max_repair_rounds = max_repair_rounds
         self.min_accuracy = min_accuracy
         self.profile_cache = profile_cache
+        # Vectorization hint carried onto chosen operators: batchable
+        # implementations are priced with the sub-linear batch formula and
+        # executed chunk-at-a-time.  <= 1 disables vectorized execution.
+        self.vectorized_batch_size = max(1, int(vectorized_batch_size))
 
     # -- public API ---------------------------------------------------------------------
     def optimize(self, logical_plan: LogicalPlan) -> Tuple[PhysicalPlan, OptimizationReport]:
@@ -183,7 +188,8 @@ class QueryOptimizer:
                     self.profile_cache.record(family, spec.variant, profile)
             report.candidates_evaluated += 1
             report.repair_rounds += rounds
-            estimate = cost_model.estimate(node, function, profile)
+            estimate = cost_model.estimate(node, function, profile,
+                                           batch_size=self.vectorized_batch_size)
             # "Choose the one that produces acceptable outputs at the lowest
             # cost": implementations that fail, are rejected by the critic, or
             # fall below the accuracy floor are only used as a last resort.
@@ -198,7 +204,8 @@ class QueryOptimizer:
 
         candidates.sort(key=lambda item: (item[2], -item[0].accuracy_prior))
         chosen, chosen_profile, _ = candidates[0]
-        estimate = cost_model.estimate(node, chosen, chosen_profile)
+        estimate = cost_model.estimate(node, chosen, chosen_profile,
+                                       batch_size=self.vectorized_batch_size)
 
         # Materialize the sample output of the chosen implementation so
         # downstream nodes can be profiled on realistic intermediate data.
@@ -212,6 +219,7 @@ class QueryOptimizer:
             sample_output = truncated
         sample_tables[node.output] = sample_output
 
+        batchable = chosen.batchable and self.vectorized_batch_size > 1
         return PhysicalOperator(
             node=node,
             function=chosen,
@@ -220,6 +228,8 @@ class QueryOptimizer:
             estimated_cardinality=estimate.output_cardinality,
             profile=chosen_profile,
             alternatives_considered=len(candidates),
+            batchable=batchable,
+            batch_size=self.vectorized_batch_size if batchable else 0,
         )
 
     # -- parallel compilation -----------------------------------------------------------------

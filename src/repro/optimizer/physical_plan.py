@@ -13,7 +13,14 @@ from repro.parser.logical_plan import LogicalPlan, LogicalPlanNode
 
 @dataclass
 class PhysicalOperator:
-    """One executable step: a logical node bound to a chosen implementation."""
+    """One executable step: a logical node bound to a chosen implementation.
+
+    ``batchable``/``batch_size`` carry the optimizer's vectorization hint:
+    when set, the engine asks the body to collect per-row model inputs into
+    chunks of ``batch_size`` rows and issue one batched call per chunk
+    (sub-linear token cost, identical rows).  ``batch_size`` 0 means
+    row-at-a-time.
+    """
 
     node: LogicalPlanNode
     function: GeneratedFunction
@@ -22,16 +29,19 @@ class PhysicalOperator:
     estimated_cardinality: int = 0
     profile: Optional[ProfileResult] = None
     alternatives_considered: int = 1
+    batchable: bool = False
+    batch_size: int = 0
 
     @property
     def name(self) -> str:
         return self.node.name
 
     def describe(self) -> str:
+        batched = f", batched<={self.batch_size}" if self.batchable else ""
         return (f"{self.node.name} := {self.function.implementation_kind}/"
                 f"{self.function.variant} v{self.function.version} "
                 f"(~{self.estimated_tokens:.0f} tokens, "
-                f"~{self.estimated_cardinality} rows out)")
+                f"~{self.estimated_cardinality} rows out{batched})")
 
 
 @dataclass
@@ -65,7 +75,9 @@ class PhysicalPlan:
                                       estimated_runtime_s=op.estimated_runtime_s,
                                       estimated_cardinality=op.estimated_cardinality,
                                       profile=op.profile,
-                                      alternatives_considered=op.alternatives_considered)
+                                      alternatives_considered=op.alternatives_considered,
+                                      batchable=op.batchable,
+                                      batch_size=op.batch_size)
                      for op in self.operators]
         return PhysicalPlan(operators=operators, logical_plan=self.logical_plan,
                             rewrites_applied=list(self.rewrites_applied))

@@ -3,11 +3,82 @@
 from __future__ import annotations
 
 import copy
+from collections.abc import MutableSequence
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import SchemaError, UnknownColumnError
 from repro.relational.schema import Column, Schema
 from repro.relational.types import DataType, compare_values
+
+
+class TrackedRows(MutableSequence):
+    """A mutation-tracking view over a table's row list.
+
+    ``Table.rows`` hands this out instead of the raw list so that *external*
+    structural mutation cannot silently bypass index staleness tracking:
+    appends (``append``/``extend``/``+=``) keep the append-only contract
+    secondary indexes rely on (they index the suffix), while in-place
+    replacement, deletion, insertion, and reordering bump the table's
+    ``non_append_version`` exactly as the validated mutation API does — so a
+    :class:`~repro.relational.indexes.HashIndex` rebuilds instead of serving
+    stale positions.  Row *values* still bypass schema validation, as the
+    raw-list escape hatch always has.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "Table"):
+        self._table = table
+
+    # -- read access (no tracking needed) ---------------------------------------
+    def __len__(self) -> int:
+        return len(self._table._rows)
+
+    def __getitem__(self, index):
+        return self._table._rows[index]
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._table._rows)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, TrackedRows):
+            return self._table._rows == other._table._rows
+        return self._table._rows == other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(self._table._rows)
+
+    # -- append-like mutation (suffix-indexable, no version bump) ---------------
+    def append(self, row: Dict[str, Any]) -> None:
+        self._table._rows.append(row)
+
+    def extend(self, rows: Iterable[Dict[str, Any]]) -> None:
+        self._table._rows.extend(rows)
+
+    # -- non-append mutation (bumps the staleness counter) ----------------------
+    def __setitem__(self, index, value) -> None:
+        self._table._rows[index] = value
+        self._table._non_append_version += 1
+
+    def __delitem__(self, index) -> None:
+        del self._table._rows[index]
+        self._table._non_append_version += 1
+
+    def insert(self, index: int, value: Dict[str, Any]) -> None:
+        self._table._rows.insert(index, value)
+        self._table._non_append_version += 1
+
+    def clear(self) -> None:
+        self._table._rows.clear()
+        self._table._non_append_version += 1
+
+    def sort(self, **kwargs) -> None:
+        self._table._rows.sort(**kwargs)
+        self._table._non_append_version += 1
+
+    def reverse(self) -> None:
+        self._table._rows.reverse()
+        self._table._non_append_version += 1
 
 
 class Table:
@@ -27,6 +98,9 @@ class Table:
         self.schema = schema
         self.description = description
         self._rows: List[Dict[str, Any]] = []
+        # One reusable rows view (it holds no state beyond the table
+        # reference); per-row operator loops access ``.rows`` hotly.
+        self._rows_view = TrackedRows(self)
         # Bumped by every mutation that is *not* a pure append (delete,
         # update, truncate, add_column): secondary indexes use it to tell
         # "new rows were appended" (index the suffix) from "existing rows
@@ -75,10 +149,22 @@ class Table:
         return f"Table({self.name!r}, columns={self.schema.column_names()}, rows={len(self)})"
 
     @property
-    def rows(self) -> List[Dict[str, Any]]:
-        """The underlying row list (mutating it bypasses validation and
-        index staleness tracking)."""
-        return self._rows
+    def rows(self) -> "TrackedRows":
+        """A mutation-tracking view of the underlying rows.
+
+        Reading (iteration, indexing, slicing) behaves exactly like the raw
+        list.  Structural mutation through the view bypasses validation (as
+        the raw list always did) but no longer bypasses index staleness
+        tracking: non-append operations bump ``non_append_version`` so
+        secondary indexes rebuild (see :class:`TrackedRows`).
+        """
+        return self._rows_view
+
+    @rows.setter
+    def rows(self, value: Iterable[Dict[str, Any]]) -> None:
+        """Replace the row list wholesale (a non-append mutation)."""
+        self._rows = list(value)
+        self._non_append_version += 1
 
     @property
     def non_append_version(self) -> int:
