@@ -1,0 +1,367 @@
+"""Semantic near-match tier benchmark: measured accuracy + ANN lookup speed.
+
+The gateway's semantic tier reuses answered embeddings-predicate requests
+whose term *signature* is within a cosine threshold of a stored one.  It is
+approximate by contract, so turning it on by default required making its
+accuracy measurable.  This benchmark does that along three axes, all
+recorded to ``BENCH_semantic.json`` and gated by ``benchmarks/gate.py``:
+
+* **End-to-end arms** — the corpus-population + embeddings-scoring workload
+  (corpus load, the excitement-ranking query, then a scoring-shaped request
+  stream with re-issued case/order variants and novel requests) runs with
+  the tier ``off`` / ``linear`` / ``ann``.  Result rows and every streamed
+  predicate score must be identical across arms (the end-to-end zero-false-
+  accept observable), near-hit counts give the tier's hit rate, and the
+  token meters give its savings.
+
+* **Accuracy audit** — the same request stream replayed against standalone
+  caches across a threshold sweep, comparing every served answer with exact
+  execution.  This is where the shipped default threshold comes from: at
+  0.97 (the tier's original default) the workload shows real false accepts;
+  the committed record proves the shipped default produces **zero**.
+
+* **Lookup latency** — mean per-lookup time, linear scan vs multi-probe LSH,
+  at the full workload's cache size.  The committed record must show the
+  ANN index >= 5x faster.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_semantic.py [--quick]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_semantic.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro import KathDBConfig, KathDBService, QueryRequest, ScriptedUser
+from repro.data.mmqa import build_movie_corpus
+from repro.data.workloads import FLAGSHIP_CLARIFICATION
+from repro.gateway.semantic import SemanticNearCache, term_signature
+from repro.models.embeddings import EmbeddingModel
+from repro.models.lexicon import default_lexicon
+from repro.utils.text import content_words
+
+try:
+    from benchmarks import gate
+except ImportError:  # running as a plain script from benchmarks/
+    import gate
+
+RESULT_PATH = Path(__file__).parent / "BENCH_semantic.json"
+
+SCORING_QUERY = "Rank every film by how exciting its plot is."
+FULL_CORPUS = 48
+QUICK_CORPUS = 16
+
+#: The shipped default — what :class:`repro.core.config.KathDBConfig` uses
+#: and what the accuracy audit must prove produces zero false accepts.
+DEFAULT_THRESHOLD = KathDBConfig().semantic_similarity_threshold
+
+#: Sweep points: the tier's pre-graduation default (0.97) and a tighter
+#: 0.995 — both of which the audit catches serving wrong answers to
+#: near-boundary requests on this workload — plus the shipped default.
+SWEEP_THRESHOLDS = (0.97, 0.995, DEFAULT_THRESHOLD)
+
+#: Keyword families the generated scoring functions plausibly emit.
+KEYWORD_SETS = (
+    ("gun", "explosion", "chase", "fight", "battle", "war", "murder"),
+    ("love", "romance", "kiss", "wedding", "heart"),
+    ("ghost", "monster", "scream", "haunted", "blood"),
+)
+
+#: One logical predicate request: (query terms, candidate terms).
+Request = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+def build_requests(corpus) -> Dict[str, List[Request]]:
+    """The scoring-shaped request stream, split by kind.
+
+    * ``base`` — each movie's plot terms against each keyword family (what
+      one pass of the match-density scoring body issues);
+    * ``variant`` — re-issues of base requests as a different tenant would
+      type them: title-cased terms (the embedder normalizes case, so the
+      signature vector is identical and the exact answer provably equal)
+      and reversed argument order (signature-identical by construction);
+    * ``novel`` — genuinely different requests (disjoint plot slices, and
+      near-boundary lists with one extra unseen term) that must fall back
+      to exact execution rather than be served someone else's answer.
+    """
+    base: List[Request] = []
+    variant: List[Request] = []
+    novel: List[Request] = []
+    for position, movie in enumerate(corpus.movies):
+        words = content_words(movie.plot)
+        terms = tuple(words[:18])
+        if not terms:
+            continue
+        for family, keywords in enumerate(KEYWORD_SETS):
+            base.append((keywords, terms))
+            if (position + family) % 2 == 0:
+                variant.append((tuple(t.title() for t in keywords),
+                                tuple(t.title() for t in terms)))
+            else:
+                variant.append((tuple(reversed(keywords)),
+                                tuple(reversed(terms))))
+        late = tuple(words[18:36])
+        if late:
+            novel.append((KEYWORD_SETS[0], late))
+        # Near-boundary: one unseen term appended — close in signature
+        # space, but a different request whose answer may differ.
+        novel.append((KEYWORD_SETS[position % len(KEYWORD_SETS)],
+                      terms + (f"zzquux{position}",)))
+    return {"base": base, "variant": variant, "novel": novel}
+
+
+def _issue_stream(session, requests: Sequence[Request],
+                  chunk: int = 16) -> List[float]:
+    """Run a request stream through the session's routed embeddings proxy.
+
+    Chunked ``match_fraction_batch`` calls — the same funnel the vectorized
+    scoring body uses — so the stream exercises exact cache, semantic tier,
+    and batched execution together.
+    """
+    scores: List[float] = []
+    embeddings = session.models.embeddings
+    for start in range(0, len(requests), chunk):
+        window = requests[start:start + chunk]
+        # Group by query terms: match_fraction_batch shares one query set.
+        by_query: Dict[Tuple[str, ...], List[Tuple[int, Tuple[str, ...]]]] = {}
+        for offset, (query, candidates) in enumerate(window):
+            by_query.setdefault(query, []).append((offset, candidates))
+        window_scores: List[float] = [0.0] * len(window)
+        for query, members in by_query.items():
+            answers = embeddings.match_fraction_batch(
+                query, [candidates for _, candidates in members],
+                purpose="bench_semantic")
+            for (offset, _), answer in zip(members, answers):
+                window_scores[offset] = answer
+        scores.extend(window_scores)
+    return scores
+
+
+def run_arm(corpus, mode: str, requests: Dict[str, List[Request]]) -> Dict:
+    """One end-to-end arm: population + scoring query + request stream."""
+    config = KathDBConfig(
+        seed=7, monitor_enabled=False, explore_variants=False,
+        enable_semantic_cache=(mode != "off"),
+        semantic_cache_mode=(mode if mode != "off" else "ann"))
+    service = KathDBService(config)
+    service.load_corpus(corpus)
+    session = service.session(name=f"bench-{mode}")
+    response = session.query(QueryRequest(
+        nl_query=SCORING_QUERY,
+        user=ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION})))
+    assert response.ok, response.error
+    rows = [dict(row) for row in response.result.final_table]
+
+    base_marker = session.total_tokens()
+    base_scores = _issue_stream(session, requests["base"])
+    stream_marker = session.total_tokens()
+    start = time.perf_counter()
+    reuse_scores = _issue_stream(session, requests["variant"])
+    reuse_scores += _issue_stream(session, requests["novel"])
+    stream_s = time.perf_counter() - start
+    stream_tokens = session.total_tokens() - stream_marker
+
+    semantic_stats = service.gateway.stats()["semantic"]
+    arm = {
+        "mode": mode,
+        "query_tokens": response.prepare_tokens + response.execute_tokens,
+        "base_stream_tokens": stream_marker - base_marker,
+        "stream_tokens": stream_tokens,
+        "stream_s": round(stream_s, 4),
+        "semantic": {
+            "near_hits": semantic_stats["near_hits"],
+            "fallbacks": semantic_stats["fallbacks"],
+            "tokens_saved": semantic_stats["tokens_saved"],
+            "entries": semantic_stats["entries"],
+            "mode": semantic_stats["mode"],
+            "ann": {k: semantic_stats["ann"][k]
+                    for k in ("buckets", "max_bucket", "probes", "lookups")},
+        },
+        "session_gateway": {
+            k: v for k, v in session.gateway_stats().items()
+            if k in ("hits", "misses", "semantic_hits", "tokens_saved",
+                     "tokens_charged", "batch_tokens_saved")},
+        "rows": rows,
+        "scores": base_scores + reuse_scores,
+    }
+    service.shutdown()
+    return arm
+
+
+def run_accuracy_audit(requests: Dict[str, List[Request]]) -> Dict:
+    """Replay the stream against standalone caches across the sweep.
+
+    Every lookup that serves a stored answer is compared against the
+    exactly-computed one; a mismatch is a false accept.  Misses store the
+    exact answer, mirroring the gateway's put-on-miss behaviour.
+    """
+    model = EmbeddingModel(lexicon=default_lexicon())
+    stream = requests["base"] + requests["variant"] + requests["novel"]
+    sweep = []
+    false_at_default = 0
+    for threshold in SWEEP_THRESHOLDS:
+        for mode in ("linear", "ann"):
+            cache = SemanticNearCache(threshold=threshold, capacity=8192,
+                                      mode=mode)
+            group = ("embedding:lexicon-64", "match_fraction", "", ())
+            hits = false_accepts = 0
+            for query, candidates in stream:
+                signature = term_signature(query, candidates)
+                vector = cache.embed_signature(signature)
+                entry, _ = cache.search(group, vector, signature)
+                exact = model.match_fraction(list(query), list(candidates))
+                if entry is not None:
+                    hits += 1
+                    if entry.result != exact:
+                        false_accepts += 1
+                else:
+                    cache.put(group, vector, signature, exact)
+            if threshold == DEFAULT_THRESHOLD:
+                false_at_default += false_accepts
+            sweep.append({
+                "threshold": threshold,
+                "mode": mode,
+                "requests": len(stream),
+                "near_hits": hits,
+                "false_accepts": false_accepts,
+                "hit_rate": round(hits / len(stream), 4),
+                "false_accept_rate": round(false_accepts / len(stream), 4),
+            })
+    return {
+        "methodology": "every served answer compared against exact execution",
+        "default_threshold": DEFAULT_THRESHOLD,
+        "false_accepts_at_default": false_at_default,
+        "sweep": sweep,
+    }
+
+
+def run_lookup_latency(requests: Dict[str, List[Request]],
+                       repeats: int = 5) -> Dict:
+    """Mean per-lookup latency, linear vs ANN, at the workload's cache size."""
+    seed_cache = SemanticNearCache(threshold=DEFAULT_THRESHOLD, mode="ann")
+    group = ("embedding:lexicon-64", "match_fraction", "", ())
+    stored = [(term_signature(q, c), None) for q, c in requests["base"]]
+    stored = [(sig, seed_cache.embed_signature(sig)) for sig, _ in stored]
+    probes = stored + [
+        (term_signature(q, c), seed_cache.embed_signature(term_signature(q, c)))
+        for q, c in requests["variant"] + requests["novel"]]
+
+    timings = {}
+    for mode in ("linear", "ann"):
+        cache = SemanticNearCache(threshold=DEFAULT_THRESHOLD, capacity=8192,
+                                  mode=mode)
+        for signature, vector in stored:
+            cache.put(group, vector, signature, 0.5)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for signature, vector in probes:
+                cache.search(group, vector, signature)
+        elapsed = time.perf_counter() - start
+        timings[mode] = elapsed / (repeats * len(probes))
+    return {
+        "entries": len(stored),
+        "probe_count": len(probes),
+        "linear_us": round(timings["linear"] * 1e6, 2),
+        "ann_us": round(timings["ann"] * 1e6, 2),
+        "ann_speedup": round(timings["linear"] / max(timings["ann"], 1e-12), 2),
+    }
+
+
+def run_benchmark(corpus_size: int = FULL_CORPUS) -> Dict:
+    corpus = build_movie_corpus(size=corpus_size, seed=7)
+    requests = build_requests(corpus)
+    arms = {mode: run_arm(corpus, mode, requests)
+            for mode in ("off", "linear", "ann")}
+
+    # The end-to-end zero-false-accept observable: neither lookup structure
+    # may change a single query row or streamed predicate score.
+    reference_rows = arms["off"].pop("rows")
+    reference_scores = arms["off"].pop("scores")
+    identical = True
+    for mode in ("linear", "ann"):
+        identical &= arms[mode].pop("rows") == reference_rows
+        identical &= arms[mode].pop("scores") == reference_scores
+
+    reuse_requests = len(requests["variant"]) + len(requests["novel"])
+    off_stream = arms["off"]["stream_tokens"]
+    return {
+        "workload": ("corpus population + excitement-scoring query + "
+                     "scoring-shaped request stream "
+                     "(re-issued variants + novel requests)"),
+        "corpus_size": corpus_size,
+        "query": SCORING_QUERY,
+        "requests": {kind: len(items) for kind, items in requests.items()},
+        "arms": arms,
+        "row_identical": identical,
+        "hit_rate": round(
+            arms["ann"]["semantic"]["near_hits"] / max(reuse_requests, 1), 4),
+        "token_savings": {
+            mode: round(off_stream / max(arms[mode]["stream_tokens"], 1), 3)
+            for mode in ("linear", "ann")},
+        "accuracy": run_accuracy_audit(requests),
+        "lookup": run_lookup_latency(requests),
+    }
+
+
+def save(record: Dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def report(record: Dict) -> str:
+    lookup = record["lookup"]
+    ann = record["arms"]["ann"]
+    return (f"[semantic] corpus {record['corpus_size']}, "
+            f"{sum(record['requests'].values())} predicate requests: "
+            f"hit-rate {record['hit_rate']:.0%} on re-issued traffic, "
+            f"{record['accuracy']['false_accepts_at_default']} false accepts "
+            f"at threshold {record['accuracy']['default_threshold']}, "
+            f"{record['token_savings']['ann']}x fewer stream tokens, "
+            f"lookup {lookup['linear_us']}us linear vs {lookup['ann_us']}us "
+            f"ann ({lookup['ann_speedup']}x) at {lookup['entries']} entries, "
+            f"{ann['semantic']['ann']['buckets']} buckets "
+            f"(max {ann['semantic']['ann']['max_bucket']}), "
+            f"row-identical={record['row_identical']}")
+
+
+def test_semantic_tier_accuracy_and_ann_speedup():
+    """Full workload must clear every committed semantic floor."""
+    record = run_benchmark()
+    save(record)
+    print("\n" + report(record))
+    failures = gate.evaluate("semantic", record, shape="full")
+    assert not failures, "\n".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=None, help="corpus size")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus (CI smoke shape, looser floors)")
+    args = parser.parse_args()
+    size = args.size or (QUICK_CORPUS if args.quick else FULL_CORPUS)
+    record = run_benchmark(corpus_size=size)
+    print(report(record))
+    shape = "quick" if args.quick else "full"
+    if not args.quick:
+        # Smoke runs validate via the exit code only: the committed record
+        # holds the full-size workload, which a quick run must not overwrite.
+        save(record)
+        print(f"wrote {RESULT_PATH}")
+    failures = gate.evaluate("semantic", record, shape=shape)
+    if failures:
+        print("\n".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -220,17 +220,29 @@ class KathDBService:
         """Prepared-query cache counters (empty when the cache is disabled)."""
         return self.prepared.stats.as_dict() if self.prepared is not None else {}
 
-    def gateway_stats(self, window_s: Optional[float] = None) -> Dict[str, object]:
+    def gateway_stats(self, window_s: Optional[float] = None,
+                      session_id: Optional[str] = None) -> Dict[str, object]:
         """Headline model-gateway counters (empty when the gateway is off).
 
         ``window_s`` additionally attaches a ``windowed`` entry with the
         rolling counters and rates over the last that-many seconds — the
         live-traffic view for long-running services, alongside the
-        cumulative headline numbers.
+        cumulative headline numbers.  ``session_id`` scopes the answer to
+        one session: the cumulative block becomes that session's gateway
+        counters and the windowed block (when requested) covers only the
+        events its calls produced — the per-tenant view for quota tuning.
         """
         if self.gateway is None:
             return {}
-        stats: Dict[str, object] = dict(self.gateway.flat_stats())
+        stats: Dict[str, object]
+        if session_id is not None:
+            stats = dict(self.gateway.session_counters(session_id) or {})
+            stats["session_id"] = session_id
+            if window_s is not None:
+                stats["windowed"] = self.gateway.windowed_stats(
+                    window_s, session_id=session_id)
+            return stats
+        stats = dict(self.gateway.flat_stats())
         if window_s is not None:
             stats["windowed"] = self.gateway.windowed_stats(window_s)
         return stats

@@ -107,6 +107,27 @@ class Session:
         """Tokens spent by this session so far."""
         return self.models.cost_meter.total_tokens
 
+    def gateway_stats(self, window_s: Optional[float] = None
+                      ) -> Dict[str, object]:
+        """What the shared gateway has done for *this* session.
+
+        The cumulative block is this session's own counters (hits, misses,
+        semantic hits, tokens saved/charged, batch savings); ``window_s``
+        attaches a ``windowed`` entry covering only this session's events
+        over the last that-many seconds — the per-tenant live view the
+        ROADMAP's multi-tenant quota-tuning item asked for.  Empty for
+        un-routed (legacy facade) sessions.
+        """
+        client = getattr(self.models, "gateway_client", None)
+        if client is None:
+            return {}
+        stats: Dict[str, object] = dict(client.counters.as_dict())
+        stats["session_id"] = self.id
+        if window_s is not None:
+            stats["windowed"] = client.gateway.windowed_stats(
+                window_s, session_id=client.session_id)
+        return stats
+
     # -- quota state -----------------------------------------------------------------
     def quota_state(self) -> Dict[str, Optional[int]]:
         """This session's live quota position (see the properties below).

@@ -20,7 +20,7 @@ Two properties matter for the comparison benchmark (A4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.data.mmqa import MovieCorpus

@@ -10,12 +10,11 @@ which is the "user effort" axis of the comparison benchmark (A4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.data.mmqa import MovieCorpus
 from repro.models.base import ModelSuite
-from repro.relational.catalog import Catalog
 from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
 from repro.relational.types import DataType

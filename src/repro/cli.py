@@ -72,9 +72,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-model-cache", action="store_true",
                         help="disable the model gateway's shared result cache "
                              "(coalescing/batching stay on; forces service mode)")
-    parser.add_argument("--gateway-stats", action="store_true",
+    parser.add_argument("--gateway-stats", nargs="?", const=True, default=False,
+                        metavar="SESSION",
                         help="print the model gateway's counters after the run "
-                             "(forces service mode)")
+                             "(forces service mode); with a session id (batch "
+                             "sessions are named s1..sN), print that session's "
+                             "counters and last-60s window instead of the "
+                             "service-wide view")
+    parser.add_argument("--semantic-cache", choices=["off", "linear", "ann"],
+                        default=None,
+                        help="semantic near-match tier for embeddings "
+                             "predicates: 'ann' (default; multi-probe LSH "
+                             "index), 'linear' (exhaustive scan), or 'off' "
+                             "(bit-identical to uncached execution); forces "
+                             "service mode")
     parser.add_argument("--no-vectorized", action="store_true",
                         help="disable vectorized (batched) operator execution and "
                              "view population; every model call is issued "
@@ -118,6 +129,12 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
     from repro import KathDBService, QueryOptions, QueryRequest
 
     corpus = build_movie_corpus(size=args.size, seed=args.seed)
+    semantic_overrides = {}
+    if args.semantic_cache == "off":
+        semantic_overrides["enable_semantic_cache"] = False
+    elif args.semantic_cache is not None:
+        semantic_overrides["enable_semantic_cache"] = True
+        semantic_overrides["semantic_cache_mode"] = args.semantic_cache
     config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
                           monitor_enabled=not args.no_monitor,
                           enable_prepared_cache=not args.no_prepared,
@@ -125,7 +142,8 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           enable_vectorized_execution=not args.no_vectorized,
                           service_max_workers=max(1, args.jobs),
                           simulate_model_latency=max(0.0, args.simulate_latency),
-                          gateway_batch_window_s=args.batch_window)
+                          gateway_batch_window_s=args.batch_window,
+                          **semantic_overrides)
     service = KathDBService(config)
     print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
           file=output)
@@ -165,6 +183,26 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
     if args.gateway_stats:
         if service.gateway is None:
             print("model gateway: disabled", file=output)
+        elif isinstance(args.gateway_stats, str):
+            # Per-session view: that session's cumulative counters plus the
+            # last-60s window scoped to its own events.
+            session_id = args.gateway_stats
+            scoped = service.gateway_stats(window_s=60.0, session_id=session_id)
+            counters = {k: v for k, v in scoped.items()
+                        if k not in ("windowed", "session_id")}
+            if not counters:
+                print(f"gateway session {session_id}: no tracked traffic",
+                      file=output)
+            else:
+                print(f"gateway session {session_id}: "
+                      + ", ".join(f"{k}={v}" for k, v in counters.items()),
+                      file=output)
+                windowed = scoped["windowed"]
+                print(f"  last {windowed['window_s']:.0f}s: "
+                      f"{windowed['requests']} requests "
+                      f"({windowed['requests_per_s']:.2f}/s), "
+                      f"{windowed['tokens_charged']} tokens charged, "
+                      f"{windowed['tokens_saved']} saved", file=output)
         else:
             print(service.gateway.describe(), file=output)
             batching = service.gateway.stats()["batching"]
@@ -179,12 +217,15 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                   f"{windowed['tokens_saved']} saved, "
                   f"{windowed['batch_tokens_saved']} batch-discounted",
                   file=output)
-            if args.no_vectorized:
-                print("vectorized execution: disabled (--no-vectorized)",
-                      file=output)
-            if args.no_model_cache:
-                print("model gateway: result cache disabled (--no-model-cache)",
-                      file=output)
+        if args.semantic_cache:
+            print(f"semantic near-match tier: {args.semantic_cache}",
+                  file=output)
+        if args.no_vectorized:
+            print("vectorized execution: disabled (--no-vectorized)",
+                  file=output)
+        if args.no_model_cache:
+            print("model gateway: result cache disabled (--no-model-cache)",
+                  file=output)
     first_ok = next((r for r in responses if r.ok), None)
     if first_ok is not None:
         print(first_ok.result.final_table.pretty(limit=args.limit), file=output)
@@ -211,13 +252,14 @@ def run(args: argparse.Namespace, output=None) -> int:
     # Gateway flags only make sense on the service path (the legacy facade
     # keeps its direct, un-routed accounting), so they force batch mode.
     service_mode = (args.jobs > 1 or args.repeat > 1
-                    or args.gateway_stats or args.no_model_cache
-                    or args.batch_window is not None)
+                    or bool(args.gateway_stats) or args.no_model_cache
+                    or args.batch_window is not None
+                    or args.semantic_cache is not None)
     if service_mode:
         if args.interactive:
             print("error: --interactive cannot be combined with service mode "
                   "(--jobs/--repeat/--gateway-stats/--no-model-cache/"
-                  "--batch-window)", file=output)
+                  "--batch-window/--semantic-cache)", file=output)
             return 2
         return run_batch(args, query, output)
 

@@ -83,10 +83,27 @@ class KathDBConfig:
     enable_micro_batching: bool = True
     gateway_batch_window_s: Optional[float] = None
     gateway_max_batch: int = 32
-    # Semantic near-match tier for embeddings-backed predicates.  Off by
-    # default: with it off, gateway results are bit-identical to uncached runs.
-    enable_semantic_cache: bool = False
-    semantic_similarity_threshold: float = 0.97
+    # Semantic near-match tier for embeddings-backed predicates.  On by
+    # default since the ANN graduation: benchmarks/bench_semantic.py measures
+    # the tier's accuracy against exact execution, and the shipped default
+    # threshold is the one it proves produces zero false accepts on the
+    # scoring workload (below-threshold lookups always fall back to exact
+    # execution).  The sweep shows looser thresholds (0.97, 0.995) serving
+    # wrong answers to near-boundary requests — one extra term on a long
+    # candidate list — so the default only reuses answers whose signatures
+    # embed identically (case/order/format variants of the same request,
+    # which exact caching cannot dedup).  Disable for bit-identical-to-
+    # uncached runs.
+    enable_semantic_cache: bool = True
+    semantic_similarity_threshold: float = 0.999
+    # Lookup structure: "ann" (multi-probe LSH over signature vectors,
+    # lookup cost independent of entry count) or "linear" (exhaustive scan).
+    semantic_cache_mode: str = "ann"
+    # ANN geometry: hyperplanes per bucket key (more planes = smaller,
+    # better-separated buckets) and near-bucket probes per lookup (more
+    # probes = higher recall at slightly higher lookup cost).
+    semantic_ann_planes: int = 16
+    semantic_ann_probes: int = 8
     # Admission control.
     gateway_max_concurrency: int = 16
     session_token_quota: Optional[int] = None
@@ -114,6 +131,12 @@ class KathDBConfig:
             raise KathDBError("gateway_max_batch must be at least 1")
         if not 0.0 < self.semantic_similarity_threshold <= 1.0:
             raise KathDBError("semantic_similarity_threshold must be in (0, 1]")
+        if self.semantic_cache_mode not in ("linear", "ann"):
+            raise KathDBError("semantic_cache_mode must be 'linear' or 'ann'")
+        if not 1 <= self.semantic_ann_planes <= 64:
+            raise KathDBError("semantic_ann_planes must be in [1, 64]")
+        if self.semantic_ann_probes < 0:
+            raise KathDBError("semantic_ann_probes must be non-negative")
         if self.gateway_max_concurrency < 1:
             raise KathDBError("gateway_max_concurrency must be at least 1")
         if self.session_token_quota is not None and self.session_token_quota < 1:
@@ -151,5 +174,8 @@ class KathDBConfig:
             max_batch=self.gateway_max_batch,
             enable_semantic=self.enable_semantic_cache,
             semantic_threshold=self.semantic_similarity_threshold,
+            semantic_mode=self.semantic_cache_mode,
+            semantic_planes=self.semantic_ann_planes,
+            semantic_probes=self.semantic_ann_probes,
             max_concurrency=self.gateway_max_concurrency,
             session_token_quota=self.session_token_quota)

@@ -16,7 +16,7 @@ explanations readable without changing any semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.datamodel.lineage import LineageStore
 from repro.models.vlm import SimulatedVLM

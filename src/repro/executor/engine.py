@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.datamodel.lineage import DependencyPattern, LineageStore
+from repro.datamodel.lineage import LineageStore
 from repro.errors import FunctionExecutionError, RepairFailedError
 from repro.executor.context import ExecutionContext
 from repro.executor.monitor import ANOMALY_OPTIONS, ExecutionMonitor

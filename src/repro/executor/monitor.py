@@ -11,8 +11,8 @@ several movies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.fao.function import GeneratedFunction
 from repro.models.base import ModelSuite

@@ -11,7 +11,6 @@ answered with the ordinary SQL front end (see :meth:`LineageQueryInterface.sql`)
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from repro.errors import ExplanationError
 from repro.executor.result import QueryResult

@@ -11,14 +11,13 @@ repair budget runs out).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.fao.codegen import Coder
 from repro.fao.function import FunctionContext, GeneratedFunction
 from repro.fao.profiler import Profiler, ProfileResult
 from repro.models.base import ModelSuite
 from repro.parser.logical_plan import LogicalPlanNode
-from repro.relational.table import Table
 
 
 @dataclass

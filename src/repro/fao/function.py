@@ -9,7 +9,7 @@ a version id, and the dependency pattern used for lineage recording.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.datamodel.lineage import DependencyPattern
 from repro.errors import FunctionExecutionError

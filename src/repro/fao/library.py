@@ -15,10 +15,9 @@ verbatim in fine-grained explanations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
-from repro.datamodel.lineage import DependencyPattern
 from repro.errors import FunctionGenerationError
 from repro.fao.function import FunctionBody, FunctionContext
 from repro.parser.logical_plan import LogicalPlanNode

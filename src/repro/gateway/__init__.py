@@ -7,6 +7,7 @@ vectorized operator execution.
 """
 
 from repro.gateway.admission import AdmissionController
+from repro.gateway.ann import AnnStats, LSHIndex
 from repro.gateway.batching import BatchStats, KindBatchStats, MicroBatcher
 from repro.gateway.cache import ExactResultCache
 from repro.gateway.coalesce import RequestCoalescer
@@ -18,21 +19,24 @@ from repro.gateway.gateway import (
     SessionGatewayClient,
 )
 from repro.gateway.proxy import is_routed, route_suite
-from repro.gateway.semantic import SEMANTIC_METHODS, SemanticNearCache
+from repro.gateway.semantic import SEMANTIC_METHODS, SEMANTIC_MODES, SemanticNearCache
 from repro.gateway.vectorized import GatewayBatchClient, batch_route
 
 __all__ = [
     "AdmissionController",
+    "AnnStats",
     "BatchStats",
     "ExactResultCache",
     "GatewayBatchClient",
     "KindBatchStats",
     "GatewayConfig",
+    "LSHIndex",
     "MicroBatcher",
     "ModelGateway",
     "RequestCoalescer",
     "RequestKey",
     "SEMANTIC_METHODS",
+    "SEMANTIC_MODES",
     "SemanticNearCache",
     "SessionCounters",
     "SessionGatewayClient",

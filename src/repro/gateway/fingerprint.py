@@ -105,6 +105,20 @@ def contains_uri(canonical: Any) -> bool:
     return False
 
 
+def semantic_group(model_name: str, method: str, canonical_kwargs: Any,
+                   lexicon_fingerprint: str = "") -> Tuple[Any, ...]:
+    """The semantic tier's grouping key for one predicate request.
+
+    Near-match candidates must share model identity, method, lexicon
+    fingerprint, and every non-purpose keyword argument (``match_fraction``'s
+    ``threshold=`` changes the answer, so it partitions the signature
+    space).  Both the serial funnel and the vectorized batch client build
+    their group keys here so the two paths can never diverge on what
+    "same request family" means.
+    """
+    return (model_name, method, lexicon_fingerprint, canonical_kwargs)
+
+
 def lexicon_fingerprint_of(model: Any) -> str:
     """The (version-cached) lexicon fingerprint of a lexicon-grounded model.
 

@@ -47,6 +47,7 @@ from repro.gateway.fingerprint import (
     contains_uri,
     lexicon_fingerprint_of,
     request_key_from_canonical,
+    semantic_group,
 )
 from repro.gateway.semantic import SemanticNearCache, term_signature
 
@@ -65,6 +66,11 @@ class GatewayConfig:
     enable_semantic: bool = False
     semantic_threshold: float = 0.97
     semantic_entries: int = 512
+    # Lookup structure for the semantic tier: "ann" (multi-probe LSH over
+    # the signature vectors, sublinear) or "linear" (exhaustive scan).
+    semantic_mode: str = "ann"
+    semantic_planes: int = 16
+    semantic_probes: int = 8
     max_concurrency: int = 16
     session_token_quota: Optional[int] = None
 
@@ -165,15 +171,18 @@ class ModelGateway:
                                     window_s=self.config.batch_window_s,
                                     max_batch=self.config.max_batch)
         self.semantic = SemanticNearCache(threshold=self.config.semantic_threshold,
-                                          capacity=self.config.semantic_entries)
+                                          capacity=self.config.semantic_entries,
+                                          mode=self.config.semantic_mode,
+                                          planes=self.config.semantic_planes,
+                                          probes=self.config.semantic_probes)
         self._clients_lock = threading.Lock()
         self._clients: "OrderedDict[str, SessionGatewayClient]" = OrderedDict()
         # Rolling event log for windowed_stats(): (monotonic time, kind,
-        # request count, tokens).  Bounded so long-running services cannot
-        # grow it without limit; at the bound the window simply cannot look
-        # further back than the retained events.
-        self._events: Deque[Tuple[float, str, int, int]] = deque(
-            maxlen=self.MAX_TRACKED_EVENTS)
+        # request count, tokens, session id).  Bounded so long-running
+        # services cannot grow it without limit; at the bound the window
+        # simply cannot look further back than the retained events.
+        self._events: Deque[Tuple[float, str, int, int, Optional[str]]] = \
+            deque(maxlen=self.MAX_TRACKED_EVENTS)
         self._events_lock = threading.Lock()
 
     #: Internal (quota-exempt) client ids live under this prefix; caller
@@ -241,6 +250,7 @@ class ModelGateway:
         """
         cfg = self.config
         lexicon_fp = lexicon_fingerprint_of(model)
+        model_name = getattr(model, "name", type(model).__name__)
         # The purpose tag never reaches the model — it only labels the cost
         # record — so it must not partition results: two operators issuing
         # the byte-identical call under different node names share one
@@ -249,9 +259,8 @@ class ModelGateway:
         keyed_kwargs = {k: v for k, v in kwargs.items() if k != "purpose"}
         canonical_args = canonicalize(args)
         canonical_kwargs = canonicalize(keyed_kwargs)
-        key = request_key_from_canonical(
-            getattr(model, "name", type(model).__name__), method,
-            canonical_args, canonical_kwargs, lexicon_fp)
+        key = request_key_from_canonical(model_name, method, canonical_args,
+                                         canonical_kwargs, lexicon_fp)
 
         # Tier 1: exact cache.
         if cfg.enable_cache:
@@ -259,28 +268,32 @@ class ModelGateway:
             if entry is not None:
                 client.counters.hits += 1
                 client.counters.tokens_saved += entry.token_cost
-                self.note_event("hits", 1, entry.token_cost)
+                self.note_event("hits", 1, entry.token_cost, client.session_id)
                 return entry.result
 
-        # Tier 2: semantic near-match (opt-in, predicates only).
+        # Tier 2: semantic near-match (predicates only).
         signature = None
         signature_vector = None
-        semantic_group = None
+        signature_group = None
         if cfg.enable_semantic and cfg.enable_cache and semantic_terms is not None:
             # Non-purpose kwargs (e.g. match_fraction's threshold=) change
             # the answer, so they partition the signature space; the purpose
-            # tag is pure accounting and must not.
-            qualifier = canonicalize({k: v for k, v in kwargs.items()
-                                      if k != "purpose"})
-            semantic_group = (getattr(model, "name", ""), method, lexicon_fp,
-                              qualifier)
+            # tag is pure accounting and must not — canonical_kwargs already
+            # excludes it.  The group's model name is the cache key's name
+            # (same fallback as the batch client), so the serial and
+            # vectorized funnels always agree on the request family.
+            signature_group = semantic_group(model_name, method,
+                                             canonical_kwargs, lexicon_fp)
             signature = term_signature(*semantic_terms)
             signature_vector = self.semantic.embed_signature(signature)
-            near = self.semantic.lookup(semantic_group, signature_vector, signature)
+            near, probes = self.semantic.search(signature_group,
+                                                signature_vector, signature)
+            self.note_event("semantic_probes", probes, 0, client.session_id)
             if near is not None:
                 client.counters.semantic_hits += 1
                 client.counters.tokens_saved += near.token_cost
-                self.note_event("semantic_hits", 1, near.token_cost)
+                self.note_event("semantic_hits", 1, near.token_cost,
+                                client.session_id)
                 return near.result
             # Below threshold: guaranteed fall-through to exact execution.
 
@@ -298,7 +311,7 @@ class ModelGateway:
                 result, token_cost = self.coalescer.wait(slot)
                 client.counters.coalesced += 1
                 client.counters.tokens_saved += token_cost
-                self.note_event("coalesced", 1, token_cost)
+                self.note_event("coalesced", 1, token_cost, client.session_id)
                 return copy.deepcopy(result)
 
         # Tier 4: execute (admission-gated, possibly micro-batched).  The
@@ -313,7 +326,8 @@ class ModelGateway:
                     self.batcher.submit(batch_kind, member).result()
                 if serial_cost > token_cost:
                     client.counters.batch_tokens_saved += serial_cost - token_cost
-                    self.note_event("batch_saved", 0, serial_cost - token_cost)
+                    self.note_event("batch_saved", 0, serial_cost - token_cost,
+                                    client.session_id)
             else:
                 with self.admission.slot():
                     result, token_cost = metered_call(model, method, args, kwargs)
@@ -329,15 +343,15 @@ class ModelGateway:
         try:
             client.counters.misses += 1
             client.counters.tokens_charged += token_cost
-            self.note_event("misses", 1, token_cost)
+            self.note_event("misses", 1, token_cost, client.session_id)
             self.admission.charge(client.session_id, token_cost)
             if cfg.enable_cache:
                 self.cache.note_miss()
                 self.cache.put(key, result, token_cost,
                                volatile=contains_uri(canonical_args)
                                or contains_uri(canonical_kwargs))
-            if semantic_group is not None and signature_vector is not None:
-                self.semantic.put(semantic_group, signature_vector, signature,
+            if signature_group is not None and signature_vector is not None:
+                self.semantic.put(signature_group, signature_vector, signature,
                                   result, token_cost)
         finally:
             if slot is not None:
@@ -345,31 +359,39 @@ class ModelGateway:
         return result
 
     # -- observability --------------------------------------------------------------
-    def note_event(self, kind: str, requests: int, tokens: int) -> None:
+    def note_event(self, kind: str, requests: int, tokens: int,
+                   session_id: Optional[str] = None) -> None:
         """Append one event to the rolling log behind :meth:`windowed_stats`.
 
         ``kind`` is a :class:`SessionCounters` counter name (``hits``,
-        ``misses``, ``coalesced``, ``semantic_hits``) or ``batch_saved``;
-        ``tokens`` is the saved amount for hit-like kinds and the charged
-        amount for misses.
+        ``misses``, ``coalesced``, ``semantic_hits``), ``batch_saved``, or
+        ``semantic_probes``; ``tokens`` is the saved amount for hit-like
+        kinds and the charged amount for misses.  ``session_id`` tags the
+        event with the caller so :meth:`windowed_stats` can answer for one
+        session as well as service-wide.
         """
         with self._events_lock:
-            self._events.append((time.monotonic(), kind, requests, tokens))
+            self._events.append((time.monotonic(), kind, requests, tokens,
+                                 session_id))
 
-    def windowed_stats(self, seconds: float = 60.0) -> Dict[str, float]:
+    def windowed_stats(self, seconds: float = 60.0,
+                       session_id: Optional[str] = None) -> Dict[str, Any]:
         """Rolling-window counters and rates over the last ``seconds``.
 
         The cumulative :meth:`stats`/:meth:`flat_stats` counters answer
         "what has this service done since it started"; this answers "what is
         it doing *right now*" — the view a long-running service's operators
         watch.  Events older than the window (or beyond the bounded event
-        log) are excluded.
+        log) are excluded.  With ``session_id`` the window is scoped to the
+        events that session's calls produced (the multi-tenant quota-tuning
+        view); the default is service-wide.
         """
         seconds = max(0.0, float(seconds))
         now = time.monotonic()
         horizon = now - seconds
         totals = {"hits": 0, "misses": 0, "coalesced": 0, "semantic_hits": 0}
         tokens_saved = tokens_charged = batch_tokens_saved = 0
+        semantic_probes = 0
         with self._events_lock:
             # Prune with a fixed retention horizon — never the query window,
             # or a narrow query would blind a later, wider one.
@@ -377,31 +399,50 @@ class ModelGateway:
             while self._events and self._events[0][0] < retention:
                 self._events.popleft()
             events = list(self._events)
-        for stamp, kind, requests, tokens in events:
+        for stamp, kind, requests, tokens, event_session in events:
             if stamp < horizon:
+                continue
+            if session_id is not None and event_session != session_id:
                 continue
             if kind == "misses":
                 totals["misses"] += requests
                 tokens_charged += tokens
             elif kind == "batch_saved":
                 batch_tokens_saved += tokens
+            elif kind == "semantic_probes":
+                semantic_probes += requests
             elif kind in totals:
                 totals[kind] += requests
                 tokens_saved += tokens
         request_count = sum(totals.values())
         rate = 1.0 / seconds if seconds > 0 else 0.0
-        return {
+        payload: Dict[str, Any] = {
             "window_s": seconds,
             "requests": request_count,
             **totals,
             "tokens_saved": tokens_saved,
             "tokens_charged": tokens_charged,
             "batch_tokens_saved": batch_tokens_saved,
+            "semantic_probes": semantic_probes,
             "requests_per_s": round(request_count * rate, 3),
             "tokens_charged_per_s": round(tokens_charged * rate, 3),
         }
+        if session_id is not None:
+            payload["session_id"] = session_id
+        return payload
 
-    def stats(self) -> Dict[str, Dict[str, int]]:
+    def session_counters(self, session_id: str) -> Optional[Dict[str, int]]:
+        """One tracked session's cumulative counters, or None if unknown.
+
+        Read-only: unlike :meth:`client` this never mints (or LRU-bumps) a
+        client entry, so observers can poll arbitrary ids without growing
+        the registry.
+        """
+        with self._clients_lock:
+            client = self._clients.get(session_id)
+            return None if client is None else client.counters.as_dict()
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
         """Nested counters from every tier plus the per-session rollup."""
         with self._clients_lock:
             sessions = {sid: c.counters.as_dict() for sid, c in self._clients.items()}
@@ -414,7 +455,7 @@ class ModelGateway:
             "sessions": sessions,
         }
 
-    def flat_stats(self) -> Dict[str, int]:
+    def flat_stats(self) -> Dict[str, Any]:
         """The headline counters as one flat dict (CLI / response surface)."""
         stats = self.stats()
         return {
@@ -427,6 +468,14 @@ class ModelGateway:
             "batched_calls": stats["batching"]["batched_calls"],
             "batch_token_savings": stats["batching"]["token_savings"],
             "semantic_hits": stats["semantic"]["near_hits"],
+            "semantic_entries": stats["semantic"]["entries"],
+            "semantic_mode": stats["semantic"]["mode"],
+            # ANN health: how spread the signature index is and how much
+            # probing lookups are doing (occupancy skew => raise planes,
+            # recall misses => raise probes).
+            "ann_buckets": stats["semantic"]["ann"]["buckets"],
+            "ann_max_bucket": stats["semantic"]["ann"]["max_bucket"],
+            "ann_probes": stats["semantic"]["ann"]["probes"],
             # Avoided-call savings only, so this reconciles with the sum of
             # per-session tokens_saved; the batching *discount* on executed
             # calls is its own key (batch_token_savings), mirroring the
@@ -450,10 +499,13 @@ class ModelGateway:
         ``volatile_only=True`` is the corpus-reload mode: only exact-cache
         entries keyed on a URI-addressed argument (poster images — URIs
         collide across corpora) are dropped, while purely content-keyed
-        entries (text payloads hash their own content) and the semantic tier
-        (keyed on term signatures, i.e. text) survive the reload.
+        entries (text payloads hash their own content) survive.  The
+        semantic tier is dropped — entries *and* their LSH index slots, in
+        lockstep — on every clear: now that the tier is on by default, its
+        candidate term lists (extracted from corpus rows) must not outlive
+        the corpus they were measured against, and a stale index entry
+        pointing at a dropped answer would be a correctness hole.
         """
         dropped = self.cache.clear(volatile_only=volatile_only)
-        if not volatile_only:
-            self.semantic.clear()
+        self.semantic.clear()
         return dropped

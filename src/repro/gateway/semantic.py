@@ -1,4 +1,4 @@
-"""The opt-in semantic near-match tier for embeddings-backed predicates.
+"""The semantic near-match tier for embeddings-backed predicates.
 
 Exact caching only helps when two requests are byte-identical.  The
 embeddings-backed predicate methods (``match_fraction``,
@@ -9,15 +9,34 @@ identical score.  This tier keys answered predicate requests by an
 embedding of their term signature and serves a stored answer when a new
 request's signature is within ``threshold`` cosine similarity.
 
-Correctness guard: the tier is **off by default** — disabled, results are
-bit-identical to an uncached run — and only ever consulted for the
-predicate methods.  When enabled it is *approximate by contract*: a lookup
-below the threshold always falls back to exact execution, an entry whose
-canonical signature is string-identical to the request's is authoritative
-(same sorted term multisets compute the same answer), and anything between
-is a deliberate near-match.  Entries are grouped per (model, method,
-lexicon fingerprint, non-purpose kwargs) — diverged lexicons, or the same
-terms under a different ``threshold=`` argument, never share.
+Two lookup modes share the same entry points:
+
+* ``"linear"`` — the original exhaustive cosine scan over every stored
+  signature vector in the request's group.  Exact nearest-neighbour, cost
+  linear in the group size.
+* ``"ann"`` (the default) — a multi-probe random-hyperplane LSH index
+  (:mod:`repro.gateway.ann`) narrows the scan to the entries sharing (or
+  neighbouring) the query's hash bucket.  Lookup cost is independent of
+  the total entry count; the candidates still go through the *same* exact
+  cosine check, so ANN can only shrink the candidate set a linear scan
+  would have considered — it can serve a fallback where linear would have
+  found a borderline match (recall), but never accept anything linear
+  would have rejected (no new false accepts by construction).
+
+Correctness guard: the tier is *approximate by contract* when enabled — a
+lookup below the threshold always falls back to exact execution, an entry
+whose canonical signature is string-identical to the request's is
+authoritative (same sorted term multisets compute the same answer), and
+anything between is a deliberate near-match whose measured accuracy is
+what ``benchmarks/bench_semantic.py`` gates: the shipped default threshold
+is the one the benchmark proves produces zero false accepts against exact
+execution on the scoring workload.  Entries are grouped per (model,
+method, lexicon fingerprint, non-purpose kwargs) — diverged lexicons, or
+the same terms under a different ``threshold=`` argument, never share.
+
+Invalidation keeps the LSH index and the entry store in lockstep: every
+eviction, ``clear()`` (the corpus-reload path included), and capacity
+sweep drops the index entry alongside the cached answer, under one lock.
 """
 
 from __future__ import annotations
@@ -30,10 +49,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.gateway.ann import LSHIndex
 from repro.models.embeddings import EmbeddingModel, cosine_similarity
 
 #: Embedding-model methods eligible for near-match reuse.
 SEMANTIC_METHODS = ("match_fraction", "aggregate_similarity", "max_similarity")
+
+#: Recognised lookup modes (the config layer adds "off" on top).
+SEMANTIC_MODES = ("linear", "ann")
 
 
 @dataclass
@@ -78,10 +101,15 @@ class SemanticNearCache:
     """Cosine-keyed reuse of embeddings-backed predicate answers."""
 
     def __init__(self, threshold: float = 0.97, capacity: int = 512,
-                 embedder: Optional[EmbeddingModel] = None):
+                 embedder: Optional[EmbeddingModel] = None,
+                 mode: str = "ann", planes: int = 16, probes: int = 8):
         if not 0.0 < threshold <= 1.0:
             raise ValueError("semantic threshold must be in (0, 1]")
+        if mode not in SEMANTIC_MODES:
+            raise ValueError(f"semantic mode must be one of {SEMANTIC_MODES}, "
+                             f"got {mode!r}")
         self.threshold = threshold
+        self.mode = mode
         #: Global bound on stored entries across *all* groups (the number of
         #: groups is open-ended — every diverged lexicon fingerprint mints
         #: new ones — so a per-group cap alone would not bound memory).
@@ -90,27 +118,43 @@ class SemanticNearCache:
         # maintenance, not model traffic, and must not charge anyone.
         self._embedder = embedder or EmbeddingModel(cost_meter=None)
         # Groups in LRU order (most recently stored-into last); entries
-        # within a group in insertion order.
+        # within a group in insertion order.  Kept in *both* modes: it is
+        # the eviction order and the linear-scan store.
         self._groups: "OrderedDict[Tuple, List[SemanticEntry]]" = OrderedDict()
+        # The ANN index is maintained even in linear mode (so flipping the
+        # mode knob on a live gateway needs no rebuild) — its upkeep is one
+        # O(planes·dims) hash per insert/evict.
+        self.index = LSHIndex(planes=planes, probes=probes,
+                              dimensions=self._embedder.vector_width)
         self._lock = threading.Lock()
         self.stats = SemanticStats()
 
     def embed_signature(self, signature: str) -> np.ndarray:
         return self._embedder.embed_text(signature, purpose="gateway_signature")
 
-    def lookup(self, group: Tuple, vector: np.ndarray,
-               signature: str) -> Optional[SemanticEntry]:
-        """The stored answer matching ``signature``/``vector``, if any.
+    # -- lookup -------------------------------------------------------------------
+    def search(self, group: Tuple, vector: np.ndarray,
+               signature: str) -> Tuple[Optional[SemanticEntry], int]:
+        """``(served entry or None, buckets probed)`` for one request.
 
         A signature-identical entry wins outright (it is the same request,
-        canonically); otherwise the cosine-nearest entry is served when it
-        clears the threshold.  Returns None (counted as a fallback) when no
-        stored request qualifies — the caller must then execute exactly.
+        canonically); otherwise the cosine-nearest candidate is served when
+        it clears the threshold.  A None entry (counted as a fallback)
+        means no stored request qualified — the caller must then execute
+        exactly.  The probe count is the ANN bucket scans issued (a linear
+        scan reports one "probe" covering the whole group).
         """
         with self._lock:
+            probes_before = self.index.stats.probes
+            if self.mode == "ann":
+                candidates = self.index.candidates(group, vector)
+                probes = self.index.stats.probes - probes_before
+            else:
+                candidates = self._groups.get(group, ())
+                probes = 1
             best: Optional[SemanticEntry] = None
             best_score = 0.0
-            for entry in self._groups.get(group, ()):
+            for entry in candidates:
                 if entry.signature == signature:
                     best, best_score = entry, 1.0
                     break
@@ -119,14 +163,22 @@ class SemanticNearCache:
                     best, best_score = entry, score
             if best is None or best_score < self.threshold:
                 self.stats.fallbacks += 1
-                return None
+                return None, probes
             best.hits += 1
             self.stats.near_hits += 1
             self.stats.tokens_saved += best.token_cost
-            return SemanticEntry(vector=best.vector, signature=best.signature,
-                                 result=copy.deepcopy(best.result),
-                                 token_cost=best.token_cost, hits=best.hits)
+            served = SemanticEntry(vector=best.vector, signature=best.signature,
+                                   result=copy.deepcopy(best.result),
+                                   token_cost=best.token_cost, hits=best.hits)
+            return served, probes
 
+    def lookup(self, group: Tuple, vector: np.ndarray,
+               signature: str) -> Optional[SemanticEntry]:
+        """The stored answer matching ``signature``/``vector``, if any."""
+        entry, _ = self.search(group, vector, signature)
+        return entry
+
+    # -- maintenance --------------------------------------------------------------
     def put(self, group: Tuple, vector: np.ndarray, signature: str, result: Any,
             token_cost: int = 0) -> None:
         """Store one exactly-computed answer for future near-matches."""
@@ -137,22 +189,36 @@ class SemanticNearCache:
             entries = self._groups.setdefault(group, [])
             self._groups.move_to_end(group)
             entries.append(entry)
+            self.index.add(group, vector, entry)
             self.stats.entries += 1
             # Evict globally, oldest-group-first, so the configured capacity
-            # bounds the whole tier rather than each group.
+            # bounds the whole tier rather than each group.  The index entry
+            # goes with the cache entry — an evicted answer must never be
+            # findable through a stale bucket.
             while self.stats.entries > self.capacity:
                 oldest_group, oldest_entries = next(iter(self._groups.items()))
-                oldest_entries.pop(0)
+                evicted = oldest_entries.pop(0)
+                self.index.remove(oldest_group, evicted.vector, evicted)
                 self.stats.entries -= 1
                 if not oldest_entries:
                     del self._groups[oldest_group]
 
     def clear(self) -> None:
-        """Drop every stored answer (counters are kept)."""
+        """Drop every stored answer *and* its index entry (counters kept).
+
+        This is the corpus-reload / volatile-invalidation path: the entry
+        store and the LSH index are cleared under one lock so no probe can
+        observe an index entry whose answer is gone.
+        """
         with self._lock:
             self._groups.clear()
+            self.index.clear()
             self.stats.entries = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    # -- observability ------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
         with self._lock:
-            return self.stats.as_dict()
+            payload: Dict[str, Any] = self.stats.as_dict()
+            payload["mode"] = self.mode
+            payload["ann"] = self.index.as_dict()
+            return payload

@@ -41,7 +41,9 @@ from repro.gateway.fingerprint import (
     contains_uri,
     lexicon_fingerprint_of,
     request_key_from_canonical,
+    semantic_group,
 )
+from repro.gateway.semantic import term_signature
 from repro.models.batching import BatchMember, plan_batch, run_model_batch
 
 #: One logical call: ``(positional args, keyword args)``.
@@ -71,10 +73,13 @@ class GatewayBatchClient:
         faulty one.
 
         ``semantic_terms_of(args, kwargs)`` marks members eligible for the
-        opt-in semantic near-match tier; that tier is per-member state the
-        batch planner cannot consult, so when it is enabled the vector
-        routes through the serial funnel instead (trading the batch
-        discount for near-match reuse — the knob keeps working).
+        semantic near-match tier (:mod:`repro.gateway.semantic`): when the
+        tier is enabled, every exact-cache miss is first offered to the
+        tier's ANN/linear signature lookup — near-hits are served without
+        executing, exactly as the serial funnel would, and only the
+        remaining true misses execute as batched chunks (whose results are
+        then stored back under their signatures).  The tier and the batch
+        discount compose instead of excluding each other.
         """
         client = self._client
         gateway = client.gateway
@@ -83,7 +88,7 @@ class GatewayBatchClient:
             return []
         semantic_active = (cfg.enable_semantic and cfg.enable_cache
                            and semantic_terms_of is not None)
-        if not cfg.enable_batching or len(calls) == 1 or semantic_active:
+        if not cfg.enable_batching or len(calls) == 1:
             # Serial funnel: exact per-call semantics, full tier stack.
             return [client.invoke(
                 model, method, tuple(args), dict(kwargs), batchable=True,
@@ -96,8 +101,11 @@ class GatewayBatchClient:
         results: List[Any] = [None] * len(calls)
         # Misses grouped by key, in first-occurrence order: duplicates must
         # land in the same chunk as their representative so in-batch dedup
-        # (not a re-execution in a later chunk) answers them.
-        pending: "OrderedDict[Any, List[Tuple[int, Any, bool, BatchMember]]]" \
+        # (not a re-execution in a later chunk) answers them.  Each entry is
+        # (call index, key, volatile, member, semantic info) — the last is
+        # the (group, vector, signature) triple to store the representative's
+        # computed answer under, or None for duplicates/ineligible members.
+        pending: "OrderedDict[Any, List[Tuple[int, Any, bool, BatchMember, Any]]]" \
             = OrderedDict()
         for index, (args, kwargs) in enumerate(calls):
             args, kwargs = tuple(args), dict(kwargs)
@@ -107,27 +115,50 @@ class GatewayBatchClient:
             canonical_kwargs = canonicalize(keyed)
             key = request_key_from_canonical(model_name, method, canonical_args,
                                              canonical_kwargs, lexicon_fp)
-            if key not in pending and cfg.enable_cache:
-                entry = gateway.cache.get(key)
-                if entry is not None:
-                    client.counters.hits += 1
-                    client.counters.tokens_saved += entry.token_cost
-                    gateway.note_event("hits", 1, entry.token_cost)
-                    results[index] = entry.result
-                    continue
+            semantic_info = None
+            if key not in pending:
+                if cfg.enable_cache:
+                    entry = gateway.cache.get(key)
+                    if entry is not None:
+                        client.counters.hits += 1
+                        client.counters.tokens_saved += entry.token_cost
+                        gateway.note_event("hits", 1, entry.token_cost,
+                                           client.session_id)
+                        results[index] = entry.result
+                        continue
+                if semantic_active:
+                    # Tier 2, per member: a near-identical already-answered
+                    # signature serves this member without executing it.
+                    group = semantic_group(model_name, method,
+                                           canonical_kwargs, lexicon_fp)
+                    signature = term_signature(*semantic_terms_of(args, kwargs))
+                    vector = gateway.semantic.embed_signature(signature)
+                    near, probes = gateway.semantic.search(group, vector,
+                                                           signature)
+                    gateway.note_event("semantic_probes", probes, 0,
+                                       client.session_id)
+                    if near is not None:
+                        client.counters.semantic_hits += 1
+                        client.counters.tokens_saved += near.token_cost
+                        gateway.note_event("semantic_hits", 1, near.token_cost,
+                                           client.session_id)
+                        results[index] = near.result
+                        continue
+                    semantic_info = (group, vector, signature)
             pending.setdefault(key, []).append(
                 (index, key,
                  contains_uri(canonical_args) or contains_uri(canonical_kwargs),
                  BatchMember(model=model, method=method,
-                             args=args, kwargs=kwargs, key=key)))
+                             args=args, kwargs=kwargs, key=key),
+                 semantic_info))
 
         kind = f"{model_name}.{method}"
         meter = getattr(model, "cost_meter", None)
         chunk_size = gateway.batcher.max_batch
         # Pack whole key-groups into chunks (a group never straddles a
         # boundary; an oversized group still dedups to one execution).
-        chunks: List[List[Tuple[int, Any, bool, BatchMember]]] = []
-        current: List[Tuple[int, Any, bool, BatchMember]] = []
+        chunks: List[List[Tuple[int, Any, bool, BatchMember, Any]]] = []
+        current: List[Tuple[int, Any, bool, BatchMember, Any]] = []
         for group in pending.values():
             if current and len(current) + len(group) > chunk_size:
                 chunks.append(current)
@@ -151,7 +182,7 @@ class GatewayBatchClient:
             # table (so concurrent serial callers — and other batches —
             # coalesce onto this execution); members already in flight
             # elsewhere leave the chunk and are waited on at the end.
-            executing = []            # (index, key, volatile, member)
+            executing = []            # (index, key, volatile, member, sem info)
             led_slots: Dict[Any, Any] = {}
             for entry in chunk:
                 key = entry[1]
@@ -167,7 +198,7 @@ class GatewayBatchClient:
 
             try:
                 with gateway.admission.slot():
-                    plan = plan_batch([member for _, _, _, member in executing])
+                    plan = plan_batch([member for _, _, _, member, _ in executing])
             except BaseException as error:
                 for slot in led_slots.values():
                     gateway.coalescer.fail(slot, error)
@@ -198,9 +229,11 @@ class GatewayBatchClient:
                 gateway.admission.charge(client.session_id, plan.total_tokens)
                 gateway.batcher.note_external_batch(kind, plan.size,
                                                     plan.tokens_saved)
-                gateway.note_event("misses", plan.size, plan.total_tokens)
+                gateway.note_event("misses", plan.size, plan.total_tokens,
+                                   client.session_id)
                 if plan.tokens_saved:
-                    gateway.note_event("batch_saved", 0, plan.tokens_saved)
+                    gateway.note_event("batch_saved", 0, plan.tokens_saved,
+                                       client.session_id)
 
             # Publish every outcome — results to the caller, representatives
             # to the cache and the in-flight followers.  The slot completion
@@ -209,8 +242,8 @@ class GatewayBatchClient:
             first_error = None
             published = set()
             try:
-                for (index, key, volatile, _member), outcome in zip(
-                        executing, plan.outcomes):
+                for (index, key, volatile, _member, semantic_info), outcome \
+                        in zip(executing, plan.outcomes):
                     if outcome.error is not None:
                         first_error = first_error or outcome.error
                         slot = led_slots.pop(key, None)
@@ -226,6 +259,14 @@ class GatewayBatchClient:
                         gateway.cache.put(key, outcome.result,
                                           outcome.charged_tokens,
                                           volatile=volatile)
+                    if semantic_info is not None:
+                        # Store the computed answer under its signature so
+                        # later near-identical vectors (or serial calls)
+                        # reuse it — mirroring the serial funnel's put.
+                        group, vector, signature = semantic_info
+                        gateway.semantic.put(group, vector, signature,
+                                             outcome.result,
+                                             outcome.charged_tokens)
                     slot = led_slots.pop(key, None)
                     if slot is not None:
                         gateway.coalescer.complete(slot, outcome.result,
@@ -235,7 +276,7 @@ class GatewayBatchClient:
                 # (e.g. the cache insert raised): release its followers.
                 for key, slot in led_slots.items():
                     outcome = next(
-                        (o for (i, k, v, m), o in zip(executing, plan.outcomes)
+                        (o for (i, k, v, m, s), o in zip(executing, plan.outcomes)
                          if k == key and o.error is None), None)
                     if outcome is not None:
                         gateway.coalescer.complete(slot, outcome.result,
@@ -252,7 +293,7 @@ class GatewayBatchClient:
             result, token_cost = gateway.coalescer.wait(slot)
             client.counters.coalesced += 1
             client.counters.tokens_saved += token_cost
-            gateway.note_event("coalesced", 1, token_cost)
+            gateway.note_event("coalesced", 1, token_cost, client.session_id)
             results[index] = copy.deepcopy(result)
         return results
 

@@ -15,7 +15,6 @@ The model charges embedding tokens to the shared :class:`CostMeter`.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -58,6 +57,17 @@ class EmbeddingModel:
         }
         self._residual_dims = max(4, dimensions - len(self._concept_axes))
         self._cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def vector_width(self) -> int:
+        """The dimensionality of every vector this model emits.
+
+        The concept block plus the hashed residual block — callers that
+        pre-size vector structures (the gateway's LSH index builds its
+        hyperplane matrix eagerly from this) read it instead of probing
+        with a throwaway embedding.
+        """
+        return len(self._concept_axes) + self._residual_dims
 
     # -- internals --------------------------------------------------------------
     def _charge(self, text: str, purpose: str) -> None:

@@ -16,7 +16,7 @@ Two rewrites are implemented:
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.parser.logical_plan import LogicalPlan, LogicalPlanNode
 from repro.relational.catalog import Catalog

@@ -14,7 +14,7 @@ The parser implements both interaction modes from the paper's Figure 4:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.interaction.channel import InteractionChannel
 from repro.models.base import ModelSuite

@@ -19,7 +19,7 @@ in this reproduction the :class:`~repro.core.kathdb.KathDB` facade).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.models.base import ModelSuite
 from repro.parser.logical_plan import LogicalPlan, LogicalPlanNode
@@ -111,7 +111,10 @@ class PlanVerifier:
             for relation in catalog_inputs:
                 if relation not in report.inspected_relations:
                     report.inspected_relations.append(relation)
-                columns = set(c.lower() for c in self.tool_user.column_names(relation))
+                # Both tool calls are verification traffic (schema + sample
+                # inspection) recorded by the tool user; the column check
+                # itself goes through _column_available below.
+                self.tool_user.column_names(relation)
                 self.tool_user.sample_rows(relation, 2)
                 for mentioned in self._columns_mentioned(node):
                     # A mentioned column must exist in *some* input of the node,

@@ -9,10 +9,10 @@ bodies call them directly.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ExpressionError, RelationalError, UnknownColumnError
+from repro.errors import RelationalError, UnknownColumnError
 from repro.relational.expressions import Expression
 from repro.relational.schema import Column, Schema
 from repro.relational.table import Table

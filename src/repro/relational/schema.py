@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Union
 
 from repro.errors import SchemaError, UnknownColumnError
 from repro.relational.types import DataType, coerce_value

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import copy
 from collections.abc import MutableSequence
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 

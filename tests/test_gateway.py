@@ -450,7 +450,11 @@ class TestSemanticTier:
         model = EmbeddingModel(lexicon=default_lexicon(), cost_meter=meter)
         return GatewayEmbeddings(model, gateway.client(session)), meter
 
-    def test_off_by_default_and_order_variants_execute_exactly(self):
+    def test_raw_gateway_layer_defaults_off_and_executes_exactly(self):
+        # GatewayConfig (the explicit, low-level layer) keeps the tier
+        # opt-in; the *service* default is on via KathDBConfig, whose
+        # measured-accuracy graduation is tests/test_semantic_ann.py's and
+        # benchmarks/bench_semantic.py's contract.
         gateway = ModelGateway(GatewayConfig())
         proxy, _ = self._proxy(gateway)
         proxy.match_fraction(["gun", "murder"], ["fight"])
@@ -726,6 +730,41 @@ class TestServiceIntegration:
         reference = fresh_service(other, enable_model_gateway=False)
         assert content(svc.query(BORING_QUERY)) == \
             content(reference.query(BORING_QUERY))
+
+    def test_per_session_windowed_stats(self, corpus):
+        # The ROADMAP satellite: windowed gateway stats scoped to one
+        # session's own events, for multi-tenant quota tuning.
+        svc = fresh_service(corpus)
+        busy = svc.session(name="busy")
+        idle = svc.session(name="idle")
+        assert busy.query(BORING_QUERY).ok
+
+        scoped = busy.gateway_stats(window_s=60.0)
+        assert scoped["session_id"] == "busy"
+        assert scoped["windowed"]["session_id"] == "busy"
+        assert scoped["windowed"]["requests"] > 0
+        assert scoped["windowed"]["tokens_charged"] > 0
+        # The idle tenant's window is empty even though the service-wide
+        # window (and the loader's population traffic) is not.
+        assert idle.gateway_stats(window_s=60.0)["windowed"]["requests"] == 0
+        assert svc.gateway.windowed_stats(60.0)["requests"] > \
+            scoped["windowed"]["requests"] - 1
+
+        # The service surface answers for any tracked session id, and the
+        # cumulative block matches the session's own counters.
+        via_service = svc.gateway_stats(window_s=60.0, session_id="busy")
+        assert via_service["windowed"]["requests"] == \
+            scoped["windowed"]["requests"]
+        assert via_service["misses"] == scoped["misses"]
+        # Unknown ids answer empty rather than minting a client.
+        assert "misses" not in svc.gateway_stats(session_id="nobody")
+        assert svc.gateway.session_counters("nobody") is None
+
+    def test_legacy_facade_gateway_stats_are_empty(self, corpus):
+        from repro import KathDB
+        db = KathDB(service_config())
+        db.load_corpus(corpus)
+        assert db.default_session.gateway_stats(window_s=60.0) == {}
 
     def test_legacy_facade_stays_unrouted(self, corpus):
         from repro import KathDB

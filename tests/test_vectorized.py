@@ -262,8 +262,9 @@ class TestGatewayBatchClient:
         assert gateway.flat_stats()["cache_entries"] == 5
 
     def test_semantic_tier_stays_live_for_vectors(self):
-        # With the opt-in near-match tier enabled, eligible vectors route
-        # through the serial funnel so the tier keeps working end to end.
+        # With the near-match tier enabled, the batch client consults it
+        # per member (tests/test_semantic_ann.py covers the multi-member
+        # composition; this single-member vector takes the serial funnel).
         gateway, routed = self._routed(enable_semantic=True,
                                        semantic_threshold=0.95)
         routed.embeddings.match_fraction_batch(KEYWORDS, [["war", "battle"]])
