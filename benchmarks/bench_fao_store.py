@@ -1,0 +1,185 @@
+"""Durable skill-store benchmark: warm-restart prepare cost vs cold codegen.
+
+PR 6 gave KathDB a durable FAO skill store: every implementation that survives
+the codegen -> profile -> critic loop is persisted (code + signature
+fingerprint + cached profile + verdict), and later prepares consult the store
+before generating.  This benchmark measures the contract on four arms, each a
+*fresh service process* pointed at the same file-backed store:
+
+* **cold** — empty store: every operator pays full codegen + profiling.
+* **warm** — restart over the populated store, same corpus: every operator
+  must exact-hit and revalidate (sampled re-execution, no codegen calls), so
+  the optimizer's token bill must collapse to <= 10% of the cold run while
+  the result rows stay identical.
+* **cross_corpus** — restart over a *different* corpus with the same
+  relational shape: fingerprints exclude row contents, so skills still hit.
+* **poisoned** — every stored record's source is corrupted before the
+  restart: the store must demote the broken records and silently regenerate,
+  never failing the query.
+
+The record lands in ``BENCH_fao_store.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fao_store.py [--quick]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fao_store.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+from repro import KathDBConfig, KathDBService, QueryRequest, ScriptedUser
+from repro.api.request import QueryOptions
+from repro.data.mmqa import build_movie_corpus
+from repro.data.workloads import FLAGSHIP_CLARIFICATION
+from repro.utils.timer import Timer
+
+try:
+    from benchmarks import gate
+except ImportError:  # running as a plain script from benchmarks/
+    import gate
+
+RESULT_PATH = Path(__file__).parent / "BENCH_fao_store.json"
+
+#: The embeddings-scoring query: its prepare phase compiles a multi-operator
+#: FAO pipeline (filters, scoring map, ranking), all of it skill-storable.
+SCORING_QUERY = "Rank every film by how exciting its plot is."
+
+FULL_CORPUS = 28
+QUICK_CORPUS = 12
+
+
+def run_arm(store_path: Path, corpus_size: int, corpus_seed: int = 7) -> Dict:
+    """One service restart against the durable store: load, query, shut down."""
+    service = KathDBService(KathDBConfig(
+        seed=7, monitor_enabled=False,
+        enable_skill_store=True,
+        skill_store_backend="file",
+        skill_store_path=store_path))
+    timer = Timer()
+    with timer:
+        service.load_corpus(build_movie_corpus(size=corpus_size, seed=corpus_seed))
+        response = service.query(QueryRequest(
+            nl_query=SCORING_QUERY,
+            user=ScriptedUser({"exciting": FLAGSHIP_CLARIFICATION}),
+            options=QueryOptions(use_prepared=False)))
+    assert response.ok, response.error
+    arm = {
+        "elapsed_s": round(timer.elapsed, 4),
+        "optimize_tokens": response.optimize_tokens,
+        "prepare_tokens": response.prepare_tokens,
+        "execute_tokens": response.execute_tokens,
+        "skills": response.skill_store_stats,
+        "rows": [{k: v for k, v in row.items() if k != "lid"}
+                 for row in response.result.final_table],
+    }
+    service.shutdown()
+    return arm
+
+
+def poison_store(store_path: Path) -> int:
+    """Corrupt every stored record's source text; returns how many."""
+    poisoned = 0
+    for path in (store_path / "records").glob("*.skill"):
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["record"]["source_text"] = "def broken(:\n"
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        poisoned += 1
+    return poisoned
+
+
+def run_benchmark(corpus_size: int = FULL_CORPUS) -> Dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench_fao_store_"))
+    try:
+        store = workdir / "skills"
+        cold = run_arm(store, corpus_size)
+        warm = run_arm(store, corpus_size)
+        cross = run_arm(store, corpus_size + 6, corpus_seed=11)
+        poisoned_records = poison_store(store)
+        poisoned = run_arm(store, corpus_size)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    # Pop the row lists unconditionally: they hold image objects/floats that
+    # must never reach the committed JSON record.
+    rows: Dict[str, List] = {name: arm.pop("rows") for name, arm in
+                             (("cold", cold), ("warm", warm),
+                              ("cross", cross), ("poisoned", poisoned))}
+    return {
+        "workload": ("prepare cold vs warm-across-restart vs cross-corpus vs "
+                     "poisoned store; fresh service per arm, one file store"),
+        "corpus_size": corpus_size,
+        "query": SCORING_QUERY,
+        "cold": cold,
+        "warm": warm,
+        "cross_corpus": cross,
+        "poisoned": {
+            **poisoned,
+            "records_poisoned": poisoned_records,
+            "row_identical": rows["poisoned"] == rows["cold"],
+        },
+        "warm_token_reduction": round(
+            cold["optimize_tokens"] / max(warm["optimize_tokens"], 1), 3),
+        "row_identical": rows["warm"] == rows["cold"],
+    }
+
+
+def save(record: Dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def report(record: Dict) -> str:
+    warm = record["warm"]["skills"]
+    poisoned = record["poisoned"]
+    return (f"[fao_store] corpus {record['corpus_size']}: "
+            f"cold optimize {record['cold']['optimize_tokens']} tokens vs "
+            f"warm {record['warm']['optimize_tokens']} tokens -> "
+            f"{record['warm_token_reduction']:.1f}x fewer "
+            f"({warm['exact_hits']} exact hits, "
+            f"row-identical={record['row_identical']}); "
+            f"cross-corpus {record['cross_corpus']['skills']['exact_hits']} hits; "
+            f"poisoned: {poisoned['skills']['demotions']} demoted, "
+            f"{poisoned['skills']['stores']} regenerated, "
+            f"row-identical={poisoned['row_identical']}")
+
+
+def test_warm_restart_collapses_prepare_tokens():
+    """The durable store must clear the gate's floors (warm <= 10% of cold)."""
+    record = run_benchmark()
+    save(record)
+    print("\n" + report(record))
+    failures = gate.evaluate("fao_store", record, shape="full")
+    assert not failures, "\n".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=None, help="corpus size")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus (CI smoke run)")
+    args = parser.parse_args()
+    size = args.size or (QUICK_CORPUS if args.quick else FULL_CORPUS)
+    record = run_benchmark(corpus_size=size)
+    print(report(record))
+    if not args.quick:
+        # Smoke runs validate via the exit code only: the committed record
+        # holds the full-size workload, which a quick run must not overwrite.
+        save(record)
+        print(f"wrote {RESULT_PATH}")
+    failures = gate.evaluate("fao_store", record,
+                             shape="quick" if args.quick else "full")
+    if failures:
+        print("\n".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,6 +137,11 @@ def _quick_semantic() -> Dict[str, Any]:
     return bench.run_benchmark(corpus_size=bench.QUICK_CORPUS)
 
 
+def _quick_fao_store() -> Dict[str, Any]:
+    bench = _bench("bench_fao_store")
+    return bench.run_benchmark(corpus_size=bench.QUICK_CORPUS)
+
+
 GATES: Dict[str, GateSpec] = {
     "concurrency": GateSpec(
         name="concurrency",
@@ -211,6 +216,41 @@ GATES: Dict[str, GateSpec] = {
             Check("token_savings.ann", minimum=1.5),
         ],
         quick_run=_quick_semantic,
+    ),
+    "fao_store": GateSpec(
+        name="fao_store",
+        record_file="BENCH_fao_store.json",
+        committed=[
+            # The acceptance bar: a warm-restart prepare spends <= 10% of the
+            # cold run's codegen+profiling tokens (>= 10x reduction) with
+            # row-identical output, every operator is stored cold and
+            # exact-hit warm (and across corpora with the same shape), and a
+            # poisoned store is demoted + regenerated without failing.
+            Check("warm_token_reduction", minimum=10.0),
+            Check("row_identical", equals=True),
+            Check("cold.skills.stores", minimum=0, strict=True),
+            Check("warm.skills.exact_hits", minimum=0, strict=True),
+            Check("warm.skills.misses", equals=0),
+            Check("cross_corpus.skills.exact_hits", minimum=0, strict=True),
+            Check("poisoned.row_identical", equals=True),
+            Check("poisoned.skills.demotions", minimum=0, strict=True),
+            Check("poisoned.skills.stores", minimum=0, strict=True),
+        ],
+        quick=[
+            # The reduction is corpus-size independent (codegen is priced per
+            # operator, revalidation per sample row), so the quick shape
+            # holds the same floors.
+            Check("warm_token_reduction", minimum=10.0),
+            Check("row_identical", equals=True),
+            Check("cold.skills.stores", minimum=0, strict=True),
+            Check("warm.skills.exact_hits", minimum=0, strict=True),
+            Check("warm.skills.misses", equals=0),
+            Check("cross_corpus.skills.exact_hits", minimum=0, strict=True),
+            Check("poisoned.row_identical", equals=True),
+            Check("poisoned.skills.demotions", minimum=0, strict=True),
+            Check("poisoned.skills.stores", minimum=0, strict=True),
+        ],
+        quick_run=_quick_fao_store,
     ),
 }
 

@@ -58,6 +58,7 @@ class QueryResponse:
     error: Optional[str] = None
     prepared_hit: bool = False       # the plan came from the prepared cache
     prepare_tokens: int = 0          # tokens spent parsing + optimizing (0 on a hit)
+    optimize_tokens: int = 0         # the optimizer's share of prepare_tokens
     execute_tokens: int = 0          # tokens spent executing the plan
     wall_clock_s: float = 0.0
     explanation: Optional[str] = None
@@ -73,6 +74,9 @@ class QueryResponse:
     tokens_used: int = 0
     tokens_remaining: Optional[int] = None
     quota_exhausted: bool = False
+    # Skill-store counters (exact/near hits, misses, revalidations, demotions)
+    # at the end of this request; None when the service has no skill store.
+    skill_store_stats: Optional[Dict[str, int]] = None
 
     @property
     def total_tokens(self) -> int:

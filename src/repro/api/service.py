@@ -32,6 +32,8 @@ from repro.models.base import ModelSuite
 from repro.models.cost import CostMeter
 from repro.optimizer.profile_cache import ProfileCache
 from repro.relational.catalog import Catalog
+from repro.skills.backends import backend_from_spec
+from repro.skills.store import SkillStore
 
 
 class KathDBService:
@@ -47,7 +49,17 @@ class KathDBService:
                                         cost_meter=meter)
         self.catalog = Catalog()
         self.lineage = LineageStore(level=self.config.lineage_level)
-        self.registry = FunctionRegistry(workspace=self.config.workspace)
+        # The durable skill store (when configured) is the single persistence
+        # path for generated code: the registry mirrors sources through its
+        # file backend, and the profile cache persists through the same
+        # backend.  A bare ``workspace`` keeps mounting a file backend at
+        # that path (the legacy layout) without enabling retrieval.
+        self.skill_store = self._build_skill_store()
+        source_sink = (self.skill_store.source_sink()
+                       if self.skill_store is not None and self.config.workspace is None
+                       else None)
+        self.registry = FunctionRegistry(workspace=self.config.workspace,
+                                         source_sink=source_sink)
         # The model gateway fronts all foundation-model traffic from service
         # sessions (and corpus population): shared exact/semantic caching,
         # in-flight coalescing, micro-batching, and admission control.
@@ -59,8 +71,11 @@ class KathDBService:
             if self.gateway is not None else self.models)
         self.populator = ViewPopulator(populator_models, self.catalog, self.lineage,
                                        batch_size=self.config.effective_batch_size())
-        self.profile_cache = (ProfileCache(path=self.config.profile_cache_path)
-                              if self.config.enable_profile_cache else None)
+        self.profile_cache = (
+            ProfileCache(path=self.config.profile_cache_path,
+                         backend=(self.skill_store.backend
+                                  if self.skill_store is not None else None))
+            if self.config.enable_profile_cache else None)
         self.prepared: Optional[PreparedQueryCache] = (
             PreparedQueryCache(capacity=self.config.prepared_cache_size)
             if self.config.enable_prepared_cache else None)
@@ -69,6 +84,24 @@ class KathDBService:
         self._session_ids = itertools.count(1)
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+
+    def _build_skill_store(self) -> Optional[SkillStore]:
+        """The durable skill store these config knobs imply, or None."""
+        config = self.config
+        if not config.enable_skill_store and config.skill_store_path is None:
+            return None
+        backend = backend_from_spec(config.skill_store_backend, config.skill_store_path)
+        provenance = {
+            "seed": config.seed,
+            "model_suite": type(self.models.llm).__name__,
+            "explore_variants": config.explore_variants,
+            "min_accuracy": config.min_accuracy,
+            "max_repair_rounds": config.max_repair_rounds,
+            "vectorized_batch_size": config.effective_batch_size(),
+        }
+        return SkillStore(backend,
+                          retrieval_threshold=config.skill_retrieval_threshold,
+                          provenance=provenance)
 
     # -- data loading ------------------------------------------------------------------
     def load_corpus(self, corpus: MovieCorpus, populate_views: bool = True) -> PopulationReport:
@@ -220,6 +253,10 @@ class KathDBService:
         """Prepared-query cache counters (empty when the cache is disabled)."""
         return self.prepared.stats.as_dict() if self.prepared is not None else {}
 
+    def skill_stats(self) -> Optional[Dict[str, int]]:
+        """Skill-store hit/miss/revalidation counters (None when disabled)."""
+        return self.skill_store.stats() if self.skill_store is not None else None
+
     def gateway_stats(self, window_s: Optional[float] = None,
                       session_id: Optional[str] = None) -> Dict[str, object]:
         """Headline model-gateway counters (empty when the gateway is off).
@@ -256,4 +293,6 @@ class KathDBService:
             lines.append(self.prepared.describe())
         if self.gateway is not None:
             lines.append(self.gateway.describe())
+        if self.skill_store is not None:
+            lines.append(self.skill_store.describe())
         return "\n".join(lines)

@@ -64,7 +64,8 @@ class Session:
         self.transcript = transcript if transcript is not None else Transcript()
         self.stack = stack or QueryStack.build(
             service.config, self.models, service.catalog, self.lineage,
-            service.registry, profile_cache=service.profile_cache)
+            service.registry, profile_cache=service.profile_cache,
+            skill_store=service.skill_store)
         self._intermediates: Dict[str, Table] = {}
         self._table_lids: Dict[str, int] = {}
         self.last_result: Optional[QueryResult] = None
@@ -194,6 +195,8 @@ class Session:
         response = QueryResponse(request=request, result=result, session_id=self.id,
                                  prepared_hit=hit,
                                  prepare_tokens=0 if hit else prepared.prepare_tokens,
+                                 optimize_tokens=0 if hit else
+                                 prepared.optimization.tokens_spent,
                                  execute_tokens=execute_tokens,
                                  wall_clock_s=timer.elapsed)
         if gateway_client is not None:
@@ -204,6 +207,8 @@ class Session:
         response.tokens_used = quota["tokens_used"]
         response.tokens_remaining = quota["tokens_remaining"]
         response.quota_exhausted = bool(quota["quota_exhausted"])
+        if self.service.skill_store is not None:
+            response.skill_store_stats = self.service.skill_store.stats()
         if opts.explain:
             response.explanation = self.stack.explainer.explain_pipeline(result)
         if opts.explain_top and len(result.final_table) and \

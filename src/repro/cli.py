@@ -86,6 +86,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "index), 'linear' (exhaustive scan), or 'off' "
                              "(bit-identical to uncached execution); forces "
                              "service mode")
+    parser.add_argument("--skill-store", default=None, metavar="BACKEND[:PATH]",
+                        help="enable the durable FAO skill store: 'memory', "
+                             "'file:DIR', or 'sqlite:FILE'; generated functions "
+                             "are persisted and reused (after revalidation) "
+                             "across restarts pointed at the same path (forces "
+                             "service mode)")
+    parser.add_argument("--skill-stats", action="store_true",
+                        help="print the skill store's hit/miss/revalidation "
+                             "counters after the run (forces service mode)")
     parser.add_argument("--no-vectorized", action="store_true",
                         help="disable vectorized (batched) operator execution and "
                              "view population; every model call is issued "
@@ -109,6 +118,23 @@ def parse_clarifications(pairs: Sequence[str]) -> Dict[str, str]:
             raise ValueError(f"--clarify expects TERM=ANSWER, got {pair!r}")
         clarifications[term.strip()] = answer.strip()
     return clarifications
+
+
+def parse_skill_store(spec: str) -> Dict[str, object]:
+    """Parse a ``--skill-store BACKEND[:PATH]`` spec into config overrides."""
+    kind, separator, path = spec.partition(":")
+    kind = kind.strip()
+    if kind not in ("memory", "file", "sqlite"):
+        raise ValueError(
+            f"--skill-store expects memory, file:DIR or sqlite:FILE, got {spec!r}")
+    overrides: Dict[str, object] = {"enable_skill_store": True,
+                                    "skill_store_backend": kind}
+    if separator and path.strip():
+        overrides["skill_store_path"] = path.strip()
+    elif kind != "memory":
+        raise ValueError(f"--skill-store {kind} requires a path "
+                         f"({kind}:/some/where)")
+    return overrides
 
 
 def build_user(args: argparse.Namespace) -> UserAgent:
@@ -135,6 +161,9 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
     elif args.semantic_cache is not None:
         semantic_overrides["enable_semantic_cache"] = True
         semantic_overrides["semantic_cache_mode"] = args.semantic_cache
+    skill_overrides: Dict[str, object] = {}
+    if args.skill_store is not None:
+        skill_overrides = parse_skill_store(args.skill_store)
     config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
                           monitor_enabled=not args.no_monitor,
                           enable_prepared_cache=not args.no_prepared,
@@ -143,7 +172,7 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           service_max_workers=max(1, args.jobs),
                           simulate_model_latency=max(0.0, args.simulate_latency),
                           gateway_batch_window_s=args.batch_window,
-                          **semantic_overrides)
+                          **semantic_overrides, **skill_overrides)
     service = KathDBService(config)
     print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
           file=output)
@@ -180,6 +209,13 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
         stats = service.prepared_stats()
         print("prepared-query cache: " + ", ".join(f"{k}={v}" for k, v in stats.items()),
               file=output)
+    if args.skill_stats or args.skill_store is not None:
+        if service.skill_store is None:
+            print("skill store: disabled", file=output)
+        else:
+            stats = service.skill_stats() or {}
+            print("skill store: " + ", ".join(f"{k}={v}" for k, v in stats.items()),
+                  file=output)
     if args.gateway_stats:
         if service.gateway is None:
             print("model gateway: disabled", file=output)
@@ -254,12 +290,14 @@ def run(args: argparse.Namespace, output=None) -> int:
     service_mode = (args.jobs > 1 or args.repeat > 1
                     or bool(args.gateway_stats) or args.no_model_cache
                     or args.batch_window is not None
-                    or args.semantic_cache is not None)
+                    or args.semantic_cache is not None
+                    or args.skill_store is not None or args.skill_stats)
     if service_mode:
         if args.interactive:
             print("error: --interactive cannot be combined with service mode "
                   "(--jobs/--repeat/--gateway-stats/--no-model-cache/"
-                  "--batch-window/--semantic-cache)", file=output)
+                  "--batch-window/--semantic-cache/--skill-store/--skill-stats)",
+                  file=output)
             return 2
         return run_batch(args, query, output)
 

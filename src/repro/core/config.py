@@ -38,6 +38,18 @@ class KathDBConfig:
     # queries instead of re-profiling every candidate on sample rows.
     enable_profile_cache: bool = False
     profile_cache_path: Optional[Union[str, Path]] = None
+    # Durable skill store: persist validated FAOs (code + signature
+    # fingerprint + profile + critic verdict) and reuse them across restarts
+    # after revalidation on sampled live data.  Backends: "memory" (default),
+    # "file" (atomic JSON directory), "sqlite".  Setting a path with the
+    # default backend promotes it to "file".  When the store is enabled the
+    # profile cache persists through the same backend.
+    enable_skill_store: bool = False
+    skill_store_backend: str = "memory"
+    skill_store_path: Optional[Union[str, Path]] = None
+    # Minimum cosine similarity between signature texts for a stored skill to
+    # be considered a near-match candidate for a new predicate.
+    skill_retrieval_threshold: float = 0.9
     # Vectorized execution: batchable FAO bodies and the view populators
     # collect per-row model inputs into column vectors and issue one batched
     # call per chunk of this many rows (sub-linear token cost; results are
@@ -139,6 +151,17 @@ class KathDBConfig:
             raise KathDBError("semantic_ann_probes must be non-negative")
         if self.gateway_max_concurrency < 1:
             raise KathDBError("gateway_max_concurrency must be at least 1")
+        if self.skill_store_path is not None and self.skill_store_backend == "memory":
+            # A path means the caller wants durability; default to files.
+            self.skill_store_backend = "file"
+        if self.skill_store_backend not in ("memory", "file", "sqlite"):
+            raise KathDBError("skill_store_backend must be 'memory', 'file', or 'sqlite'")
+        if self.enable_skill_store and self.skill_store_backend != "memory" \
+                and self.skill_store_path is None:
+            raise KathDBError(
+                f"skill_store_backend {self.skill_store_backend!r} requires skill_store_path")
+        if not 0.0 < self.skill_retrieval_threshold <= 1.0:
+            raise KathDBError("skill_retrieval_threshold must be in (0, 1]")
         if self.session_token_quota is not None and self.session_token_quota < 1:
             raise KathDBError("session_token_quota must be positive when set")
 

@@ -60,6 +60,7 @@ class KathDB:
         self.registry = self.service.registry
         self.populator = self.service.populator
         self.profile_cache = self.service.profile_cache
+        self.skill_store = self.service.skill_store
         # The default session shares the facade's models and lineage store, so
         # single-user behaviour (token ledger, lid sequence) is identical to
         # the pre-session design.

@@ -28,6 +28,7 @@ from repro.parser.nl_parser import NLParser
 from repro.parser.plan_generator import LogicalPlanGenerator
 from repro.parser.plan_verifier import PlanVerifier
 from repro.relational.catalog import Catalog
+from repro.skills.store import SkillStore
 
 
 @dataclass
@@ -51,7 +52,8 @@ class QueryStack:
     @classmethod
     def build(cls, config: KathDBConfig, models: ModelSuite, catalog: Catalog,
               lineage: LineageStore, registry: FunctionRegistry,
-              profile_cache: Optional[ProfileCache] = None) -> "QueryStack":
+              profile_cache: Optional[ProfileCache] = None,
+              skill_store: Optional[SkillStore] = None) -> "QueryStack":
         """Wire a pipeline over the given shared state."""
         coder = Coder(models, fault_injection=dict(config.fault_injection))
         parser = NLParser(models,
@@ -60,6 +62,10 @@ class QueryStack:
                           max_correction_rounds=config.max_correction_rounds)
         plan_generator = LogicalPlanGenerator(models, catalog)
         plan_verifier = PlanVerifier(models, catalog)
+        # One monitor serves both halves of the pipeline: execution (anomaly
+        # escalation) and the optimizer's skill revalidation runs.
+        monitor = ExecutionMonitor(models, sample_size=config.monitor_sample_size,
+                                   enabled=config.monitor_enabled)
         optimizer = QueryOptimizer(
             models, catalog, registry, coder=coder,
             enable_pushdown=config.enable_pushdown,
@@ -72,12 +78,14 @@ class QueryStack:
             max_repair_rounds=config.max_repair_rounds,
             min_accuracy=config.min_accuracy,
             profile_cache=profile_cache,
-            vectorized_batch_size=config.effective_batch_size())
+            vectorized_batch_size=config.effective_batch_size(),
+            skill_store=skill_store,
+            monitor=monitor)
         engine = ExecutionEngine(
             models, catalog, lineage, registry, coder=coder,
-            monitor=ExecutionMonitor(models, sample_size=config.monitor_sample_size,
-                                     enabled=config.monitor_enabled),
-            max_repair_rounds=config.max_repair_rounds)
+            monitor=monitor,
+            max_repair_rounds=config.max_repair_rounds,
+            skill_store=skill_store)
         explainer = Explainer(models, registry=registry)
         lineage_qa = LineageQueryInterface(models, explainer)
         return cls(config=config, models=models, catalog=catalog, lineage=lineage,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.datamodel.lineage import LineageStore
 from repro.errors import FunctionExecutionError, RepairFailedError
@@ -21,6 +21,9 @@ from repro.relational.table import Table
 from repro.relational.types import DataType
 from repro.utils.timer import Timer
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.skills.store import SkillStore
+
 #: Hidden per-row lineage column name.
 LID_COLUMN = "lid"
 
@@ -31,7 +34,8 @@ class ExecutionEngine:
     def __init__(self, models: ModelSuite, catalog: Catalog, lineage: LineageStore,
                  registry: FunctionRegistry, coder: Optional[Coder] = None,
                  monitor: Optional[ExecutionMonitor] = None,
-                 max_repair_rounds: int = 3):
+                 max_repair_rounds: int = 3,
+                 skill_store: Optional["SkillStore"] = None):
         self.models = models
         self.catalog = catalog
         self.lineage = lineage
@@ -39,6 +43,10 @@ class ExecutionEngine:
         self.coder = coder or Coder(models)
         self.monitor = monitor or ExecutionMonitor(models)
         self.max_repair_rounds = max_repair_rounds
+        # Production failures demote the stored skill behind a function so
+        # the next prepare regenerates through the critic instead of reusing
+        # an implementation that just failed on real data.
+        self.skill_store = skill_store
 
     # -- public API -----------------------------------------------------------------
     def execute(self, plan: PhysicalPlan, channel: InteractionChannel,
@@ -135,6 +143,8 @@ class ExecutionEngine:
                 record.anomalies.append(anomaly.describe())
                 if decision in ("adjust", "rewrite"):
                     hint = anomaly.likely_cause or anomaly.message
+                    if self.skill_store is not None:
+                        self.skill_store.record_production_failure(function, hint)
                     function = self.coder.repair(node, function, hint)
                     self.registry.register(function)
                     operator.function = function
@@ -185,6 +195,8 @@ class ExecutionEngine:
                         f"operator {node.name!r} still fails after "
                         f"{self.max_repair_rounds} repair attempts: {error}") from error
                 hint = str(error)
+                if self.skill_store is not None:
+                    self.skill_store.record_production_failure(current, hint)
                 channel.notify(
                     f"runtime error in {node.name!r} (v{current.version}): {hint}; "
                     f"KathDB is generating a patched implementation and resuming.")

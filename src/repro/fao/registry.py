@@ -3,32 +3,40 @@
 The paper requires that "each function is assigned an identifier and a version
 tag ... these functions are persisted locally on disk", enabling precise
 lineage queries, safe roll-backs, and iterative refinement.  The registry
-keeps every version in memory and mirrors each one to the workspace directory
-as a source file plus a metadata JSON.
+keeps every version in memory and mirrors each one through a *source sink* —
+a skill-store backend whose ``put_source`` writes the source file plus a
+metadata JSON.  The legacy ``workspace`` knob is a compatibility shim: when
+only a workspace directory is given, a file backend is mounted there, so
+there is exactly one persistence path for generated code.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 from repro.errors import FunctionGenerationError
 from repro.fao.function import GeneratedFunction
+
+if TYPE_CHECKING:  # pragma: no cover - skills imports fao, so defer at runtime
+    from repro.skills.backends import SkillBackend
 
 
 class FunctionRegistry:
     """Stores generated functions by name and version."""
 
-    def __init__(self, workspace: Optional[Union[str, Path]] = None):
+    def __init__(self, workspace: Optional[Union[str, Path]] = None,
+                 source_sink: Optional["SkillBackend"] = None):
         self._versions: Dict[str, List[GeneratedFunction]] = {}
         self.workspace = Path(workspace) if workspace else None
         # The registry is shared by every session of a service; registration
         # must stay atomic when concurrent queries repair functions.
         self._lock = threading.Lock()
-        if self.workspace is not None:
-            self.workspace.mkdir(parents=True, exist_ok=True)
+        if source_sink is None and self.workspace is not None:
+            from repro.skills.backends import FileBackend
+            source_sink = FileBackend(self.workspace)
+        self.source_sink = source_sink
 
     # -- registration -------------------------------------------------------------
     def register(self, function: GeneratedFunction) -> GeneratedFunction:
@@ -41,17 +49,9 @@ class FunctionRegistry:
             versions = self._versions.setdefault(function.name, [])
             function.version = len(versions) + 1
             versions.append(function)
-        if self.workspace is not None:
-            self._persist(function)
+        if self.source_sink is not None:
+            self.source_sink.put_source(function)
         return function
-
-    def _persist(self, function: GeneratedFunction) -> None:
-        directory = self.workspace / function.name
-        directory.mkdir(parents=True, exist_ok=True)
-        source_path = directory / f"v{function.version}.py.txt"
-        metadata_path = directory / f"v{function.version}.json"
-        source_path.write_text(function.source_text, encoding="utf-8")
-        metadata_path.write_text(json.dumps(function.metadata(), indent=2), encoding="utf-8")
 
     # -- lookup ----------------------------------------------------------------------
     def names(self) -> List[str]:

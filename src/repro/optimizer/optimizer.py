@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
+from repro.executor.monitor import ExecutionMonitor
 from repro.fao.codegen import Coder
-from repro.fao.critic import Critic
+from repro.fao.critic import Critic, CriticVerdict
 from repro.fao.function import FunctionContext, GeneratedFunction
 from repro.fao.profiler import Profiler, ProfileResult
 from repro.fao.registry import FunctionRegistry
@@ -34,6 +35,9 @@ from repro.relational.schema import Schema
 from repro.relational.table import Table
 from repro.utils.timer import Timer
 
+if TYPE_CHECKING:  # pragma: no cover - skills imports the optimizer package
+    from repro.skills.store import SkillHit, SkillStore
+
 
 @dataclass
 class OptimizationReport:
@@ -46,6 +50,11 @@ class OptimizationReport:
     tokens_spent: int = 0
     chosen_variants: Dict[str, str] = field(default_factory=dict)
     profile_cache_hits: int = 0
+    # Skill-store traffic: nodes compiled from a stored skill (exact/near
+    # fingerprint match that survived revalidation) versus fresh codegen.
+    skill_exact_hits: int = 0
+    skill_near_hits: int = 0
+    skill_misses: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -56,6 +65,9 @@ class OptimizationReport:
             f"  optimizer wall clock: {self.wall_clock_s * 1000:.1f} ms",
             f"  optimizer tokens: {self.tokens_spent}",
         ]
+        if self.skill_exact_hits or self.skill_near_hits or self.skill_misses:
+            lines.append(f"  skill store: {self.skill_exact_hits} exact / "
+                         f"{self.skill_near_hits} near hits, {self.skill_misses} misses")
         for name, variant in self.chosen_variants.items():
             lines.append(f"  {name}: {variant}")
         return "\n".join(lines)
@@ -73,7 +85,9 @@ class QueryOptimizer:
                  sample_size: int = 4, max_repair_rounds: int = 3,
                  min_accuracy: float = 0.88,
                  profile_cache: Optional[ProfileCache] = None,
-                 vectorized_batch_size: int = 32):
+                 vectorized_batch_size: int = 32,
+                 skill_store: Optional["SkillStore"] = None,
+                 monitor: Optional[ExecutionMonitor] = None):
         self.models = models
         self.catalog = catalog
         self.registry = registry
@@ -90,6 +104,11 @@ class QueryOptimizer:
         self.max_repair_rounds = max_repair_rounds
         self.min_accuracy = min_accuracy
         self.profile_cache = profile_cache
+        # Durable skill store: consulted before generating code for a node,
+        # fed after the fresh codegen -> profile -> critic loop accepts one.
+        # The monitor (when enabled) additionally watches revalidation runs.
+        self.skill_store = skill_store
+        self.monitor = monitor
         # Vectorization hint carried onto chosen operators: batchable
         # implementations are priced with the sub-linear batch formula and
         # executed chunk-at-a-time.  <= 1 disables vectorized execution.
@@ -151,17 +170,29 @@ class QueryOptimizer:
         context = FunctionContext(models=self.models, catalog=self.catalog)
         input_samples = {name: table.head(2) for name, table in inputs.items()}
 
+        family = self.coder.library.classify_node(node)
         specs = self.coder.candidate_variants(node)
-        override = self.variant_overrides.get(node.name) or self.variant_overrides.get(
-            self.coder.library.classify_node(node))
+        override = self.variant_overrides.get(node.name) or self.variant_overrides.get(family)
         if override is not None:
             specs = [s for s in specs if s.variant == override] or specs[:1]
         elif not self.explore_variants:
             specs = specs[:1]
         specs = specs[: self.max_variants]
 
-        family = self.coder.library.classify_node(node)
-        candidates: List[Tuple[GeneratedFunction, ProfileResult, float]] = []
+        # Consult the durable skill store before generating any code.  Nodes
+        # with a forced variant or an injected fault must go through fresh
+        # codegen (the stored record would bypass what the caller asked for).
+        if self.skill_store is not None and override is None \
+                and node.name not in self.coder.fault_injection:
+            hit = self.skill_store.lookup(
+                node, family, inputs, context, models=self.models,
+                profiler=self.profiler, critic=self.critic, monitor=self.monitor,
+                sample_size=self.sample_size)
+            if hit is not None:
+                return self._operator_from_hit(node, hit, cost_model, sample_tables, report)
+            report.skill_misses += 1
+
+        candidates: List[Tuple[GeneratedFunction, ProfileResult, float, CriticVerdict]] = []
         for spec in specs:
             function = self.coder.generate(node, variant=spec.variant,
                                            input_samples=input_samples)
@@ -176,7 +207,6 @@ class QueryOptimizer:
                     else self.sample_size
                 profile = cached.as_profile(function.name, spec.variant,
                                             min(rows_in, self.sample_size))
-                from repro.fao.critic import CriticVerdict
                 verdict = CriticVerdict(ok=profile.success, checked_semantics=False)
                 rounds = 0
                 report.profile_cache_hits += 1
@@ -200,12 +230,20 @@ class QueryOptimizer:
                 penalty += 1e6
             if function.accuracy_prior < self.min_accuracy and override is None:
                 penalty += 1e6
-            candidates.append((function, profile, estimate.tokens + penalty))
+            candidates.append((function, profile, estimate.tokens + penalty, verdict))
 
         candidates.sort(key=lambda item: (item[2], -item[0].accuracy_prior))
-        chosen, chosen_profile, _ = candidates[0]
+        chosen, chosen_profile, _, chosen_verdict = candidates[0]
         estimate = cost_model.estimate(node, chosen, chosen_profile,
                                        batch_size=self.vectorized_batch_size)
+
+        # Persist the accepted implementation as a durable skill so later
+        # processes (or similar predicates) can retrieve it instead of
+        # regenerating.  Overridden variants are a caller's experiment, not a
+        # validated default choice, so they are not stored.
+        if self.skill_store is not None and override is None:
+            self.skill_store.put(node, family, chosen, chosen_profile, chosen_verdict,
+                                 models=self.models, inputs=inputs)
 
         # Materialize the sample output of the chosen implementation so
         # downstream nodes can be profiled on realistic intermediate data.
@@ -228,6 +266,48 @@ class QueryOptimizer:
             estimated_cardinality=estimate.output_cardinality,
             profile=chosen_profile,
             alternatives_considered=len(candidates),
+            batchable=batchable,
+            batch_size=self.vectorized_batch_size if batchable else 0,
+        )
+
+    def _operator_from_hit(self, node: LogicalPlanNode, hit: "SkillHit",
+                           cost_model: CostModel, sample_tables: Dict[str, Table],
+                           report: OptimizationReport) -> PhysicalOperator:
+        """Build a physical operator from a revalidated skill-store hit.
+
+        The revalidation run already executed the function on sampled live
+        inputs, so its output doubles as the downstream sample table — a warm
+        compile issues no extra execution beyond that one sampled slice.
+        """
+        function = hit.function
+        self.registry.register(function)
+        report.candidates_evaluated += 1
+        if hit.kind == "exact":
+            report.skill_exact_hits += 1
+        else:
+            report.skill_near_hits += 1
+
+        estimate = cost_model.estimate(node, function, hit.profile,
+                                       batch_size=self.vectorized_batch_size)
+        sample_output = hit.sample_output
+        if sample_output is None:
+            sample_output = Table(node.output, Schema([]))
+        if len(sample_output) > self.sample_size:
+            truncated = Table(node.output, Schema(list(sample_output.schema.columns)))
+            truncated.rows.extend(dict(row) for row in sample_output.rows[: self.sample_size])
+            sample_output = truncated
+        sample_output.name = node.output
+        sample_tables[node.output] = sample_output
+
+        batchable = function.batchable and self.vectorized_batch_size > 1
+        return PhysicalOperator(
+            node=node,
+            function=function,
+            estimated_tokens=estimate.tokens,
+            estimated_runtime_s=estimate.runtime_s,
+            estimated_cardinality=estimate.output_cardinality,
+            profile=hit.profile,
+            alternatives_considered=1,
             batchable=batchable,
             batch_size=self.vectorized_batch_size if batchable else 0,
         )

@@ -14,9 +14,13 @@ import json
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, TYPE_CHECKING, Tuple, Union
 
 from repro.fao.profiler import ProfileResult
+from repro.utils.io import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.skills.backends import SkillBackend
 
 
 @dataclass
@@ -73,9 +77,16 @@ class CachedProfile:
 class ProfileCache:
     """A (family, variant)-keyed cache of profiling statistics."""
 
-    def __init__(self, path: Optional[Union[str, Path]] = None, min_samples: int = 1):
+    def __init__(self, path: Optional[Union[str, Path]] = None, min_samples: int = 1,
+                 backend: Optional["SkillBackend"] = None, backend_key: str = "profiles"):
         self.path = Path(path) if path else None
         self.min_samples = min_samples
+        # Optional durable storage through a skill-store backend (one store,
+        # one path): entries are loaded at construction and written through
+        # on every record, so profiling statistics survive restarts together
+        # with the skills they price.
+        self.backend = backend
+        self.backend_key = backend_key
         self._entries: Dict[Tuple[str, str], CachedProfile] = {}
         # One cache is shared by every session's optimizer; updates are
         # multi-field read-modify-writes and must stay atomic under
@@ -85,6 +96,8 @@ class ProfileCache:
         self.misses = 0
         if self.path is not None and self.path.exists():
             self.load()
+        if self.backend is not None:
+            self._load_backend()
 
     # -- lookups -----------------------------------------------------------------
     def get(self, family: str, variant: str) -> Optional[CachedProfile]:
@@ -104,7 +117,10 @@ class ProfileCache:
         with self._lock:
             entry = self._entries.setdefault((family, variant), CachedProfile())
             entry.update(profile)
-            return entry
+            payload = self._payload() if self.backend is not None else None
+        if self.backend is not None and payload is not None:
+            self.backend.put(self.backend_key, payload)
+        return entry
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -113,16 +129,36 @@ class ProfileCache:
         return isinstance(key, tuple) and key in self._entries
 
     # -- persistence ----------------------------------------------------------------
+    def _payload(self) -> Dict[str, Dict[str, Any]]:
+        """Serializable entries (caller must hold the lock)."""
+        return {f"{family}::{variant}": entry.to_dict()
+                for (family, variant), entry in self._entries.items()}
+
     def save(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Persist the cache as JSON; returns the path written."""
+        """Persist the cache as JSON (atomically); returns the path written."""
         target = Path(path) if path else self.path
+        with self._lock:
+            payload = self._payload()
+        if self.backend is not None:
+            self.backend.put(self.backend_key, payload)
+            if target is None and self.backend.location is not None:
+                return Path(self.backend.location)
         if target is None:
             raise ValueError("no path configured for the profile cache")
-        payload = {f"{family}::{variant}": entry.to_dict()
-                   for (family, variant), entry in self._entries.items()}
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        atomic_write_text(target, json.dumps(payload, indent=2))
         return target
+
+    def _load_backend(self) -> int:
+        """Load entries previously written through the backend."""
+        assert self.backend is not None
+        payload = self.backend.get(self.backend_key)
+        if not payload:
+            return 0
+        with self._lock:
+            for key, value in payload.items():
+                family, _, variant = key.partition("::")
+                self._entries[(family, variant)] = CachedProfile.from_dict(value)
+        return len(payload)
 
     def load(self, path: Optional[Union[str, Path]] = None) -> int:
         """Load entries from JSON; returns how many entries were loaded."""

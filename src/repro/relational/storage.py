@@ -9,6 +9,7 @@ from typing import List, Union
 
 from repro.errors import StorageError
 from repro.relational.table import Table
+from repro.utils.io import atomic_write_text
 
 
 class LossyBlobWarning(UserWarning):
@@ -44,12 +45,12 @@ class TableStorage:
         return self.directory / f"{safe}.json"
 
     def save(self, table: Table) -> Path:
-        """Write one table; returns the file path."""
+        """Write one table atomically; returns the file path."""
         path = self._path(table.name)
         try:
             payload = table.to_dict()
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, default=_json_default)
+            text = json.dumps(payload, indent=2, default=_json_default)
+            atomic_write_text(path, text)
         except (OSError, TypeError, ValueError) as error:
             raise StorageError(f"failed to save table {table.name!r}: {error}") from error
         return path

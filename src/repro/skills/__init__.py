@@ -1,0 +1,46 @@
+"""The durable FAO skill store (persist, retrieve, revalidate generated code).
+
+The paper's codegen → profile → critic pipeline validates every function from
+scratch in each process.  This package makes validated implementations
+*skills*: durable records keyed by a full signature fingerprint, retrieved
+exactly or by embedding similarity, and revalidated on live sampled data
+before they are ever registered again.  See README "Durable skill store".
+"""
+
+from repro.skills.backends import (
+    FileBackend,
+    MemoryBackend,
+    SkillBackend,
+    SQLiteBackend,
+    backend_from_spec,
+)
+from repro.skills.record import (
+    STATUS_ACTIVE,
+    STATUS_DEMOTED,
+    SkillRecord,
+    node_fingerprint,
+    schema_fingerprint,
+    signature_text,
+)
+from repro.skills.retrieval import RetrievalIndex
+from repro.skills.validate import RevalidationHarness, RevalidationOutcome
+from repro.skills.store import SkillHit, SkillStore
+
+__all__ = [
+    "FileBackend",
+    "MemoryBackend",
+    "SkillBackend",
+    "SQLiteBackend",
+    "backend_from_spec",
+    "STATUS_ACTIVE",
+    "STATUS_DEMOTED",
+    "SkillRecord",
+    "node_fingerprint",
+    "schema_fingerprint",
+    "signature_text",
+    "RetrievalIndex",
+    "RevalidationHarness",
+    "RevalidationOutcome",
+    "SkillHit",
+    "SkillStore",
+]

@@ -1,0 +1,219 @@
+"""Pluggable persistence backends for the skill store.
+
+One abstract key/value interface with three implementations: in-memory (the
+default — durable only for the process lifetime), an atomic one-file-per-key
+JSON directory, and SQLite.  The interface is deliberately minimal and
+schema-free (string key, JSON-plain dict value) so other caches — the profile
+cache today, potentially the gateway cache per the sharding roadmap item —
+can persist through the same abstraction.
+
+The file backend doubles as the single persistence path for generated
+function *sources*: ``put_source`` writes the legacy workspace layout
+(``<dir>/<function>/v<N>.py.txt`` plus a ``v<N>.json`` metadata sidecar), so
+``KathDBConfig.workspace`` is now just a file backend mounted at that path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Union
+
+from repro.utils.io import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fao imports us)
+    from repro.fao.function import GeneratedFunction
+
+_UNSAFE_KEY_CHARS = re.compile(r"[^A-Za-z0-9._-]")
+
+
+class SkillBackend:
+    """Abstract durable key/value storage for JSON-plain records."""
+
+    kind = "abstract"
+    #: Filesystem location backing this store, when there is one.
+    location: Optional[Path] = None
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        for key in self.keys():
+            self.delete(key)
+
+    def close(self) -> None:
+        """Release any held resources (no-op for most backends)."""
+
+    def put_source(self, function: "GeneratedFunction") -> None:
+        """Persist a generated function's source text (no-op by default)."""
+
+    def describe(self) -> str:
+        where = f" at {self.location}" if self.location is not None else ""
+        return f"{self.kind} backend{where}: {len(self.keys())} records"
+
+
+class MemoryBackend(SkillBackend):
+    """Process-local dict storage — the zero-configuration default."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            value = self._records.get(key)
+            return json.loads(json.dumps(value)) if value is not None else None
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records[key] = json.loads(json.dumps(value))
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._records.pop(key, None) is not None
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._records)
+
+
+class FileBackend(SkillBackend):
+    """One atomically written JSON document per key under a directory.
+
+    Records live under ``<directory>/records/<key>.skill`` (the original key
+    travels inside the envelope so sanitized filenames stay reversible);
+    function sources use the legacy workspace layout next to them.
+    """
+
+    kind = "file"
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.location = self.directory
+        self.records_dir = self.directory / "records"
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _path(self, key: str) -> Path:
+        return self.records_dir / f"{_UNSAFE_KEY_CHARS.sub('_', key)}.skill"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        record = payload.get("record")
+        return record if isinstance(record, dict) else None
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        envelope = {"key": key, "record": value}
+        with self._lock:
+            atomic_write_text(self._path(key), json.dumps(envelope, indent=2))
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        with self._lock:
+            try:
+                path.unlink()
+                return True
+            except OSError:
+                return False
+
+    def keys(self) -> List[str]:
+        found = []
+        for path in sorted(self.records_dir.glob("*.skill")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            key = payload.get("key")
+            if isinstance(key, str):
+                found.append(key)
+        return found
+
+    def put_source(self, function: "GeneratedFunction") -> None:
+        directory = self.directory / function.name
+        atomic_write_text(directory / f"v{function.version}.py.txt", function.source_text)
+        atomic_write_text(directory / f"v{function.version}.json",
+                          json.dumps(function.metadata(), indent=2))
+
+
+class SQLiteBackend(SkillBackend):
+    """A single-table SQLite store — durable, queryable, one file."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.location = self.path
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
+        with self._lock:
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS skills (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+            self._connection.commit()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM skills WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            return None
+        try:
+            value = json.loads(row[0])
+        except json.JSONDecodeError:
+            return None
+        return value if isinstance(value, dict) else None
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        payload = json.dumps(value)
+        with self._lock:
+            self._connection.execute(
+                "INSERT INTO skills (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value", (key, payload))
+            self._connection.commit()
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            cursor = self._connection.execute("DELETE FROM skills WHERE key = ?", (key,))
+            self._connection.commit()
+            return cursor.rowcount > 0
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            rows = self._connection.execute("SELECT key FROM skills ORDER BY key").fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+
+def backend_from_spec(kind: str, path: Optional[Union[str, Path]] = None) -> SkillBackend:
+    """Build a backend from the (kind, path) pair the config validates."""
+    if kind == "memory":
+        return MemoryBackend()
+    if path is None:
+        raise ValueError(f"skill store backend {kind!r} requires a path")
+    if kind == "file":
+        return FileBackend(path)
+    if kind == "sqlite":
+        return SQLiteBackend(path)
+    raise ValueError(f"unknown skill store backend {kind!r}; "
+                     "expected 'memory', 'file', or 'sqlite'")

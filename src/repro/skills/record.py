@@ -1,0 +1,140 @@
+"""Skill records: the durable form of one validated FAO implementation.
+
+A record captures everything needed to decide whether a stored function still
+applies to a new logical-plan node (the *signature fingerprint*: node kind,
+predicate text, parameters, input/output schema shape, lexicon digest) and to
+rebuild it without a codegen model call (template family + variant + the
+post-repair parameters the coder settled on), plus the cached profile, the
+critic verdict, and provenance for auditing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.fao.function import GeneratedFunction, _is_plain
+from repro.gateway.fingerprint import canonicalize
+from repro.parser.logical_plan import LogicalPlanNode
+from repro.relational.table import Table
+from repro.utils.seed import stable_hash
+
+#: Record statuses: active records are retrieval candidates; demoted records
+#: (failed revalidation or evicted by the production repair loop) are kept for
+#: auditing but never served again — the next prepare regenerates instead.
+STATUS_ACTIVE = "active"
+STATUS_DEMOTED = "demoted"
+
+#: Comment prefix the coder appends to repaired sources ("# patched: ...").
+#: Stripped before parse checks and rebuild comparisons so a repaired function
+#: still matches its template rebuild.
+_PATCH_COMMENT_PREFIX = "# "
+
+
+def plain_parameters(parameters: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-serializable subset of a parameter dict."""
+    return {key: value for key, value in parameters.items() if _is_plain(value)}
+
+
+def strip_patch_comments(source_text: str) -> str:
+    """Drop the coder's trailing ``# patched: ...`` annotation lines."""
+    lines = source_text.splitlines()
+    while lines and lines[-1].startswith(_PATCH_COMMENT_PREFIX):
+        lines.pop()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def schema_fingerprint(inputs: Dict[str, Table]) -> str:
+    """A process-stable digest of the input tables' names and column shapes.
+
+    Row contents are deliberately excluded: a skill applies to any data with
+    the same relational shape, which is what makes warm restarts and
+    cross-corpus reuse possible.
+    """
+    shape: Tuple[Any, ...] = tuple(
+        (name, tuple((column.name, column.data_type.value)
+                     for column in inputs[name].schema.columns))
+        for name in sorted(inputs))
+    return f"{stable_hash('schema', shape):016x}"
+
+
+def node_fingerprint(family: str, node: LogicalPlanNode,
+                     schema_fp: str, lexicon_fp: str) -> str:
+    """The full signature fingerprint used for exact skill lookup."""
+    digest = stable_hash(
+        "skill", family, node.name, node.description, tuple(node.inputs),
+        node.output, node.dependency_pattern,
+        canonicalize(plain_parameters(node.parameters)), schema_fp, lexicon_fp)
+    return f"{digest:016x}"
+
+
+def signature_text(family: str, node: LogicalPlanNode) -> str:
+    """The text embedded for near-match retrieval (family + predicate)."""
+    return f"{family} {node.name}: {node.description}"
+
+
+@dataclass
+class SkillRecord:
+    """One stored, validated FAO implementation."""
+
+    fingerprint: str
+    family: str
+    variant: str
+    node: Dict[str, Any]
+    function_parameters: Dict[str, Any]
+    source_text: str
+    schema_fingerprint: str
+    lexicon_fingerprint: str
+    profile: Dict[str, Any]
+    verdict: Dict[str, Any]
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    status: str = STATUS_ACTIVE
+    uses: int = 0
+    last_error: str = ""
+
+    @classmethod
+    def build(cls, *, fingerprint: str, family: str, node: LogicalPlanNode,
+              function: GeneratedFunction, schema_fp: str, lexicon_fp: str,
+              profile: Dict[str, Any], verdict: Dict[str, Any],
+              provenance: Dict[str, Any]) -> "SkillRecord":
+        """Assemble a record from a freshly validated function."""
+        return cls(
+            fingerprint=fingerprint,
+            family=family,
+            variant=function.variant,
+            node={
+                "name": node.name,
+                "description": node.description,
+                "inputs": list(node.inputs),
+                "output": node.output,
+                "dependency_pattern": node.dependency_pattern,
+                "parameters": plain_parameters(node.parameters),
+            },
+            function_parameters=plain_parameters(function.parameters),
+            source_text=function.source_text,
+            schema_fingerprint=schema_fp,
+            lexicon_fingerprint=lexicon_fp,
+            profile=dict(profile),
+            verdict=dict(verdict),
+            provenance=dict(provenance),
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.status == STATUS_ACTIVE
+
+    @property
+    def signature_text(self) -> str:
+        return f"{self.family} {self.node.get('name', '')}: {self.node.get('description', '')}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SkillRecord":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    def describe(self) -> str:
+        return (f"skill {self.fingerprint} [{self.family}/{self.variant}] "
+                f"{self.node.get('name', '?')} ({self.status}, uses={self.uses})")

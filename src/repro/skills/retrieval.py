@@ -1,0 +1,85 @@
+"""Retrieval over the skill store: exact fingerprint hits, then near matches.
+
+Exact lookup keys on the full signature fingerprint (family, predicate text,
+parameters, schema shape, lexicon digest) — a hit means "this exact node was
+compiled and validated before".  When that misses, near-match retrieval
+embeds the node's signature text and scans active same-family records by
+cosine similarity, surfacing a previously validated template choice for a
+*similar* predicate; the revalidation harness then decides whether it
+actually transfers.  Embeddings go through ``EmbeddingModel`` on the shared
+suite, so routed sessions get gateway caching/batching for free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.models.base import ModelSuite
+from repro.models.embeddings import cosine_similarity
+from repro.skills.backends import SkillBackend
+from repro.skills.record import SkillRecord
+
+#: Key prefix separating skill records from other tenants of the backend
+#: (the profile cache stores its payload under a bare ``profiles`` key).
+SKILL_KEY_PREFIX = "skill:"
+
+
+def record_key(fingerprint: str) -> str:
+    return f"{SKILL_KEY_PREFIX}{fingerprint}"
+
+
+class RetrievalIndex:
+    """Exact + embedding-similarity lookup over one backend's records."""
+
+    def __init__(self, backend: SkillBackend, threshold: float = 0.9):
+        self.backend = backend
+        self.threshold = threshold
+
+    def load(self, fingerprint: str) -> Optional[SkillRecord]:
+        """Load a record by fingerprint regardless of status."""
+        payload = self.backend.get(record_key(fingerprint))
+        if payload is None:
+            return None
+        try:
+            return SkillRecord.from_dict(payload)
+        except TypeError:
+            return None
+
+    def exact(self, fingerprint: str) -> Optional[SkillRecord]:
+        """An active record for exactly this signature fingerprint."""
+        record = self.load(fingerprint)
+        if record is None or not record.active:
+            return None
+        return record
+
+    def active_records(self, family: Optional[str] = None) -> List[SkillRecord]:
+        """All active records, optionally restricted to one template family."""
+        records = []
+        for key in self.backend.keys():
+            if not key.startswith(SKILL_KEY_PREFIX):
+                continue
+            record = self.load(key[len(SKILL_KEY_PREFIX):])
+            if record is None or not record.active:
+                continue
+            if family is not None and record.family != family:
+                continue
+            records.append(record)
+        return records
+
+    def near(self, family: str, query_text: str,
+             models: ModelSuite) -> Optional[Tuple[SkillRecord, float]]:
+        """The most similar active same-family record above the threshold."""
+        candidates = self.active_records(family=family)
+        if not candidates:
+            return None
+        query_vector = models.embeddings.embed_text(query_text, purpose="skill_retrieval")
+        best: Optional[Tuple[SkillRecord, float]] = None
+        for record in candidates:
+            vector = models.embeddings.embed_text(record.signature_text,
+                                                  purpose="skill_retrieval")
+            score = cosine_similarity(query_vector, vector)
+            if best is None or score > best[1]:
+                best = (record, score)
+        if best is None or best[1] < self.threshold:
+            return None
+        return best

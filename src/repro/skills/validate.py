@@ -1,0 +1,188 @@
+"""Revalidation harness: a retrieved skill is never registered blind.
+
+Before the optimizer accepts a stored function, the harness (1) checks the
+stored source still parses and still matches what its template family/variant
+rebuilds today (an exact-hit integrity check that catches corrupted or stale
+records), (2) rebuilds the executable body from the implementation library
+(closures cannot be persisted, so the source of truth for *behaviour* is the
+template plus the stored parameters), and (3) re-executes the function on a
+sampled slice of the live inputs — watched by the execution monitor when one
+is enabled — and re-runs the critic whenever the stored verdict does not
+already vouch for semantics.  Any failure falls through to fresh codegen.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.datamodel.lineage import DependencyPattern
+from repro.errors import FunctionExecutionError
+from repro.executor.monitor import ExecutionMonitor
+from repro.fao.critic import Critic
+from repro.fao.function import FunctionContext, GeneratedFunction
+from repro.fao.library import ImplementationLibrary, ImplementationSpec
+from repro.fao.profiler import ProfileResult, Profiler
+from repro.fao.signature import FunctionSignature
+from repro.parser.logical_plan import LogicalPlanNode
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.skills.record import SkillRecord, strip_patch_comments
+from repro.utils.timer import Timer
+
+
+@dataclass
+class RevalidationOutcome:
+    """What the harness concluded about one retrieved candidate."""
+
+    ok: bool
+    reason: str = ""
+    function: Optional[GeneratedFunction] = None
+    profile: Optional[ProfileResult] = None
+    output: Optional[Table] = None
+    checked_semantics: bool = False
+
+
+class RevalidationHarness:
+    """Rebuilds and re-verifies stored skills against live data."""
+
+    def __init__(self, library: Optional[ImplementationLibrary] = None):
+        self.library = library or ImplementationLibrary()
+
+    # -- rebuild ---------------------------------------------------------------
+    def _spec_for(self, family: str, variant: str) -> Optional[ImplementationSpec]:
+        try:
+            specs = self.library.candidates(family)
+        except Exception:
+            return None
+        for spec in specs:
+            if spec.variant == variant:
+                return spec
+        return None
+
+    def rebuild(self, record: SkillRecord, node: LogicalPlanNode,
+                exact: bool) -> Tuple[Optional[GeneratedFunction], str]:
+        """Rebuild an executable function from a stored record.
+
+        Returns ``(function, "")`` on success or ``(None, reason)`` when the
+        record is unusable (unparseable source, vanished template variant, or
+        an exact record whose source no longer matches its rebuild).
+        """
+        stored_source = strip_patch_comments(record.source_text)
+        try:
+            ast.parse(stored_source)
+        except SyntaxError as error:
+            return None, f"stored source no longer parses: {error}"
+
+        spec = self._spec_for(record.family, record.variant)
+        if spec is None:
+            return None, (f"template {record.family}/{record.variant} "
+                          "is no longer in the implementation library")
+
+        # Exact hits replay the parameters the coder settled on (post-repair,
+        # faults stripped); near matches re-parameterize for the current node.
+        if exact:
+            parameters = dict(record.function_parameters)
+        else:
+            parameters = dict(node.parameters)
+        build_node = dataclasses.replace(node, parameters=parameters)
+        try:
+            body, rebuilt_source = spec.build(build_node)
+        except Exception as error:  # template bug or incompatible parameters
+            return None, f"template rebuild failed: {error}"
+
+        if exact and rebuilt_source != stored_source:
+            return None, "stored source diverged from its template rebuild"
+
+        function = GeneratedFunction(
+            signature=FunctionSignature.from_node(node),
+            body=body,
+            source_text=record.source_text if exact else rebuilt_source,
+            implementation_kind=spec.implementation_kind,
+            variant=spec.variant,
+            dependency_pattern=DependencyPattern.from_string(node.dependency_pattern),
+            parameters=parameters,
+            accuracy_prior=spec.accuracy_prior,
+            cost_per_row_tokens=spec.cost_per_row_tokens,
+            batchable=spec.batchable,
+            batch_setup_tokens=spec.batch_setup_tokens,
+        )
+        return function, ""
+
+    # -- revalidate ------------------------------------------------------------
+    def revalidate(self, record: SkillRecord, function: GeneratedFunction,
+                   node: LogicalPlanNode, inputs: Dict[str, Table],
+                   context: FunctionContext, profiler: Profiler, critic: Critic,
+                   monitor: Optional[ExecutionMonitor] = None,
+                   exact: bool = True,
+                   sample_size: Optional[int] = None) -> RevalidationOutcome:
+        """Re-execute a rebuilt skill on sampled live inputs and re-judge it.
+
+        Mirrors the profiler's sampling discipline (primary input truncated,
+        side relations passed whole) so the measured profile is comparable to
+        a fresh profiling run.  The critic review is skipped only for exact
+        hits whose stored verdict already checked semantics — that is what
+        makes a warm restart nearly free of model calls.
+        """
+        size = sample_size or profiler.sample_size
+        primary = function.signature.inputs[0] if function.signature.inputs else None
+        sampled: Dict[str, Table] = {}
+        for name, table in inputs.items():
+            if name == primary and len(table) > size:
+                sample = Table(table.name, Schema(list(table.schema.columns)))
+                sample.rows.extend(dict(row) for row in table.rows[:size])
+                sampled[name] = sample
+            else:
+                sampled[name] = table
+        rows_in = len(sampled[primary]) if primary and primary in sampled else 0
+
+        profile = ProfileResult(function_name=function.name, variant=function.variant,
+                                success=False, rows_in=rows_in)
+        if primary and primary in sampled:
+            profile.input_sample = sampled[primary].head(size)
+
+        meter = profiler.models.cost_meter
+        marker = meter.snapshot()
+        timer = Timer()
+        try:
+            with timer:
+                output = function.execute(sampled, context)
+        except FunctionExecutionError as error:
+            profile.runtime_s = timer.elapsed
+            profile.error = str(error)
+            profile.tokens_used = meter.tokens_since(marker)
+            return RevalidationOutcome(
+                ok=False, reason=f"sampled re-execution failed: {error}",
+                function=function, profile=profile)
+
+        profile.success = True
+        profile.runtime_s = timer.elapsed
+        profile.rows_out = len(output)
+        profile.output_sample = output.head(size)
+        profile.tokens_used = meter.tokens_since(marker)
+        function.profile_runtime_s = profile.runtime_s
+
+        if monitor is not None:
+            anomalies = monitor.inspect(node, function, sampled, output)
+            if anomalies:
+                reason = "; ".join(a.message for a in anomalies)
+                return RevalidationOutcome(
+                    ok=False, reason=f"monitor flagged the re-execution: {reason}",
+                    function=function, profile=profile)
+
+        already_checked = bool(record.verdict.get("ok")) and \
+            bool(record.verdict.get("checked_semantics"))
+        checked_now = False
+        if not exact or not already_checked:
+            verdict = critic.review(function, profile, node)
+            checked_now = True
+            if not verdict.ok:
+                return RevalidationOutcome(
+                    ok=False, reason=f"critic rejected the candidate: {verdict.hint}",
+                    function=function, profile=profile)
+
+        return RevalidationOutcome(ok=True, function=function, profile=profile,
+                                   output=output,
+                                   checked_semantics=already_checked or checked_now)

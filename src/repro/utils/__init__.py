@@ -1,11 +1,13 @@
-"""Shared utilities: deterministic seeding, text helpers, and timing."""
+"""Shared utilities: deterministic seeding, text helpers, timing, and I/O."""
 
+from repro.utils.io import atomic_write_text
 from repro.utils.seed import SeededRNG, stable_hash
 from repro.utils.text import normalize, tokenize, truncate
 from repro.utils.timer import Timer
 
 __all__ = [
     "SeededRNG",
+    "atomic_write_text",
     "stable_hash",
     "normalize",
     "tokenize",

@@ -1,0 +1,39 @@
+"""Crash-safe filesystem helpers shared by every persistence path.
+
+All on-disk artifacts (profile caches, table storage, skill-store records)
+are small JSON or text documents that get rewritten whole.  A plain
+``write_text`` can leave a truncated file behind if the process dies
+mid-write; ``atomic_write_text`` writes to a temporary file in the target
+directory and ``os.replace``s it into place, which POSIX guarantees to be
+atomic on the same filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically and return the resolved path.
+
+    The parent directory is created when missing.  Readers either see the old
+    content or the new content, never a partial write.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(dir=str(target.parent),
+                                         prefix=f".{target.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as stream:
+            stream.write(text)
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return target
