@@ -142,6 +142,15 @@ def _quick_fao_store() -> Dict[str, Any]:
     return bench.run_benchmark(corpus_size=bench.QUICK_CORPUS)
 
 
+def _quick_observability() -> Dict[str, Any]:
+    bench = _bench("bench_observability")
+    # Sub-10ms reps make the 5% full-size bar scheduler-noise-bound; the
+    # quick shape keeps the structural checks (tokens, rows, chrome export)
+    # strict and loosens only the wall budget.
+    return bench.run_benchmark(corpus_size=8, requests=8, reps=3, jobs=2,
+                               wall_budget_pct=30.0)
+
+
 GATES: Dict[str, GateSpec] = {
     "concurrency": GateSpec(
         name="concurrency",
@@ -251,6 +260,33 @@ GATES: Dict[str, GateSpec] = {
             Check("poisoned.skills.stores", minimum=0, strict=True),
         ],
         quick_run=_quick_fao_store,
+    ),
+    "observability": GateSpec(
+        name="observability",
+        record_file="BENCH_observability.json",
+        committed=[
+            # The acceptance bar: tracing on costs <= 5% wall and <= 1%
+            # tokens (spans never call models, so the observed token
+            # overhead is exactly 0), leaves every result row untouched,
+            # and the exported Chrome trace has at least one slice.
+            Check("within_wall_budget", equals=True),
+            Check("within_token_budget", equals=True),
+            Check("row_identical", equals=True),
+            Check("chrome_trace.events", minimum=0, strict=True),
+            Check("chrome_trace.valid_json", equals=True),
+            Check("tracing_on.spans_recorded", minimum=0, strict=True),
+        ],
+        quick=[
+            # Same structural floors; the quick record itself was produced
+            # with a looser wall budget (see _quick_observability).
+            Check("within_wall_budget", equals=True),
+            Check("within_token_budget", equals=True),
+            Check("row_identical", equals=True),
+            Check("chrome_trace.events", minimum=0, strict=True),
+            Check("chrome_trace.valid_json", equals=True),
+            Check("tracing_on.spans_recorded", minimum=0, strict=True),
+        ],
+        quick_run=_quick_observability,
     ),
 }
 

@@ -12,7 +12,7 @@ explanations) so batch callers never have to touch shared facade state like
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.executor.result import QueryResult
 from repro.interaction.channel import Transcript
@@ -77,6 +77,26 @@ class QueryResponse:
     # Skill-store counters (exact/near hits, misses, revalidations, demotions)
     # at the end of this request; None when the service has no skill store.
     skill_store_stats: Optional[Dict[str, int]] = None
+    # End-to-end wall time the service spent answering this request, measured
+    # with perf_counter around the whole query (trace root span included).
+    latency_ms: float = 0.0
+    # The trace this request produced (fetch the full tree via
+    # ``service.trace(trace_id)``); None when tracing is disabled.
+    trace_id: Optional[str] = None
+    # The finished Trace backing ``trace_spans``, set by ``Session.query``
+    # after the trace scope closes (so durations are final).
+    _trace: Optional[Any] = None
+
+    @property
+    def trace_spans(self) -> Optional[List[Dict[str, Any]]]:
+        """Flat span summary of this query's trace; None when untraced.
+
+        Summarized lazily on first access — building ~60 span dicts per
+        query would otherwise tax every caller that never reads them.
+        """
+        if self._trace is None:
+            return None
+        return self._trace.summary()
 
     @property
     def total_tokens(self) -> int:
@@ -92,11 +112,14 @@ class QueryResponse:
     def describe(self) -> str:
         """One-line summary used by the CLI batch mode."""
         if not self.ok:
-            return f"[{self.session_id}] ERROR: {self.error}"
+            suffix = f" [{self.trace_id}]" if self.trace_id else ""
+            return f"[{self.session_id}] ERROR: {self.error}{suffix}"
         rows = len(self.result.final_table) if self.result is not None else 0
         hit = " (prepared)" if self.prepared_hit else ""
         saved = ""
         if self.gateway_stats and self.gateway_stats.get("tokens_saved"):
             saved = f", {self.gateway_stats['tokens_saved']} tokens saved by gateway"
+        latency = self.latency_ms or self.wall_clock_s * 1000
+        trace = f" [{self.trace_id}]" if self.trace_id else ""
         return (f"[{self.session_id}] {rows} rows, {self.total_tokens} tokens, "
-                f"{self.wall_clock_s * 1000:.1f} ms{hit}{saved}")
+                f"{latency:.1f} ms{hit}{saved}{trace}")

@@ -16,7 +16,9 @@ import concurrent.futures
 import dataclasses
 import itertools
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.prepared import PreparedQueryCache
 from repro.api.request import QueryOptions, QueryRequest, QueryResponse
@@ -30,6 +32,11 @@ from repro.gateway.gateway import ModelGateway
 from repro.interaction.user import UserAgent
 from repro.models.base import ModelSuite
 from repro.models.cost import CostMeter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (JsonlTraceSink, SlowQueryLog, TraceRingBuffer,
+                             write_chrome_trace)
+from repro.obs.span import Trace
+from repro.obs.trace import Tracer
 from repro.optimizer.profile_cache import ProfileCache
 from repro.relational.catalog import Catalog
 from repro.skills.backends import backend_from_spec
@@ -42,6 +49,21 @@ class KathDBService:
     def __init__(self, config: Optional[KathDBConfig] = None,
                  max_workers: Optional[int] = None):
         self.config = config or KathDBConfig()
+        # Observability: one MetricsRegistry is the single backing store for
+        # every stats surface (the gateway's event stream and counters, the
+        # skill store's counters, the registered gateway/skills/prepared
+        # views), and one Tracer feeds it span-finish events.  Finished
+        # traces flow through _trace_finished into the ring buffer, the
+        # optional JSONL sink, and the slow-query log.
+        self.metrics = MetricsRegistry()
+        self._trace_buffer = TraceRingBuffer(self.config.trace_buffer_size)
+        self._trace_sink = (JsonlTraceSink(self.config.trace_jsonl_path)
+                            if self.config.trace_jsonl_path is not None
+                            else None)
+        self.slow_queries = SlowQueryLog(threshold_ms=self.config.slow_query_ms)
+        self.tracer = Tracer(enabled=self.config.enable_tracing,
+                             metrics=self.metrics,
+                             on_trace_finish=self._trace_finished)
         meter = CostMeter(latency_scale=self.config.simulate_model_latency)
         self.models = ModelSuite.create(seed=self.config.seed,
                                         vlm_error_rate=self.config.vlm_error_rate,
@@ -65,7 +87,8 @@ class KathDBService:
         # in-flight coalescing, micro-batching, and admission control.
         gateway_config = self.config.gateway_config()
         self.gateway: Optional[ModelGateway] = (
-            ModelGateway(gateway_config) if gateway_config is not None else None)
+            ModelGateway(gateway_config, metrics=self.metrics)
+            if gateway_config is not None else None)
         populator_models = (
             self.gateway.route(self.models, "loader", quota_exempt=True)
             if self.gateway is not None else self.models)
@@ -84,6 +107,15 @@ class KathDBService:
         self._session_ids = itertools.count(1)
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # The legacy stats surfaces stay API-compatible as registry views:
+        # gateway_stats()/skill_stats() read *through* the registry, so one
+        # store owns every number the service reports.
+        if self.gateway is not None:
+            self.metrics.register_view("gateway", self.gateway.flat_stats)
+        if self.skill_store is not None:
+            self.metrics.register_view("skills", self.skill_store.stats)
+        if self.prepared is not None:
+            self.metrics.register_view("prepared", self.prepared.stats.as_dict)
 
     def _build_skill_store(self) -> Optional[SkillStore]:
         """The durable skill store these config knobs imply, or None."""
@@ -101,7 +133,8 @@ class KathDBService:
         }
         return SkillStore(backend,
                           retrieval_threshold=config.skill_retrieval_threshold,
-                          provenance=provenance)
+                          provenance=provenance,
+                          metrics=self.metrics)
 
     # -- data loading ------------------------------------------------------------------
     def load_corpus(self, corpus: MovieCorpus, populate_views: bool = True) -> PopulationReport:
@@ -214,6 +247,7 @@ class KathDBService:
     def _run(self, request: QueryRequest) -> QueryResponse:
         """Execute one request in a fresh session, capturing failures."""
         session = self.session(user=request.user)
+        start_pc = time.perf_counter()
         try:
             return session.query(request)
         except Exception as error:  # noqa: BLE001 - service boundary
@@ -222,7 +256,23 @@ class KathDBService:
                                  ok=False, error=f"{type(error).__name__}: {error}",
                                  tokens_used=quota["tokens_used"],
                                  tokens_remaining=quota["tokens_remaining"],
-                                 quota_exhausted=bool(quota["quota_exhausted"]))
+                                 quota_exhausted=bool(quota["quota_exhausted"]),
+                                 latency_ms=(time.perf_counter() - start_pc) * 1000.0,
+                                 trace_id=session.last_trace_id)
+
+    def _trace_finished(self, trace: Trace) -> None:
+        """Tracer hook: fan a finished trace out to every sink.
+
+        Sinks must never break a query — IO failures are tallied on the
+        registry and dropped.
+        """
+        self._trace_buffer.add(trace)
+        self.slow_queries.observe(trace)
+        if self._trace_sink is not None:
+            try:
+                self._trace_sink.write(trace)
+            except OSError:
+                self.metrics.counter("trace_sink_errors").inc()
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
         with self._pool_lock:
@@ -254,8 +304,42 @@ class KathDBService:
         return self.prepared.stats.as_dict() if self.prepared is not None else {}
 
     def skill_stats(self) -> Optional[Dict[str, int]]:
-        """Skill-store hit/miss/revalidation counters (None when disabled)."""
-        return self.skill_store.stats() if self.skill_store is not None else None
+        """Skill-store hit/miss/revalidation counters (None when disabled).
+
+        A view over the shared :class:`MetricsRegistry` (the store's
+        counters live there); the return shape is unchanged.
+        """
+        if self.skill_store is None:
+            return None
+        return self.metrics.view("skills")
+
+    # -- observability ------------------------------------------------------------------
+    def traces(self, limit: Optional[int] = None) -> List[Trace]:
+        """Recently finished query traces, oldest first."""
+        return self._trace_buffer.list(limit)
+
+    def trace(self, trace_id: str) -> Optional[Trace]:
+        """One buffered trace by id (``QueryResponse.trace_id``), or None."""
+        return self._trace_buffer.get(trace_id)
+
+    def export_chrome_trace(self, path: Union[str, Path],
+                            trace_ids: Optional[Sequence[str]] = None) -> int:
+        """Write buffered traces as Chrome ``trace_event`` JSON.
+
+        The file opens directly in ``chrome://tracing`` or Perfetto.
+        ``trace_ids`` selects a subset (unknown ids are skipped); the
+        default exports the whole ring buffer.  Returns the event count.
+        """
+        if trace_ids is None:
+            traces = self.traces()
+        else:
+            traces = [t for t in (self.trace(tid) for tid in trace_ids)
+                      if t is not None]
+        return write_chrome_trace(path, traces)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Every counter, gauge, and histogram summary in the registry."""
+        return self.metrics.snapshot()
 
     def gateway_stats(self, window_s: Optional[float] = None,
                       session_id: Optional[str] = None) -> Dict[str, object]:
@@ -279,7 +363,9 @@ class KathDBService:
                 stats["windowed"] = self.gateway.windowed_stats(
                     window_s, session_id=session_id)
             return stats
-        stats = dict(self.gateway.flat_stats())
+        # The headline block is the registered "gateway" registry view —
+        # same dict flat_stats() always returned, read through the registry.
+        stats = dict(self.metrics.view("gateway"))
         if window_s is not None:
             stats["windowed"] = self.gateway.windowed_stats(window_s)
         return stats
@@ -295,4 +381,12 @@ class KathDBService:
             lines.append(self.gateway.describe())
         if self.skill_store is not None:
             lines.append(self.skill_store.describe())
+        query_latency = self.metrics.histogram("latency_ms.query")
+        if query_latency.count:
+            summary = query_latency.summary()
+            lines.append(f"queries: {summary['count']} traced, "
+                         f"p50={summary['p50']}ms p95={summary['p95']}ms "
+                         f"p99={summary['p99']}ms max={summary['max']}ms")
+        if self.slow_queries.enabled:
+            lines.append(self.slow_queries.describe())
         return "\n".join(lines)

@@ -11,6 +11,7 @@ a serial run would.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.api.prepared import PreparedQuery, prepared_key
@@ -23,6 +24,7 @@ from repro.executor.result import QueryResult
 from repro.interaction.channel import InteractionChannel, Transcript
 from repro.interaction.user import SilentUser, UserAgent
 from repro.models.base import ModelSuite
+from repro.obs.trace import current_trace, span as obs_span
 from repro.relational.table import Table
 from repro.utils.timer import Timer
 
@@ -69,6 +71,9 @@ class Session:
         self._intermediates: Dict[str, Table] = {}
         self._table_lids: Dict[str, int] = {}
         self.last_result: Optional[QueryResult] = None
+        # The most recent query's trace id, surviving even when the query
+        # raised (the service's error responses link back through it).
+        self.last_trace_id: Optional[str] = None
 
     # -- state accessors -------------------------------------------------------------
     @property
@@ -99,10 +104,15 @@ class Session:
             # legacy facade queries) may still slide forward to avoid lid
             # collisions with the shared store.
             self.lineage.rebase_if_unused()
-        return ExecutionContext.for_catalog(self.service.catalog,
-                                            lineage=self.lineage,
-                                            intermediates=self._intermediates,
-                                            table_lids=self._table_lids)
+        context = ExecutionContext.for_catalog(self.service.catalog,
+                                               lineage=self.lineage,
+                                               intermediates=self._intermediates,
+                                               table_lids=self._table_lids)
+        # Carry the active trace so work handed to other threads can
+        # re-attach (repro.obs.trace.attach); same-thread spans propagate
+        # through the contextvar regardless.
+        context.trace = current_trace()
+        return context
 
     def total_tokens(self) -> int:
         """Tokens spent by this session so far."""
@@ -162,9 +172,38 @@ class Session:
     def query(self, request: Union[str, QueryRequest],
               user: Optional[UserAgent] = None,
               options: Optional[QueryOptions] = None) -> QueryResponse:
-        """Answer one NL query end to end inside this session."""
+        """Answer one NL query end to end inside this session.
+
+        Each query opens one trace (when the service's tracer is enabled):
+        a root ``query`` span with stage children (prepare → parse/plan/
+        optimize on a cold compile, execute) and, below those, operator and
+        model-call spans recorded by the engine and the gateway.  The trace
+        id rides back on the response; ``latency_ms`` is the end-to-end
+        wall time regardless of tracing.
+        """
         if isinstance(request, str):
             request = QueryRequest(nl_query=request, user=user, options=options or QueryOptions())
+        start_pc = time.perf_counter()
+        with self.service.tracer.trace("query", session_id=self.id,
+                                       query=request.nl_query) as trace:
+            if trace is not None:
+                self.last_trace_id = trace.trace_id
+            response = self._answer(request)
+            if trace is not None:
+                rows = (len(response.result.final_table)
+                        if response.result is not None else 0)
+                trace.root.tag(tokens=response.total_tokens, rows_out=rows,
+                               prepared_hit=response.prepared_hit)
+        response.latency_ms = (time.perf_counter() - start_pc) * 1000.0
+        if trace is not None:
+            # Attached after the scope closed, so the root span's duration
+            # is final; ``response.trace_spans`` summarizes lazily.
+            response.trace_id = trace.trace_id
+            response._trace = trace
+        return response
+
+    def _answer(self, request: QueryRequest) -> QueryResponse:
+        """The query pipeline body (runs inside the trace scope, if any)."""
         opts = request.options
         agent = request.user or self.default_user
         transcript = request.transcript if request.transcript is not None else self.transcript
@@ -175,16 +214,22 @@ class Session:
 
         timer = Timer()
         with timer:
-            prepared, hit = self._prepare(request, channel)
+            with obs_span("prepare", kind="stage") as prep_sp:
+                prepared, hit = self._prepare(request, channel)
+                prep_sp.tag(prepared_hit=hit,
+                            tokens=0 if hit else prepared.prepare_tokens)
             plan = prepared.instantiate()
             if opts.function_versions:
                 plan.pin_versions(self.service.registry, opts.function_versions)
 
             execute_marker = self.models.cost_meter.snapshot()
-            result = self.stack.engine.execute(plan, channel,
-                                               nl_query=request.nl_query,
-                                               context=self.execution_context())
-            execute_tokens = self.models.cost_meter.tokens_since(execute_marker)
+            with obs_span("execute", kind="stage") as exec_sp:
+                result = self.stack.engine.execute(plan, channel,
+                                                   nl_query=request.nl_query,
+                                                   context=self.execution_context())
+                execute_tokens = self.models.cost_meter.tokens_since(execute_marker)
+                exec_sp.tag(tokens=execute_tokens,
+                            rows_out=len(result.final_table))
 
         self._adopt_repairs(prepared, plan, result, opts.function_versions)
         result.sketch = prepared.parse_outcome.sketch
@@ -240,18 +285,21 @@ class Session:
                  key) -> PreparedQuery:
         """Parse, plan, verify, and optimize one query (the expensive path)."""
         marker = self.models.cost_meter.snapshot()
-        parse_outcome = self.stack.parser.parse(request.nl_query, channel)
-        plan = self.stack.plan_generator.generate(parse_outcome.sketch, parse_outcome.intent)
-        report = self.stack.plan_verifier.verify(plan)
-        rounds = 0
-        while not report.approved and rounds < request.options.max_plan_rounds:
-            plan = self.stack.plan_generator.revise(plan, report.hints)
+        with obs_span("parse", kind="stage"):
+            parse_outcome = self.stack.parser.parse(request.nl_query, channel)
+        with obs_span("plan", kind="stage") as plan_sp:
+            plan = self.stack.plan_generator.generate(parse_outcome.sketch, parse_outcome.intent)
             report = self.stack.plan_verifier.verify(plan)
-            rounds += 1
-        if not report.approved:
-            raise PlanVerificationError(
-                "the plan verifier rejected the logical plan after "
-                f"{request.options.max_plan_rounds} revision rounds: {report.problems}")
+            rounds = 0
+            while not report.approved and rounds < request.options.max_plan_rounds:
+                plan = self.stack.plan_generator.revise(plan, report.hints)
+                report = self.stack.plan_verifier.verify(plan)
+                rounds += 1
+            plan_sp.tag(revision_rounds=rounds, approved=report.approved)
+            if not report.approved:
+                raise PlanVerificationError(
+                    "the plan verifier rejected the logical plan after "
+                    f"{request.options.max_plan_rounds} revision rounds: {report.problems}")
         physical, optimization = self.stack.optimizer.optimize(plan)
         return PreparedQuery(key=key, nl_query=request.nl_query,
                              parse_outcome=parse_outcome, logical_plan=plan,

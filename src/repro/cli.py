@@ -106,6 +106,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--simulate-latency", type=float, default=0.0, metavar="SCALE",
                         help="sleep each model call's synthetic latency times SCALE "
                              "(makes batch throughput numbers honest; default: 0)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print each query's span tree after the run "
+                             "(forces service mode)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export the run's traces as a Chrome trace_event "
+                             "file loadable in chrome://tracing or Perfetto "
+                             "(forces service mode)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the service metrics registry (counters, "
+                             "gauges, latency histograms) after the run "
+                             "(forces service mode)")
+    parser.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
+                        help="record queries slower than MS in the slow-query "
+                             "log and print it after the run (forces service "
+                             "mode)")
     return parser
 
 
@@ -150,6 +165,27 @@ def build_user(args: argparse.Namespace) -> UserAgent:
     return SilentUser()
 
 
+def print_span_tree(spans: Sequence[Dict[str, object]], output) -> None:
+    """Render one query's span summaries as an indented tree."""
+    children: Dict[Optional[str], List[Dict[str, object]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    def emit(span: Dict[str, object], depth: int) -> None:
+        tags = span.get("tags") or {}
+        extras = ", ".join(f"{k}={v}" for k, v in sorted(tags.items())
+                           if k not in ("session", "query"))
+        suffix = f" [{extras}]" if extras else ""
+        duration = span.get("duration_ms") or 0.0
+        print(f"  {'  ' * depth}{span['name']} ({span['kind']}): "
+              f"{duration:.2f} ms{suffix}", file=output)
+        for child in children.get(span.get("span_id"), []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+
+
 def run_batch(args: argparse.Namespace, query: str, output) -> int:
     """Serve ``--repeat`` copies of the query through the service layer."""
     from repro import KathDBService, QueryOptions, QueryRequest
@@ -172,6 +208,7 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           service_max_workers=max(1, args.jobs),
                           simulate_model_latency=max(0.0, args.simulate_latency),
                           gateway_batch_window_s=args.batch_window,
+                          slow_query_ms=args.slow_query_ms,
                           **semantic_overrides, **skill_overrides)
     service = KathDBService(config)
     print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
@@ -262,6 +299,39 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
         if args.no_model_cache:
             print("model gateway: result cache disabled (--no-model-cache)",
                   file=output)
+    if args.trace:
+        for response in responses:
+            if response.trace_spans:
+                print(f"\ntrace {response.trace_id} "
+                      f"[{response.session_id}]:", file=output)
+                print_span_tree(response.trace_spans, output)
+    if args.trace_out:
+        events = service.export_chrome_trace(args.trace_out)
+        print(f"chrome trace: {events} event(s) written to {args.trace_out} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)",
+              file=output)
+    if args.slow_query_ms is not None:
+        entries = service.slow_queries.entries()
+        print(f"slow queries (>{args.slow_query_ms:.0f} ms): {len(entries)}",
+              file=output)
+        for entry in entries:
+            op = entry.get("slowest_operator") or {}
+            op_note = (f"; slowest operator {op['name']} "
+                       f"({op['duration_ms']:.1f} ms, span {op['span_id']})"
+                       if op else "")
+            print(f"  {entry['trace_id']} [{entry['session_id']}]: "
+                  f"{entry['latency_ms']:.1f} ms{op_note}", file=output)
+    if args.metrics:
+        print("\nmetrics:", file=output)
+        snapshot = service.metrics_snapshot()
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            print(f"  counter {name}: {value}", file=output)
+        for name, value in sorted(snapshot.get("gauges", {}).items()):
+            print(f"  gauge {name}: {value}", file=output)
+        for name, summary in sorted(snapshot.get("histograms", {}).items()):
+            print(f"  histogram {name}: count={summary['count']}, "
+                  f"p50={summary['p50']:.1f}, p95={summary['p95']:.1f}, "
+                  f"p99={summary['p99']:.1f}", file=output)
     first_ok = next((r for r in responses if r.ok), None)
     if first_ok is not None:
         print(first_ok.result.final_table.pretty(limit=args.limit), file=output)
@@ -291,12 +361,15 @@ def run(args: argparse.Namespace, output=None) -> int:
                     or bool(args.gateway_stats) or args.no_model_cache
                     or args.batch_window is not None
                     or args.semantic_cache is not None
-                    or args.skill_store is not None or args.skill_stats)
+                    or args.skill_store is not None or args.skill_stats
+                    or args.trace or args.trace_out is not None
+                    or args.metrics or args.slow_query_ms is not None)
     if service_mode:
         if args.interactive:
             print("error: --interactive cannot be combined with service mode "
                   "(--jobs/--repeat/--gateway-stats/--no-model-cache/"
-                  "--batch-window/--semantic-cache/--skill-store/--skill-stats)",
+                  "--batch-window/--semantic-cache/--skill-store/--skill-stats/"
+                  "--trace/--trace-out/--metrics/--slow-query-ms)",
                   file=output)
             return 2
         return run_batch(args, query, output)

@@ -119,6 +119,24 @@ class KathDBConfig:
     # Admission control.
     gateway_max_concurrency: int = 16
     session_token_quota: Optional[int] = None
+    # LRU bound on the gateway's per-session stats/ledger entries.  Lower it
+    # for workloads dominated by throwaway per-request sessions (e.g. steady
+    # benchmark loops) so the tracked set reaches a fixed size instead of
+    # growing toward the default for hours.
+    gateway_max_tracked_sessions: int = 4096
+    # Observability (src/repro/obs/): per-query trace trees fed into the
+    # service's MetricsRegistry and trace sinks.  Tracing is on by default —
+    # benchmarks/bench_observability.py holds its overhead under 5% wall
+    # time and 0 extra tokens (spans never call models).
+    enable_tracing: bool = True
+    # How many finished traces service.traces() retains in memory.
+    trace_buffer_size: int = 256
+    # When set, every finished trace is appended to this JSONL file.
+    trace_jsonl_path: Optional[Union[str, Path]] = None
+    # When set, queries slower than this end-to-end land in the service's
+    # SlowQueryLog ring (surfaced by service.describe() and --slow-query-ms)
+    # with their slowest operator span pinned.
+    slow_query_ms: Optional[float] = None
 
     def __post_init__(self):
         if self.lineage_level not in (LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE, LINEAGE_LEVEL_OFF):
@@ -151,6 +169,8 @@ class KathDBConfig:
             raise KathDBError("semantic_ann_probes must be non-negative")
         if self.gateway_max_concurrency < 1:
             raise KathDBError("gateway_max_concurrency must be at least 1")
+        if self.gateway_max_tracked_sessions < 1:
+            raise KathDBError("gateway_max_tracked_sessions must be at least 1")
         if self.skill_store_path is not None and self.skill_store_backend == "memory":
             # A path means the caller wants durability; default to files.
             self.skill_store_backend = "file"
@@ -164,6 +184,10 @@ class KathDBConfig:
             raise KathDBError("skill_retrieval_threshold must be in (0, 1]")
         if self.session_token_quota is not None and self.session_token_quota < 1:
             raise KathDBError("session_token_quota must be positive when set")
+        if self.trace_buffer_size < 1:
+            raise KathDBError("trace_buffer_size must be at least 1")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise KathDBError("slow_query_ms must be non-negative when set")
 
     def effective_batch_size(self) -> int:
         """The vectorization chunk size execution should use (1 = serial).
@@ -201,4 +225,5 @@ class KathDBConfig:
             semantic_planes=self.semantic_ann_planes,
             semantic_probes=self.semantic_ann_probes,
             max_concurrency=self.gateway_max_concurrency,
-            session_token_quota=self.session_token_quota)
+            session_token_quota=self.session_token_quota,
+            max_tracked_sessions=self.gateway_max_tracked_sessions)

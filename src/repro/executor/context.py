@@ -12,7 +12,7 @@ read-only for the whole execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.datamodel.lineage import LineageStore
 from repro.relational.catalog import Catalog
@@ -33,6 +33,12 @@ class ExecutionContext:
     intermediates: Dict[str, Table] = field(default_factory=dict)
     table_lids: Dict[str, int] = field(default_factory=dict)
     lineage: Optional[LineageStore] = None
+    # The active query trace (repro.obs.span.Trace), when tracing is on.
+    # Spans normally propagate through a contextvar on the query's own
+    # thread; carrying the trace here lets work handed to *other* threads
+    # (parallel compile, a future async scheduler) re-attach via
+    # ``repro.obs.trace.attach(context.trace)``.
+    trace: Optional[Any] = None
 
     @classmethod
     def for_catalog(cls, catalog: Catalog, lineage: Optional[LineageStore] = None,

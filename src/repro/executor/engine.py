@@ -14,6 +14,7 @@ from repro.fao.function import FunctionContext, GeneratedFunction
 from repro.fao.registry import FunctionRegistry
 from repro.interaction.channel import InteractionChannel
 from repro.models.base import ModelSuite
+from repro.obs.trace import span as obs_span
 from repro.optimizer.physical_plan import PhysicalOperator, PhysicalPlan
 from repro.relational.catalog import Catalog
 from repro.relational.schema import Column, Schema
@@ -126,54 +127,65 @@ class ExecutionEngine:
         gateway_client = getattr(self.models, "gateway_client", None)
         gateway_marker = gateway_client.counters.snapshot() if gateway_client else None
 
-        marker = self.models.cost_meter.snapshot()
-        timer = Timer()
-        with timer:
-            output, function = self._run_with_repair(node, function, inputs, fn_context,
-                                                     channel, record)
-            operator.function = function
+        # One ``operator`` span per physical operator; model-call spans the
+        # gateway records during the body nest under it.
+        with obs_span(node.name, kind="operator", output=node.output,
+                      rows_in=rows_in) as op_sp:
+            marker = self.models.cost_meter.snapshot()
+            timer = Timer()
+            with timer:
+                output, function = self._run_with_repair(node, function, inputs, fn_context,
+                                                         channel, record)
+                operator.function = function
 
-            # Semantic monitoring: escalate anomalies to the user and, when asked,
-            # adjust the implementation and reprocess the operator.
-            anomalies = self.monitor.inspect(node, function, inputs, output)
-            for anomaly in anomalies:
-                decision = channel.escalate_anomaly(
-                    anomaly.describe() + " How should KathDB proceed?", ANOMALY_OPTIONS)
-                anomaly.decision = decision
-                record.anomalies.append(anomaly.describe())
-                if decision in ("adjust", "rewrite"):
-                    hint = anomaly.likely_cause or anomaly.message
-                    if self.skill_store is not None:
-                        self.skill_store.record_production_failure(function, hint)
-                    function = self.coder.repair(node, function, hint)
-                    self.registry.register(function)
-                    operator.function = function
-                    record.repairs.append(f"adjusted after anomaly: {hint}")
-                    output, function = self._run_with_repair(node, function, inputs,
-                                                             fn_context, channel, record)
-                    operator.function = function
+                # Semantic monitoring: escalate anomalies to the user and, when asked,
+                # adjust the implementation and reprocess the operator.
+                anomalies = self.monitor.inspect(node, function, inputs, output)
+                for anomaly in anomalies:
+                    decision = channel.escalate_anomaly(
+                        anomaly.describe() + " How should KathDB proceed?", ANOMALY_OPTIONS)
+                    anomaly.decision = decision
+                    record.anomalies.append(anomaly.describe())
+                    if decision in ("adjust", "rewrite"):
+                        hint = anomaly.likely_cause or anomaly.message
+                        if self.skill_store is not None:
+                            self.skill_store.record_production_failure(function, hint)
+                        with obs_span("repair", kind="stage", operator=node.name,
+                                      reason="anomaly"):
+                            function = self.coder.repair(node, function, hint)
+                        self.registry.register(function)
+                        operator.function = function
+                        record.repairs.append(f"adjusted after anomaly: {hint}")
+                        output, function = self._run_with_repair(node, function, inputs,
+                                                                 fn_context, channel, record)
+                        operator.function = function
 
-        record.runtime_s = timer.elapsed
-        record.tokens = self.models.cost_meter.tokens_since(marker)
-        record.function_version = function.version
-        record.function_variant = function.variant
-        if gateway_client is not None:
-            delta = gateway_client.counters.delta(gateway_marker)
-            record.gateway_hits = (delta["hits"] + delta["coalesced"]
-                                   + delta["semantic_hits"])
-            record.gateway_tokens_saved = delta["tokens_saved"]
-            record.gateway_batch_tokens_saved = delta["batch_tokens_saved"]
-            record.batch_calls = delta["batch_calls"]
-            # The audit list is bounded (old entries are trimmed), so read
-            # this operator's batches as a count-sized suffix, not by index.
-            record.batch_sizes = (
-                list(gateway_client.counters.batch_sizes[-record.batch_calls:])
-                if record.batch_calls else [])
+            record.runtime_s = timer.elapsed
+            record.tokens = self.models.cost_meter.tokens_since(marker)
+            record.function_version = function.version
+            record.function_variant = function.variant
+            if gateway_client is not None:
+                delta = gateway_client.counters.delta(gateway_marker)
+                record.gateway_hits = (delta["hits"] + delta["coalesced"]
+                                       + delta["semantic_hits"])
+                record.gateway_tokens_saved = delta["tokens_saved"]
+                record.gateway_batch_tokens_saved = delta["batch_tokens_saved"]
+                record.batch_calls = delta["batch_calls"]
+                # The audit list is bounded (old entries are trimmed), so read
+                # this operator's batches as a count-sized suffix, not by index.
+                record.batch_sizes = (
+                    list(gateway_client.counters.batch_sizes[-record.batch_calls:])
+                    if record.batch_calls else [])
 
-        # Lineage recording.
-        record.lineage_data_type = self._record_lineage(node, function, inputs, output,
-                                                        context, record)
-        record.rows_out = len(output)
+            # Lineage recording.
+            record.lineage_data_type = self._record_lineage(node, function, inputs, output,
+                                                            context, record)
+            record.rows_out = len(output)
+            record.span_id = op_sp.span_id or None
+            op_sp.tag(rows_out=record.rows_out, tokens=record.tokens,
+                      variant=record.function_variant,
+                      repairs=len(record.repairs),
+                      anomalies=len(record.anomalies))
 
         # Intermediates live in the execution context (session namespace); the
         # shared catalog is never mutated during execution.
@@ -201,7 +213,9 @@ class ExecutionEngine:
                     f"runtime error in {node.name!r} (v{current.version}): {hint}; "
                     f"KathDB is generating a patched implementation and resuming.")
                 try:
-                    current = self.coder.repair(node, current, hint)
+                    with obs_span("repair", kind="stage", operator=node.name,
+                                  attempt=attempts, reason="runtime-error"):
+                        current = self.coder.repair(node, current, hint)
                 except Exception as generation_error:  # noqa: BLE001 - surface as repair failure
                     raise RepairFailedError(
                         f"operator {node.name!r} could not be regenerated after a runtime "

@@ -41,6 +41,9 @@ class ExecutionRecord:
     # (through the gateway batch client) and their sizes, in issue order.
     batch_calls: int = 0
     batch_sizes: List[int] = field(default_factory=list)
+    # The operator's trace span (repro.obs), linking this record to the
+    # query's trace tree; None when tracing is off.
+    span_id: Optional[str] = None
 
     def describe(self) -> str:
         extras = []

@@ -32,10 +32,9 @@ from __future__ import annotations
 
 import copy
 import threading
-import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.gateway.admission import AdmissionController
 from repro.gateway.batching import MicroBatcher
@@ -50,6 +49,8 @@ from repro.gateway.fingerprint import (
     semantic_group,
 )
 from repro.gateway.semantic import SemanticNearCache, term_signature
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as obs_span
 
 
 @dataclass
@@ -73,6 +74,11 @@ class GatewayConfig:
     semantic_probes: int = 8
     max_concurrency: int = 16
     session_token_quota: Optional[int] = None
+    # LRU bound on tracked per-session client entries (stats/ledger);
+    # throwaway per-request sessions must not grow the registry forever.
+    # Eviction only drops the stats/ledger entry — live sessions hold
+    # their client through their model proxies regardless.
+    max_tracked_sessions: int = 4096
 
 
 @dataclass
@@ -159,8 +165,16 @@ class SessionGatewayClient:
 class ModelGateway:
     """Shared semantic cache + coalescing + micro-batching + admission."""
 
-    def __init__(self, config: Optional[GatewayConfig] = None):
+    def __init__(self, config: Optional[GatewayConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.config = config or GatewayConfig()
+        # The service passes its shared registry so gateway telemetry and
+        # query traces land in one store; standalone gateways own a private
+        # one.  ``self.events`` — the rolling stream behind
+        # :meth:`windowed_stats` — is the registry's EventLog (one lock,
+        # one retention policy, perf_counter stamps).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = self.metrics.events
         self.cache = ExactResultCache(capacity=self.config.cache_entries,
                                       token_budget=self.config.cache_token_budget)
         self.coalescer = RequestCoalescer()
@@ -177,29 +191,11 @@ class ModelGateway:
                                           probes=self.config.semantic_probes)
         self._clients_lock = threading.Lock()
         self._clients: "OrderedDict[str, SessionGatewayClient]" = OrderedDict()
-        # Rolling event log for windowed_stats(): (monotonic time, kind,
-        # request count, tokens, session id).  Bounded so long-running
-        # services cannot grow it without limit; at the bound the window
-        # simply cannot look further back than the retained events.
-        self._events: Deque[Tuple[float, str, int, int, Optional[str]]] = \
-            deque(maxlen=self.MAX_TRACKED_EVENTS)
-        self._events_lock = threading.Lock()
 
     #: Internal (quota-exempt) client ids live under this prefix; caller
     #: session ids may not use it, so a session named "loader" can never
     #: alias the populator's exemption.
     RESERVED_PREFIX = "#"
-    #: LRU bound on tracked per-session client objects: throwaway sessions
-    #: (one per service request) must not grow the registry forever.
-    #: Eviction only drops the stats/ledger entry — live sessions hold their
-    #: client through their model proxies regardless.
-    MAX_TRACKED_SESSIONS = 4096
-    #: Bound on the rolling event log behind :meth:`windowed_stats`.
-    MAX_TRACKED_EVENTS = 65536
-    #: Events older than this are pruned from the rolling log; windows wider
-    #: than the retention simply see the retained slice.
-    EVENT_RETENTION_S = 3600.0
-
     # -- clients and routing --------------------------------------------------------
     def client(self, session_id: str) -> SessionGatewayClient:
         """The (one) client for a caller session id, created on first use."""
@@ -220,7 +216,7 @@ class ModelGateway:
                 existing = SessionGatewayClient(self, session_id,
                                                 quota_exempt=quota_exempt)
                 self._clients[session_id] = existing
-                while len(self._clients) > self.MAX_TRACKED_SESSIONS:
+                while len(self._clients) > self.config.max_tracked_sessions:
                     self._clients.popitem(last=False)
             else:
                 self._clients.move_to_end(session_id)
@@ -247,7 +243,25 @@ class ModelGateway:
 
         ``semantic_terms`` is the (query_terms, candidate_terms) pair for
         predicate methods eligible for the near-match tier; None otherwise.
+
+        Each call records one ``model``-kind span on the *calling*
+        session's active trace (a no-op outside a trace), tagged with the
+        tier that answered it — exact-hit / semantic-hit /
+        coalesced-follower / batched-chunk / executed.  Because the span
+        is opened caller-side, shared work (a coalesced execution, a
+        micro-batch) shows up in every participating session's trace.
         """
+        model_name = getattr(model, "name", type(model).__name__)
+        with obs_span(f"{model_name}.{method}", kind="model",
+                      model=model_name, method=method) as sp:
+            return self._serve(client, model, method, args, kwargs, sp,
+                               batchable=batchable,
+                               semantic_terms=semantic_terms)
+
+    def _serve(self, client: SessionGatewayClient, model: Any, method: str,
+               args: Tuple[Any, ...], kwargs: Dict[str, Any], sp: Any, *,
+               batchable: bool = False,
+               semantic_terms: Optional[Tuple[Any, Any]] = None) -> Any:
         cfg = self.config
         lexicon_fp = lexicon_fingerprint_of(model)
         model_name = getattr(model, "name", type(model).__name__)
@@ -269,6 +283,7 @@ class ModelGateway:
                 client.counters.hits += 1
                 client.counters.tokens_saved += entry.token_cost
                 self.note_event("hits", 1, entry.token_cost, client.session_id)
+                sp.tag(outcome="exact-hit", tokens_saved=entry.token_cost)
                 return entry.result
 
         # Tier 2: semantic near-match (predicates only).
@@ -294,6 +309,7 @@ class ModelGateway:
                 client.counters.tokens_saved += near.token_cost
                 self.note_event("semantic_hits", 1, near.token_cost,
                                 client.session_id)
+                sp.tag(outcome="semantic-hit", tokens_saved=near.token_cost)
                 return near.result
             # Below threshold: guaranteed fall-through to exact execution.
 
@@ -312,6 +328,7 @@ class ModelGateway:
                 client.counters.coalesced += 1
                 client.counters.tokens_saved += token_cost
                 self.note_event("coalesced", 1, token_cost, client.session_id)
+                sp.tag(outcome="coalesced-follower", tokens_saved=token_cost)
                 return copy.deepcopy(result)
 
         # Tier 4: execute (admission-gated, possibly micro-batched).  The
@@ -324,13 +341,16 @@ class ModelGateway:
                 batch_kind = f"{getattr(model, 'name', type(model).__name__)}.{method}"
                 result, token_cost, serial_cost = \
                     self.batcher.submit(batch_kind, member).result()
+                sp.tag(outcome="batched-chunk", tokens=token_cost)
                 if serial_cost > token_cost:
                     client.counters.batch_tokens_saved += serial_cost - token_cost
                     self.note_event("batch_saved", 0, serial_cost - token_cost,
                                     client.session_id)
+                    sp.tag(batch_tokens_saved=serial_cost - token_cost)
             else:
                 with self.admission.slot():
                     result, token_cost = metered_call(model, method, args, kwargs)
+                sp.tag(outcome="executed", tokens=token_cost)
         except BaseException as error:
             if slot is not None:
                 self.coalescer.fail(slot, error)
@@ -369,10 +389,16 @@ class ModelGateway:
         kinds and the charged amount for misses.  ``session_id`` tags the
         event with the caller so :meth:`windowed_stats` can answer for one
         session as well as service-wide.
+
+        Events land in the shared :class:`~repro.obs.metrics.EventLog`
+        (one lock, one retention policy, ``perf_counter`` stamps) and are
+        mirrored into cumulative registry counters under ``gateway.*``.
         """
-        with self._events_lock:
-            self._events.append((time.monotonic(), kind, requests, tokens,
-                                 session_id))
+        self.events.append(kind, count=requests, value=tokens,
+                           session_id=session_id)
+        self.metrics.counter(f"gateway.{kind}").inc(requests)
+        if tokens:
+            self.metrics.counter(f"gateway.{kind}_tokens").inc(tokens)
 
     def windowed_stats(self, seconds: float = 60.0,
                        session_id: Optional[str] = None) -> Dict[str, Any]:
@@ -387,23 +413,11 @@ class ModelGateway:
         view); the default is service-wide.
         """
         seconds = max(0.0, float(seconds))
-        now = time.monotonic()
-        horizon = now - seconds
         totals = {"hits": 0, "misses": 0, "coalesced": 0, "semantic_hits": 0}
         tokens_saved = tokens_charged = batch_tokens_saved = 0
         semantic_probes = 0
-        with self._events_lock:
-            # Prune with a fixed retention horizon — never the query window,
-            # or a narrow query would blind a later, wider one.
-            retention = now - self.EVENT_RETENTION_S
-            while self._events and self._events[0][0] < retention:
-                self._events.popleft()
-            events = list(self._events)
-        for stamp, kind, requests, tokens, event_session in events:
-            if stamp < horizon:
-                continue
-            if session_id is not None and event_session != session_id:
-                continue
+        for _stamp, kind, requests, tokens, _session in \
+                self.events.window(seconds, session_id=session_id):
             if kind == "misses":
                 totals["misses"] += requests
                 tokens_charged += tokens

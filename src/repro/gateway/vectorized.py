@@ -45,6 +45,7 @@ from repro.gateway.fingerprint import (
 )
 from repro.gateway.semantic import term_signature
 from repro.models.batching import BatchMember, plan_batch, run_model_batch
+from repro.obs.trace import record_span, span as obs_span
 
 #: One logical call: ``(positional args, keyword args)``.
 BatchCall = Tuple[Tuple[Any, ...], Dict[str, Any]]
@@ -107,6 +108,11 @@ class GatewayBatchClient:
         # computed answer under, or None for duplicates/ineligible members.
         pending: "OrderedDict[Any, List[Tuple[int, Any, bool, BatchMember, Any]]]" \
             = OrderedDict()
+        # Cache-served members of this vectorized call aggregate into one
+        # ``model`` span per outcome (mirroring the batched-chunk span,
+        # which also covers many members) — a span per hit member would
+        # dominate tracing cost on hot all-hit batches.
+        hit_members = hit_tokens = near_members = near_tokens = 0
         for index, (args, kwargs) in enumerate(calls):
             args, kwargs = tuple(args), dict(kwargs)
             # The purpose tag labels cost records, never partitions results.
@@ -124,6 +130,8 @@ class GatewayBatchClient:
                         client.counters.tokens_saved += entry.token_cost
                         gateway.note_event("hits", 1, entry.token_cost,
                                            client.session_id)
+                        hit_members += 1
+                        hit_tokens += entry.token_cost
                         results[index] = entry.result
                         continue
                 if semantic_active:
@@ -142,6 +150,8 @@ class GatewayBatchClient:
                         client.counters.tokens_saved += near.token_cost
                         gateway.note_event("semantic_hits", 1, near.token_cost,
                                            client.session_id)
+                        near_members += 1
+                        near_tokens += near.token_cost
                         results[index] = near.result
                         continue
                     semantic_info = (group, vector, signature)
@@ -151,6 +161,15 @@ class GatewayBatchClient:
                  BatchMember(model=model, method=method,
                              args=args, kwargs=kwargs, key=key),
                  semantic_info))
+
+        if hit_members:
+            record_span(f"{model_name}.{method}", kind="model",
+                        model=model_name, method=method, outcome="exact-hit",
+                        members=hit_members, tokens_saved=hit_tokens)
+        if near_members:
+            record_span(f"{model_name}.{method}", kind="model",
+                        model=model_name, method=method, outcome="semantic-hit",
+                        members=near_members, tokens_saved=near_tokens)
 
         kind = f"{model_name}.{method}"
         meter = getattr(model, "cost_meter", None)
@@ -196,104 +215,123 @@ class GatewayBatchClient:
             if not executing:
                 continue
 
-            try:
-                with gateway.admission.slot():
-                    plan = plan_batch([member for _, _, _, member, _ in executing])
-            except BaseException as error:
-                for slot in led_slots.values():
-                    gateway.coalescer.fail(slot, error)
-                raise
+            # One ``model`` span per executed chunk, on this session's own
+            # trace — micro-batch membership is caller-side, so every
+            # participating session records the chunk it waited on.
+            with obs_span(f"{model_name}.{method}", kind="model",
+                          model=model_name, method=method) as chunk_sp:
+                try:
+                    with gateway.admission.slot():
+                        plan = plan_batch(
+                            [member for _, _, _, member, _ in executing])
+                except BaseException as error:
+                    for slot in led_slots.values():
+                        gateway.coalescer.fail(slot, error)
+                    raise
 
-            # Bill the whole chunk as one BatchedModelCall on the session's
-            # own meter (the raw model shares it), sub-linearly priced.  A
-            # chunk whose members all failed executed nothing: no batch is
-            # recorded anywhere (the errors still propagate below).
-            if plan.size:
-                if meter is not None:
-                    meter.record_batched(
-                        model_name, executing[0][3].purpose,
-                        plan.prompt_tokens, plan.completion_tokens,
-                        batch_size=plan.size, members=plan.size,
-                        serial_tokens=plan.serial_tokens,
-                        latency_s=plan.latency_s)
-                client.counters.misses += plan.size
-                client.counters.tokens_charged += plan.total_tokens
-                client.counters.batch_calls += 1
-                client.counters.batch_sizes.append(plan.size)
-                if len(client.counters.batch_sizes) > self.MAX_RECORDED_SIZES:
-                    # Long-lived clients (the service's corpus loader) must
-                    # not grow this forever; callers read recent suffixes.
-                    del client.counters.batch_sizes[:-self.MAX_RECORDED_SIZES // 2]
-                if plan.tokens_saved:
-                    client.counters.batch_tokens_saved += plan.tokens_saved
-                gateway.admission.charge(client.session_id, plan.total_tokens)
-                gateway.batcher.note_external_batch(kind, plan.size,
-                                                    plan.tokens_saved)
-                gateway.note_event("misses", plan.size, plan.total_tokens,
-                                   client.session_id)
-                if plan.tokens_saved:
-                    gateway.note_event("batch_saved", 0, plan.tokens_saved,
+                # Bill the whole chunk as one BatchedModelCall on the
+                # session's own meter (the raw model shares it), sub-linearly
+                # priced.  A chunk whose members all failed executed nothing:
+                # no batch is recorded anywhere (the errors still propagate
+                # below).
+                if plan.size:
+                    if meter is not None:
+                        meter.record_batched(
+                            model_name, executing[0][3].purpose,
+                            plan.prompt_tokens, plan.completion_tokens,
+                            batch_size=plan.size, members=plan.size,
+                            serial_tokens=plan.serial_tokens,
+                            latency_s=plan.latency_s)
+                    client.counters.misses += plan.size
+                    client.counters.tokens_charged += plan.total_tokens
+                    client.counters.batch_calls += 1
+                    client.counters.batch_sizes.append(plan.size)
+                    if len(client.counters.batch_sizes) > self.MAX_RECORDED_SIZES:
+                        # Long-lived clients (the service's corpus loader)
+                        # must not grow this forever; callers read recent
+                        # suffixes.
+                        del client.counters.batch_sizes[:-self.MAX_RECORDED_SIZES // 2]
+                    if plan.tokens_saved:
+                        client.counters.batch_tokens_saved += plan.tokens_saved
+                    gateway.admission.charge(client.session_id, plan.total_tokens)
+                    gateway.batcher.note_external_batch(kind, plan.size,
+                                                        plan.tokens_saved)
+                    gateway.note_event("misses", plan.size, plan.total_tokens,
                                        client.session_id)
+                    if plan.tokens_saved:
+                        gateway.note_event("batch_saved", 0, plan.tokens_saved,
+                                           client.session_id)
+                    chunk_sp.tag(outcome="batched-chunk",
+                                 batch_size=plan.size,
+                                 tokens=plan.total_tokens,
+                                 batch_tokens_saved=plan.tokens_saved)
 
-            # Publish every outcome — results to the caller, representatives
-            # to the cache and the in-flight followers.  The slot completion
-            # lives in a finally so a failed cache insert can never strand a
-            # follower mid-wait.
-            first_error = None
-            published = set()
-            try:
-                for (index, key, volatile, _member, semantic_info), outcome \
-                        in zip(executing, plan.outcomes):
-                    if outcome.error is not None:
-                        first_error = first_error or outcome.error
+                # Publish every outcome — results to the caller,
+                # representatives to the cache and the in-flight followers.
+                # The slot completion lives in a finally so a failed cache
+                # insert can never strand a follower mid-wait.
+                first_error = None
+                published = set()
+                try:
+                    for (index, key, volatile, _member, semantic_info), outcome \
+                            in zip(executing, plan.outcomes):
+                        if outcome.error is not None:
+                            first_error = first_error or outcome.error
+                            slot = led_slots.pop(key, None)
+                            if slot is not None:
+                                gateway.coalescer.fail(slot, outcome.error)
+                            continue
+                        results[index] = outcome.result
+                        if key in published:
+                            continue
+                        published.add(key)
+                        if cfg.enable_cache:
+                            gateway.cache.note_miss()
+                            gateway.cache.put(key, outcome.result,
+                                              outcome.charged_tokens,
+                                              volatile=volatile)
+                        if semantic_info is not None:
+                            # Store the computed answer under its signature so
+                            # later near-identical vectors (or serial calls)
+                            # reuse it — mirroring the serial funnel's put.
+                            group, vector, signature = semantic_info
+                            gateway.semantic.put(group, vector, signature,
+                                                 outcome.result,
+                                                 outcome.charged_tokens)
                         slot = led_slots.pop(key, None)
                         if slot is not None:
-                            gateway.coalescer.fail(slot, outcome.error)
-                        continue
-                    results[index] = outcome.result
-                    if key in published:
-                        continue
-                    published.add(key)
-                    if cfg.enable_cache:
-                        gateway.cache.note_miss()
-                        gateway.cache.put(key, outcome.result,
-                                          outcome.charged_tokens,
-                                          volatile=volatile)
-                    if semantic_info is not None:
-                        # Store the computed answer under its signature so
-                        # later near-identical vectors (or serial calls)
-                        # reuse it — mirroring the serial funnel's put.
-                        group, vector, signature = semantic_info
-                        gateway.semantic.put(group, vector, signature,
-                                             outcome.result,
-                                             outcome.charged_tokens)
-                    slot = led_slots.pop(key, None)
-                    if slot is not None:
-                        gateway.coalescer.complete(slot, outcome.result,
-                                                   outcome.charged_tokens)
-            finally:
-                # Anything still led here hit an infrastructure failure
-                # (e.g. the cache insert raised): release its followers.
-                for key, slot in led_slots.items():
-                    outcome = next(
-                        (o for (i, k, v, m, s), o in zip(executing, plan.outcomes)
-                         if k == key and o.error is None), None)
-                    if outcome is not None:
-                        gateway.coalescer.complete(slot, outcome.result,
-                                                   outcome.charged_tokens)
-                    else:
-                        gateway.coalescer.fail(
-                            slot, first_error
-                            or RuntimeError("batched member never executed"))
-            if first_error is not None:
-                raise first_error
+                            gateway.coalescer.complete(slot, outcome.result,
+                                                       outcome.charged_tokens)
+                finally:
+                    # Anything still led here hit an infrastructure failure
+                    # (e.g. the cache insert raised): release its followers.
+                    for key, slot in led_slots.items():
+                        outcome = next(
+                            (o for (i, k, v, m, s), o in zip(executing,
+                                                             plan.outcomes)
+                             if k == key and o.error is None), None)
+                        if outcome is not None:
+                            gateway.coalescer.complete(slot, outcome.result,
+                                                       outcome.charged_tokens)
+                        else:
+                            gateway.coalescer.fail(
+                                slot, first_error
+                                or RuntimeError("batched member never executed"))
+                if first_error is not None:
+                    raise first_error
 
         # Collect members another session computed while this batch ran.
+        # Each wait is its own ``model`` span on *this* session's trace, so
+        # cross-session coalescing attributes to every follower's query.
         for index, slot in follower_waits:
-            result, token_cost = gateway.coalescer.wait(slot)
-            client.counters.coalesced += 1
-            client.counters.tokens_saved += token_cost
-            gateway.note_event("coalesced", 1, token_cost, client.session_id)
+            with obs_span(f"{model_name}.{method}", kind="model",
+                          model=model_name, method=method) as fsp:
+                result, token_cost = gateway.coalescer.wait(slot)
+                client.counters.coalesced += 1
+                client.counters.tokens_saved += token_cost
+                gateway.note_event("coalesced", 1, token_cost,
+                                   client.session_id)
+                fsp.tag(outcome="coalesced-follower", tokens_saved=token_cost)
             results[index] = copy.deepcopy(result)
         return results
 

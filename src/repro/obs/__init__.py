@@ -1,0 +1,43 @@
+"""Unified observability: per-query trace spans, service metrics, sinks.
+
+``repro.obs`` is the one place the service's telemetry lives:
+
+* :mod:`repro.obs.span` / :mod:`repro.obs.trace` — per-query trace
+  trees with contextvar propagation (``span(...)`` from anywhere on the
+  query path).
+* :mod:`repro.obs.metrics` — the thread-safe :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket latency histograms with p50/p95/p99)
+  plus the shared :class:`EventLog` behind the gateway's windowed stats.
+* :mod:`repro.obs.sinks` — trace ring buffer, JSONL sink, Chrome
+  ``trace_event`` exporter, and the slow-query log.
+"""
+
+from repro.obs.metrics import (Counter, EventLog, Gauge, Histogram,
+                               MetricsRegistry)
+from repro.obs.sinks import (JsonlTraceSink, SlowQueryLog, TraceRingBuffer,
+                             chrome_trace_events, write_chrome_trace)
+from repro.obs.span import NOOP_SPAN, Span, Trace
+from repro.obs.trace import (Tracer, attach, current_span, current_trace,
+                             record_span, span)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "JsonlTraceSink",
+    "SlowQueryLog",
+    "TraceRingBuffer",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "NOOP_SPAN",
+    "Span",
+    "Trace",
+    "Tracer",
+    "attach",
+    "current_span",
+    "current_trace",
+    "record_span",
+    "span",
+]

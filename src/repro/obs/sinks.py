@@ -1,0 +1,189 @@
+"""Trace sinks: where finished traces go.
+
+* :class:`TraceRingBuffer` — the in-memory tail behind
+  ``service.traces()`` / ``service.trace(id)``.
+* :class:`JsonlTraceSink` — append-only JSONL file, one trace per line.
+* :func:`write_chrome_trace` — Chrome ``trace_event`` JSON (the
+  ``{"traceEvents": [...]}`` envelope with ``"X"`` complete events);
+  the output opens directly in ``chrome://tracing`` or Perfetto.
+* :class:`SlowQueryLog` — a bounded ring of queries whose end-to-end
+  latency crossed ``slow_query_ms``, each entry pinning the slowest
+  operator span by id.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, List, Optional, Union
+
+from repro.obs.span import Trace
+from repro.utils.io import atomic_write_text
+
+
+class TraceRingBuffer:
+    """Keeps the most recent ``capacity`` finished traces in memory."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._traces: Deque[Trace] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def add(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def list(self, limit: Optional[int] = None) -> List[Trace]:
+        """Buffered traces, oldest first."""
+        with self._lock:
+            traces = list(self._traces)
+        if limit is not None:
+            traces = traces[-limit:]
+        return traces
+
+    def get(self, trace_id: str) -> Optional[Trace]:
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class JsonlTraceSink:
+    """Appends each finished trace as one JSON line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.written = 0
+        self._lock = threading.Lock()
+
+    def write(self, trace: Trace) -> None:
+        line = json.dumps(trace.to_dict(), sort_keys=True)
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+            self.written += 1
+
+
+def chrome_trace_events(traces: Iterable[Trace]) -> List[Dict[str, Any]]:
+    """Flatten traces into Chrome ``trace_event`` ``"X"`` events.
+
+    Each trace gets its own lane (``tid``) named after it; timestamps
+    are microseconds relative to the earliest trace so concurrent
+    queries line up on one shared timeline.
+    """
+    ordered = [trace for trace in traces if trace is not None]
+    if not ordered:
+        return []
+    base = min(trace.start_pc for trace in ordered)
+    events: List[Dict[str, Any]] = []
+    for lane, trace in enumerate(ordered, start=1):
+        label = f"{trace.trace_id}"
+        if trace.session_id:
+            label += f" [{trace.session_id}]"
+        events.append({
+            "ph": "M", "pid": 1, "tid": lane, "name": "thread_name",
+            "args": {"name": label},
+        })
+        for span in trace.spans:
+            if not span.finished:
+                continue
+            args: Dict[str, Any] = {"span_id": span.span_id,
+                                    "status": span.status}
+            args.update(span.tags)
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "pid": 1,
+                "tid": lane,
+                "ts": round((span.start_pc - base) * 1e6, 3),
+                "dur": round(span.duration_ms * 1e3, 3),
+                "args": args,
+            })
+    return events
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       traces: Iterable[Trace]) -> int:
+    """Write a ``chrome://tracing``-loadable file; returns event count."""
+    events = chrome_trace_events(traces)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    atomic_write_text(Path(path), json.dumps(payload, indent=1))
+    return len(events)
+
+
+class SlowQueryLog:
+    """Bounded ring of queries slower than ``threshold_ms``.
+
+    Disabled (records nothing) while ``threshold_ms`` is ``None``.
+    Each entry carries the root latency plus the slowest operator
+    span's name and id, so a slow query points straight at its
+    bottleneck without re-running anything.
+    """
+
+    def __init__(self, threshold_ms: Optional[float] = None,
+                 capacity: int = 128) -> None:
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def observe(self, trace: Trace) -> Optional[Dict[str, Any]]:
+        threshold = self.threshold_ms
+        if threshold is None:
+            return None
+        latency_ms = trace.duration_ms
+        if latency_ms < threshold:
+            return None
+        slowest = trace.slowest("operator")
+        entry: Dict[str, Any] = {
+            "trace_id": trace.trace_id,
+            "session_id": trace.session_id,
+            "query": trace.root.tags.get("query"),
+            "status": trace.status,
+            "latency_ms": round(latency_ms, 3),
+        }
+        if slowest is not None:
+            entry["slowest_operator"] = {
+                "name": slowest.name,
+                "span_id": slowest.span_id,
+                "duration_ms": round(slowest.duration_ms, 3),
+            }
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    def entries(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> str:
+        entries = self.entries()
+        if self.threshold_ms is None:
+            return "slow-query log: disabled"
+        lines = [f"slow-query log (>= {self.threshold_ms:g} ms):"
+                 f" {len(entries)} recorded"]
+        for entry in entries[-5:]:
+            op = entry.get("slowest_operator")
+            op_part = (f" slowest={op['name']}({op['span_id']})"
+                       f" {op['duration_ms']:.1f}ms" if op else "")
+            lines.append(
+                f"  {entry['trace_id']} {entry['latency_ms']:.1f}ms"
+                f" [{entry.get('session_id') or '-'}]{op_part}")
+        return "\n".join(lines)

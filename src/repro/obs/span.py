@@ -1,0 +1,238 @@
+"""Trace spans: lineage for time and cost.
+
+A :class:`Trace` is the per-query tree of :class:`Span` records — the
+temporal analogue of what ``LineageStore`` does for rows.  Each span
+carries wall time measured with ``time.perf_counter`` plus free-form
+tags (token cost, rows in/out, cache outcome).  Spans are created
+through :class:`~repro.obs.trace.Tracer` and the module-level
+``span(...)`` context manager; this module only defines the data model.
+
+Span kinds used across the codebase:
+
+``query``
+    The root span — one per :class:`~repro.api.request.QueryRequest`.
+``stage``
+    Pipeline stages: ``prepare``, ``parse``, ``plan``, ``optimize``,
+    ``compile:<node>``, ``codegen``, ``profile_critic``,
+    ``skill_lookup``, ``skill_revalidate``, ``execute``, ``repair``.
+``operator``
+    One physical-operator execution inside the engine.
+``model``
+    One gateway model call, tagged with ``outcome``: ``exact-hit`` /
+    ``semantic-hit`` / ``coalesced-follower`` / ``batched-chunk`` /
+    ``executed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+#: The innermost live span on the current call path.  Lives here (not in
+#: ``repro.obs.trace``) because :class:`Span` doubles as its own context
+#: manager scope on the hot path.
+_CURRENT_SPAN: ContextVar[Optional["Span"]] = ContextVar("kathdb_obs_span",
+                                                         default=None)
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    A plain slotted class (not a dataclass), and its *own* context-manager
+    scope: span creation and finish run once per instrumented site per
+    query, so the hot path avoids every avoidable allocation and
+    indirection.  ``with trace.begin(...)`` sets the context var on entry
+    and finishes (status ``error`` when the body raised) on exit.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "kind",
+                 "start_pc", "end_pc", "status", "tags", "_trace", "_token")
+
+    #: Real spans record; the shared no-op span reports False so
+    #: instrumentation sites can stay branch-free.
+    is_recording = True
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str], kind: str = "stage",
+                 start_pc: float = 0.0, end_pc: Optional[float] = None,
+                 status: str = "ok", tags: Optional[Dict[str, Any]] = None,
+                 _trace: Optional["Trace"] = None) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.start_pc = start_pc
+        self.end_pc = end_pc
+        self.status = status
+        self.tags = tags if tags is not None else {}
+        self._trace = _trace
+
+    def __repr__(self) -> str:
+        return (f"Span(name={self.name!r}, span_id={self.span_id!r}, "
+                f"kind={self.kind!r}, status={self.status!r})")
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        _CURRENT_SPAN.reset(self._token)
+        self.finish("error" if exc_type is not None else None)
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return self.end_pc is not None
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_pc if self.end_pc is not None else time.perf_counter()
+        return (end - self.start_pc) * 1000.0
+
+    def tag(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def finish(self, status: Optional[str] = None) -> "Span":
+        """Close the span (idempotent).
+
+        Dropping the back-reference breaks the ``Span -> Trace -> spans``
+        cycle, so retired traces free by refcount instead of waiting on
+        (and adding work to) the cycle collector — measurable on the
+        ring-buffer sink, which keeps thousands of spans alive.
+        """
+        if self.end_pc is not None:
+            return self
+        self.end_pc = time.perf_counter()
+        if status is not None:
+            self.status = status
+        self._trace = None
+        return self
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "duration_ms": round(self.duration_ms, 3),
+            "tags": dict(self.tags),
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span (and scope) returned when tracing is off.
+
+    Lets call sites write ``sp.tag(...)`` unconditionally and use the
+    same object as the no-op ``with`` target.
+    """
+
+    is_recording = False
+    name = "noop"
+    kind = "noop"
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    duration_ms = 0.0
+    finished = True
+    tags: Dict[str, Any] = {}
+
+    def tag(self, **tags: Any) -> "_NoopSpan":
+        return self
+
+    def finish(self, status: Optional[str] = None) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Trace:
+    """One query's span tree: a root plus nested children.
+
+    Thread-safe: spans may be begun from any thread holding a reference
+    (the vectorized gateway client attributes coalesced/batched work to
+    every participating session's trace).
+    """
+
+    def __init__(self, trace_id: str, name: str,
+                 session_id: Optional[str] = None,
+                 tracer: Optional[Any] = None) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.session_id = session_id
+        self.tracer = tracer
+        #: Wall-clock birth time (epoch seconds) for exported records;
+        #: all *durations* come from ``perf_counter``.
+        self.started_at = time.time()
+        self.start_pc = time.perf_counter()
+        # Appended to lock-free: ``list.append`` and ``itertools.count``
+        # are atomic under the GIL, and readers snapshot with ``list(...)``.
+        self.spans: List[Span] = []
+        self._seq = itertools.count(1)
+        self.root = self.begin(name, parent=None, kind="query",
+                               tags={"session": session_id} if session_id
+                               else None)
+
+    def begin(self, name: str, parent: Optional[Span], kind: str = "stage",
+              tags: Optional[Dict[str, Any]] = None) -> Span:
+        # ``tags`` ownership transfers to the span (every caller builds a
+        # fresh dict from kwargs); avoiding the defensive copy — and
+        # constructing positionally — matters on this per-span hot path.
+        span = Span(name, self.trace_id,
+                    f"{self.trace_id}.{next(self._seq)}",
+                    parent.span_id if parent is not None else None,
+                    kind, time.perf_counter(), None, "ok",
+                    tags if tags is not None else {}, self)
+        self.spans.append(span)
+        return span
+
+    @property
+    def finished(self) -> bool:
+        return self.root.finished
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    @property
+    def status(self) -> str:
+        return self.root.status
+
+    def find(self, span_id: str) -> Optional[Span]:
+        for span in list(self.spans):
+            if span.span_id == span_id:
+                return span
+        return None
+
+    def slowest(self, kind: str) -> Optional[Span]:
+        candidates = [s for s in list(self.spans)
+                      if s.kind == kind and s.finished]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.duration_ms)
+
+    def summary(self) -> List[Dict[str, Any]]:
+        return [span.summary() for span in list(self.spans)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "session_id": self.session_id,
+            "started_at": self.started_at,
+            "status": self.status,
+            "duration_ms": round(self.duration_ms, 3),
+            "spans": self.summary(),
+        }

@@ -25,6 +25,7 @@ from repro.fao.function import FunctionContext, GeneratedFunction
 from repro.fao.profiler import Profiler, ProfileResult
 from repro.fao.registry import FunctionRegistry
 from repro.models.base import ModelSuite
+from repro.obs.trace import attach, current_trace, span as obs_span
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.physical_plan import PhysicalOperator, PhysicalPlan
 from repro.optimizer.profile_cache import ProfileCache
@@ -120,7 +121,7 @@ class QueryOptimizer:
         report = OptimizationReport()
         marker = self.models.cost_meter.snapshot()
         timer = Timer()
-        with timer:
+        with timer, obs_span("optimize", kind="stage") as opt_sp:
             plan = logical_plan
             if self.enable_pushdown:
                 plan, changed = predicate_pushdown(plan, self.catalog)
@@ -141,8 +142,11 @@ class QueryOptimizer:
                 self._compile_parallel(ordered, physical, cost_model, sample_tables, report)
             else:
                 for node in ordered:
-                    operator = self._compile_node(node, cost_model, sample_tables, report)
+                    with obs_span(f"compile:{node.name}", kind="stage"):
+                        operator = self._compile_node(node, cost_model, sample_tables, report)
                     physical.add(operator)
+            opt_sp.tag(nodes=len(ordered),
+                       rewrites=list(report.rewrites_applied))
 
         report.wall_clock_s = timer.elapsed
         report.tokens_spent = self.models.cost_meter.tokens_since(marker)
@@ -184,18 +188,22 @@ class QueryOptimizer:
         # codegen (the stored record would bypass what the caller asked for).
         if self.skill_store is not None and override is None \
                 and node.name not in self.coder.fault_injection:
-            hit = self.skill_store.lookup(
-                node, family, inputs, context, models=self.models,
-                profiler=self.profiler, critic=self.critic, monitor=self.monitor,
-                sample_size=self.sample_size)
+            with obs_span("skill_lookup", kind="stage", node=node.name) as sk_sp:
+                hit = self.skill_store.lookup(
+                    node, family, inputs, context, models=self.models,
+                    profiler=self.profiler, critic=self.critic, monitor=self.monitor,
+                    sample_size=self.sample_size)
+                sk_sp.tag(hit=hit is not None)
             if hit is not None:
                 return self._operator_from_hit(node, hit, cost_model, sample_tables, report)
             report.skill_misses += 1
 
         candidates: List[Tuple[GeneratedFunction, ProfileResult, float, CriticVerdict]] = []
         for spec in specs:
-            function = self.coder.generate(node, variant=spec.variant,
-                                           input_samples=input_samples)
+            with obs_span("codegen", kind="stage", node=node.name,
+                          variant=spec.variant):
+                function = self.coder.generate(node, variant=spec.variant,
+                                               input_samples=input_samples)
             self.registry.register(function)
             cached = self.profile_cache.get(family, spec.variant) \
                 if self.profile_cache is not None else None
@@ -211,9 +219,13 @@ class QueryOptimizer:
                 rounds = 0
                 report.profile_cache_hits += 1
             else:
-                function, profile, rounds, verdict = self.critic.review_and_repair(
-                    node, function, inputs, context, self.coder, self.profiler,
-                    registry=self.registry, max_rounds=self.max_repair_rounds)
+                with obs_span("profile_critic", kind="stage", node=node.name,
+                              variant=spec.variant) as pc_sp:
+                    function, profile, rounds, verdict = self.critic.review_and_repair(
+                        node, function, inputs, context, self.coder, self.profiler,
+                        registry=self.registry, max_rounds=self.max_repair_rounds)
+                    pc_sp.tag(rounds=rounds, success=profile.success,
+                              critic_ok=verdict.ok)
                 if self.profile_cache is not None:
                     self.profile_cache.record(family, spec.variant, profile)
             report.candidates_evaluated += 1
@@ -320,6 +332,16 @@ class QueryOptimizer:
         produced = set(self.catalog.table_names())
         remaining = list(ordered)
         compiled: Dict[str, PhysicalOperator] = {}
+        # Worker threads do not inherit the query's span contextvar;
+        # re-attach the trace so their compile spans still parent here.
+        trace = current_trace()
+
+        def compile_attached(node: LogicalPlanNode) -> PhysicalOperator:
+            with attach(trace):
+                with obs_span(f"compile:{node.name}", kind="stage"):
+                    return self._compile_node(node, cost_model, sample_tables,
+                                              report)
+
         while remaining:
             ready = [node for node in remaining
                      if all(source in produced or source in sample_tables
@@ -328,7 +350,7 @@ class QueryOptimizer:
                 ready = [remaining[0]]  # break potential deadlocks defensively
             with concurrent.futures.ThreadPoolExecutor(max_workers=max(1, len(ready))) as pool:
                 futures = {
-                    pool.submit(self._compile_node, node, cost_model, sample_tables, report): node
+                    pool.submit(compile_attached, node): node
                     for node in ready
                 }
                 for future, node in futures.items():

@@ -12,9 +12,8 @@ next prepare regenerates through the critic instead of reusing bad code.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.fao.critic import Critic, CriticVerdict
 from repro.fao.function import FunctionContext, GeneratedFunction
@@ -22,6 +21,8 @@ from repro.fao.profiler import ProfileResult, Profiler
 from repro.executor.monitor import ExecutionMonitor
 from repro.fao.library import ImplementationLibrary
 from repro.models.base import ModelSuite
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as obs_span
 from repro.optimizer.profile_cache import CachedProfile
 from repro.parser.logical_plan import LogicalPlanNode
 from repro.relational.table import Table
@@ -51,28 +52,34 @@ class SkillHit:
 class SkillStore:
     """Durable, retrievable, validated storage for generated functions."""
 
+    #: Counter names, in the order ``stats()`` has always reported them.
+    COUNTER_NAMES: Tuple[str, ...] = (
+        "exact_hits", "near_hits", "misses", "stores",
+        "revalidations", "revalidation_failures", "demotions",
+    )
+
     def __init__(self, backend: Optional[SkillBackend] = None,
                  library: Optional[ImplementationLibrary] = None,
                  retrieval_threshold: float = 0.9,
-                 provenance: Optional[Dict[str, Any]] = None):
+                 provenance: Optional[Dict[str, Any]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.backend = backend or MemoryBackend()
         self.retrieval = RetrievalIndex(self.backend, threshold=retrieval_threshold)
         self.harness = RevalidationHarness(library=library)
         self.provenance = dict(provenance or {})
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {
-            "exact_hits": 0, "near_hits": 0, "misses": 0, "stores": 0,
-            "revalidations": 0, "revalidation_failures": 0, "demotions": 0,
-        }
+        # Counters live in the (possibly service-wide) metrics registry under
+        # ``skills.*``; pre-created so ``stats()`` always returns the full dict.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        for name in self.COUNTER_NAMES:
+            self.metrics.counter(f"skills.{name}")
 
     # -- bookkeeping -----------------------------------------------------------
     def _bump(self, counter: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[counter] = self._counters.get(counter, 0) + amount
+        self.metrics.counter(f"skills.{counter}").inc(amount)
 
     def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(self._counters)
+        return {name: self.metrics.counter(f"skills.{name}").value
+                for name in self.COUNTER_NAMES}
 
     def __len__(self) -> int:
         return len(self.retrieval.active_records())
@@ -157,9 +164,12 @@ class SkillStore:
             return None
 
         self._bump("revalidations")
-        outcome = self.harness.revalidate(record, function, node, inputs, context,
-                                          profiler, critic, monitor=monitor,
-                                          exact=exact, sample_size=sample_size)
+        with obs_span("skill_revalidate", kind="stage", node=node.name,
+                      skill_kind=kind) as reval_sp:
+            outcome = self.harness.revalidate(record, function, node, inputs, context,
+                                              profiler, critic, monitor=monitor,
+                                              exact=exact, sample_size=sample_size)
+            reval_sp.tag(ok=outcome.ok)
         if not outcome.ok:
             self._bump("revalidation_failures")
             if exact:

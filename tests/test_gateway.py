@@ -606,8 +606,7 @@ class TestAdmissionControl:
             gateway.client("#loader")
 
     def test_client_and_spend_registries_are_bounded(self):
-        gateway = ModelGateway(GatewayConfig())
-        gateway.MAX_TRACKED_SESSIONS = 8
+        gateway = ModelGateway(GatewayConfig(max_tracked_sessions=8))
         gateway.admission.MAX_TRACKED_SESSIONS = 8
         model = CountingModel(CostMeter())
         for index in range(20):
