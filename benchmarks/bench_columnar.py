@@ -1,0 +1,328 @@
+"""Columnar-store benchmark: column-at-a-time operators vs the row-dict core.
+
+PR 8 replaced ``Table``'s per-row-dict storage with a columnar store (one
+typed vector per column, copy-on-write forks).  This benchmark measures the
+two claims that refactor makes:
+
+* **operator throughput** — the pure-relational operators (filter, project,
+  sort, hash join, aggregate, distinct) over a large synthetic corpus,
+  column-at-a-time vs a faithful **legacy arm** transcribed from the
+  pre-columnar implementation (one dict per row, ``predicate.evaluate(row)``
+  per row, per-row dict construction).  The legacy arm runs on plain lists
+  of dicts with no Table bookkeeping, so the measured speedup is a *lower*
+  bound on what the old engine paid.  Outputs must be row-identical.
+* **overlay-fork cost** — ``Table.fork()`` (the session-overlay/copy path)
+  against the old ``copy()`` body (``[dict(row) for row in rows]``).  The
+  fork must leave every untouched column physically shared (verified by
+  identity) and a first write must unshare only the touched column.
+
+The record lands in ``BENCH_columnar.json``; floors live in
+``benchmarks/gate.py`` (>= 1.5x operator throughput at full size).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py [--quick]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_columnar.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+from repro.relational import operators as ops
+from repro.relational.expressions import BinaryOp, col, lit
+from repro.relational.operators import AggregateSpec
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import compare_values
+
+try:
+    from benchmarks import gate
+except ImportError:  # running as a plain script from benchmarks/
+    import gate
+
+RESULT_PATH = Path(__file__).parent / "BENCH_columnar.json"
+
+FULL_ROWS = 20_000
+QUICK_ROWS = 4_000
+REPEATS = 3
+
+GENRES = ["action", "drama", "comedy", "thriller", "noir", "romance", "scifi"]
+
+FILM_SCHEMA = Schema.of(("movie_id", "int"), ("title", "text"), ("year", "int"),
+                        ("score", "float"), ("votes", "int"), ("genre", "text"))
+RATING_SCHEMA = Schema.of(("movie_id", "int"), ("rating", "float"))
+
+
+def build_film_rows(n: int) -> List[Dict[str, Any]]:
+    """Deterministic synthetic corpus (no RNG: bit-identical across arms)."""
+    rows = []
+    for i in range(n):
+        rows.append({
+            "movie_id": i,
+            "title": f"movie {(i * 7919) % 997:03d}",
+            "year": 1900 + (i * 37) % 130,
+            "score": None if i % 17 == 0 else ((i * 13) % 100) / 100.0,
+            "votes": (i * 101) % 100_000,
+            "genre": GENRES[(i * 31) % len(GENRES)],
+        })
+    return rows
+
+
+def build_rating_rows(n: int) -> List[Dict[str, Any]]:
+    return [{"movie_id": (i * 3) % n, "rating": ((i * 7) % 50) / 10.0}
+            for i in range(n // 4)]
+
+
+# ---------------------------------------------------------------------------
+# Legacy arm: the pre-columnar row-dict operator bodies, transcribed
+# ---------------------------------------------------------------------------
+def legacy_filter(rows, predicate):
+    return [dict(row) for row in rows if predicate.evaluate(row)]
+
+
+def legacy_project(rows, columns):
+    return [{c: row.get(c) for c in columns} for row in rows]
+
+
+def legacy_sort(rows, keys):
+    def cmp(a, b):
+        for column, descending in keys:
+            result = compare_values(a.get(column), b.get(column))
+            if result is None:
+                result = compare_values(repr(a.get(column)), repr(b.get(column))) or 0
+            if result != 0:
+                return -result if descending else result
+        return 0
+
+    return [dict(row) for row in sorted(rows, key=functools.cmp_to_key(cmp))]
+
+
+def legacy_hash_join(left_rows, right_rows, left_names, right_out_names,
+                     right_in_names, key):
+    index: Dict[Any, List[Dict[str, Any]]] = {}
+    for row in right_rows:
+        value = row.get(key)
+        if value is None:
+            continue
+        index.setdefault(value, []).append(row)
+    out = []
+    for lrow in left_rows:
+        value = lrow.get(key)
+        for rrow in (index.get(value, []) if value is not None else []):
+            row = {n: lrow.get(n) for n in left_names}
+            for out_name, in_name in zip(right_out_names, right_in_names):
+                row[out_name] = rrow.get(in_name)
+            out.append(row)
+    return out
+
+
+def _hashable(value):
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def legacy_aggregate(rows, group_by, specs):
+    """The old ``aggregate``: per-row tuple keys, groups of row dicts,
+    ``spec.compute(rows)`` re-reading every member dict per aggregate."""
+    groups: Dict[Any, List[Dict[str, Any]]] = {}
+    order = []
+    for row in rows:
+        key = tuple(_hashable(row.get(c)) for c in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    out = []
+    for key in order:
+        members = groups[key]
+        result = dict(zip(group_by, key))
+        for spec in specs:
+            result[spec.alias] = spec.compute(members)
+        out.append(result)
+    return out
+
+
+def legacy_distinct(rows, columns):
+    seen = set()
+    out = []
+    for row in rows:
+        key = tuple(repr(row.get(c)) for c in columns)
+        if key not in seen:
+            seen.add(key)
+            out.append(dict(row))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+def _time(fn: Callable[[], Any], repeats: int = REPEATS) -> float:
+    """Best-of-N wall time (best-of filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(n_rows: int = FULL_ROWS) -> Dict[str, Any]:
+    film_rows = build_film_rows(n_rows)
+    rating_rows = build_rating_rows(n_rows)
+    films = Table("films", Schema(list(FILM_SCHEMA.columns)), film_rows)
+    ratings = Table("ratings", Schema(list(RATING_SCHEMA.columns)), rating_rows)
+
+    predicate = BinaryOp("and",
+                         BinaryOp(">", col("year"), lit(1980)),
+                         BinaryOp(">=", col("score"), lit(0.5)))
+    project_columns = ["title", "year", "score"]
+    sort_keys = [("year", True), ("title", False)]
+    joined_schema = films.schema.merge(ratings.schema)
+    right_out = joined_schema.column_names()[len(films.column_names()):]
+
+    arms: Dict[str, Dict[str, Callable[[], Any]]] = {
+        "filter": {
+            "legacy": lambda: legacy_filter(film_rows, predicate),
+            "columnar": lambda: ops.filter_rows(films, predicate),
+        },
+        "project": {
+            "legacy": lambda: legacy_project(film_rows, project_columns),
+            "columnar": lambda: ops.project(films, project_columns),
+        },
+        "sort": {
+            "legacy": lambda: legacy_sort(film_rows, sort_keys),
+            "columnar": lambda: ops.sort(films, sort_keys),
+        },
+        "hash_join": {
+            "legacy": lambda: legacy_hash_join(
+                film_rows, rating_rows, films.column_names(), right_out,
+                ratings.column_names(), "movie_id"),
+            "columnar": lambda: ops.hash_join(films, ratings,
+                                              "movie_id", "movie_id"),
+        },
+        "aggregate": {
+            "legacy": lambda: legacy_aggregate(
+                film_rows, ["genre"],
+                [AggregateSpec("count", None, "n"),
+                 AggregateSpec("avg", "score", "avg_score")]),
+            "columnar": lambda: ops.aggregate(
+                films, ["genre"],
+                [AggregateSpec("count", None, "n"),
+                 AggregateSpec("avg", "score", "avg_score")]),
+        },
+        "distinct": {
+            "legacy": lambda: legacy_distinct(film_rows, ["genre", "year"]),
+            "columnar": lambda: ops.distinct(films, ["genre", "year"]),
+        },
+    }
+
+    operators: Dict[str, Dict[str, Any]] = {}
+    legacy_total = columnar_total = 0.0
+    all_identical = True
+    for op_name, arm in arms.items():
+        expected = arm["legacy"]()
+        actual = arm["columnar"]()
+        identical = [dict(row) for row in actual] == expected
+        all_identical = all_identical and identical
+        legacy_s = _time(arm["legacy"])
+        columnar_s = _time(arm["columnar"])
+        legacy_total += legacy_s
+        columnar_total += columnar_s
+        operators[op_name] = {
+            "legacy_s": round(legacy_s, 6),
+            "columnar_s": round(columnar_s, 6),
+            "speedup": round(legacy_s / max(columnar_s, 1e-9), 3),
+            "rows_out": len(actual),
+            "row_identical": identical,
+        }
+
+    # Overlay-fork cost: the session-overlay path vs the old copy() body.
+    fork_s = _time(lambda: films.fork())
+    legacy_copy_s = _time(lambda: [dict(row) for row in film_rows])
+    fork = films.fork()
+    all_shared = all(films.shares_column(fork, c) for c in films.column_names())
+    fork.set_column("score", [None] * len(fork))
+    touched_unshared = not films.shares_column(fork, "score")
+    others_still_shared = all(films.shares_column(fork, c)
+                              for c in films.column_names() if c != "score")
+
+    return {
+        "workload": ("pure-relational operators over a synthetic corpus, "
+                     "columnar vs transcribed row-dict legacy arm"),
+        "rows": n_rows,
+        "repeats": REPEATS,
+        "operators": operators,
+        "operator_speedup": round(legacy_total / max(columnar_total, 1e-9), 3),
+        "row_identical": all_identical,
+        "fork": {
+            "rows": n_rows,
+            "fork_s": round(fork_s, 6),
+            "legacy_copy_s": round(legacy_copy_s, 6),
+            "speedup": round(legacy_copy_s / max(fork_s, 1e-9), 3),
+            "all_columns_shared": all_shared,
+            "touched_column_unshared": touched_unshared,
+            "untouched_columns_still_shared": others_still_shared,
+        },
+    }
+
+
+def save(record: Dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def report(record: Dict) -> str:
+    per_op = ", ".join(f"{name} {entry['speedup']:.1f}x"
+                       for name, entry in record["operators"].items())
+    fork = record["fork"]
+    return (f"[columnar] {record['rows']} rows: operators "
+            f"{record['operator_speedup']:.2f}x overall ({per_op}), "
+            f"fork {fork['speedup']:.0f}x vs row copy "
+            f"(shared={fork['all_columns_shared']}), "
+            f"row-identical={record['row_identical']}")
+
+
+def test_columnar_operators_beat_row_dicts():
+    """The columnar engine must clear the gate's floors (>= 1.5x operators)."""
+    record = run_benchmark()
+    save(record)
+    print("\n" + report(record))
+    failures = gate.evaluate("columnar", record, shape="full")
+    assert not failures, "\n".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=None, help="corpus rows")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus (CI smoke run; looser floors)")
+    args = parser.parse_args()
+    n_rows = args.rows or (QUICK_ROWS if args.quick else FULL_ROWS)
+    record = run_benchmark(n_rows=n_rows)
+    print(report(record))
+    if not args.quick:
+        # Smoke runs validate via the exit code only: the committed record
+        # holds the full-size workload, which a quick run must not overwrite.
+        save(record)
+        print(f"wrote {RESULT_PATH}")
+    failures = gate.evaluate("columnar", record,
+                             shape="quick" if args.quick else "full")
+    if failures:
+        print("\n".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

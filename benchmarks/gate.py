@@ -142,6 +142,11 @@ def _quick_fao_store() -> Dict[str, Any]:
     return bench.run_benchmark(corpus_size=bench.QUICK_CORPUS)
 
 
+def _quick_columnar() -> Dict[str, Any]:
+    bench = _bench("bench_columnar")
+    return bench.run_benchmark(n_rows=bench.QUICK_ROWS)
+
+
 def _quick_observability() -> Dict[str, Any]:
     bench = _bench("bench_observability")
     # Sub-10ms reps make the 5% full-size bar scheduler-noise-bound; the
@@ -260,6 +265,34 @@ GATES: Dict[str, GateSpec] = {
             Check("poisoned.skills.stores", minimum=0, strict=True),
         ],
         quick_run=_quick_fao_store,
+    ),
+    "columnar": GateSpec(
+        name="columnar",
+        record_file="BENCH_columnar.json",
+        committed=[
+            # The acceptance bar: column-at-a-time pure-relational operators
+            # >= 1.5x over the transcribed row-dict legacy arm at full size,
+            # bit-identical rows, and O(columns) forks whose untouched
+            # vectors stay physically shared (first write unshares exactly
+            # the touched column).
+            Check("operator_speedup", minimum=1.5),
+            Check("row_identical", equals=True),
+            Check("fork.speedup", minimum=50.0),
+            Check("fork.all_columns_shared", equals=True),
+            Check("fork.touched_column_unshared", equals=True),
+            Check("fork.untouched_columns_still_shared", equals=True),
+        ],
+        quick=[
+            # The smaller corpus shrinks the absolute gap but the structural
+            # checks stay strict; only the ratios loosen.
+            Check("operator_speedup", minimum=1.2),
+            Check("row_identical", equals=True),
+            Check("fork.speedup", minimum=20.0),
+            Check("fork.all_columns_shared", equals=True),
+            Check("fork.touched_column_unshared", equals=True),
+            Check("fork.untouched_columns_still_shared", equals=True),
+        ],
+        quick_run=_quick_columnar,
     ),
     "observability": GateSpec(
         name="observability",

@@ -88,9 +88,12 @@ class Session:
         """This session's materialized intermediate tables (name -> table).
 
         This replaces the old behaviour of registering every intermediate into
-        the shared catalog: the namespace is now private to the session.
+        the shared catalog: the namespace is now private to the session.  The
+        returned tables are O(columns) copy-on-write forks — callers can read
+        (or even mutate) them freely without touching the session's own
+        namespace, and untouched columns stay physically shared.
         """
-        return dict(self._intermediates)
+        return {name: table.fork() for name, table in self._intermediates.items()}
 
     def execution_context(self) -> ExecutionContext:
         """A context over the shared catalog and this session's scopes.

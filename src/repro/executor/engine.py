@@ -97,7 +97,11 @@ class ExecutionEngine:
             if name in intermediates:
                 inputs[name] = intermediates[name]
             elif self.catalog.has_table(name):
-                inputs[name] = self.catalog.table(name)
+                # Hand function bodies a copy-on-write fork, not the live
+                # catalog table: the fork is O(columns), and any stray write
+                # a generated body makes copies only the touched column
+                # instead of corrupting shared catalog state.
+                inputs[name] = self.catalog.table(name).fork()
             else:
                 inputs[name] = Table(name, Schema([]))
         return inputs
@@ -238,12 +242,17 @@ class ExecutionEngine:
             primary_name = node.inputs[0] if node.inputs else None
             primary_lid = table_lids.get(primary_name.lower()) if primary_name else None
             if not output.schema.has_column(LID_COLUMN):
+                # The schema setter materializes the new column as NULLs.
                 output.schema = output.schema.add(Column(LID_COLUMN, DataType.INTEGER))
-            for row in output.rows:
-                inherited = row.get(LID_COLUMN)
+            # Whole-column lid stamping: read the inherited vector once,
+            # mint new lids, and write the column back in one shot.
+            inherited_lids = output.column_values(LID_COLUMN)
+            new_lids = []
+            for inherited in inherited_lids:
                 parent = inherited if inherited is not None else primary_lid
-                new_lid = lineage.record_row(function.func_id, function.version, parent)
-                row[LID_COLUMN] = new_lid
+                new_lids.append(lineage.record_row(function.func_id, function.version,
+                                                   parent))
+            output.set_column(LID_COLUMN, new_lids)
             # The output table itself also gets a table-level handle so later
             # wide operators can reference it as a parent.
             table_lid = lineage.record_table(function.func_id, function.version,

@@ -71,8 +71,7 @@ class ExecutionMonitor:
             for key_column in ("image_uri", "movie_id"):
                 if output.schema.has_column(key_column):
                     counts: Dict[object, int] = {}
-                    for row in output:
-                        value = row.get(key_column)
+                    for value in output.column_values(key_column):
                         if value is None:
                             continue
                         counts[value] = counts.get(value, 0) + 1

@@ -39,30 +39,82 @@ def _primary_input(node: LogicalPlanNode, inputs: Dict[str, Table]) -> Table:
     return inputs[name]
 
 
-def _extend_table(source: Table, output_name: str,
-                  new_columns: List[Tuple[str, DataType]],
-                  compute: Callable[[Dict[str, Any]], Dict[str, Any]]) -> Table:
-    """Copy ``source`` and add computed columns row by row (order-preserving)."""
+def _extend_table_columns(source: Table, output_name: str,
+                          new_columns: List[Tuple[str, DataType]],
+                          vectors: Dict[str, List[Any]]) -> Table:
+    """COW-fork ``source`` and set whole computed column vectors on the fork.
+
+    The fork shares every untouched source column with the input (zero-copy);
+    only the computed columns are materialized.  This is the whole-column
+    write path every scoring body funnels through.
+    """
     schema = Schema(list(source.schema.columns))
     for column_name, data_type in new_columns:
         if not schema.has_column(column_name):
             schema = schema.add(Column(column_name, data_type))
-    result = Table(output_name, schema)
-    for row in source:
-        new_row = dict(row)
-        new_row.update(compute(row))
-        result.insert(new_row)
+    store = source._store.fork()
+    result = Table._adopt(output_name, schema, store,
+                          description=source.description,
+                          lossy_columns=source.lossy_columns)
+    length = len(source)
+    for column_name, _ in new_columns:
+        col = schema.column(column_name)
+        values = vectors.get(column_name)
+        if values is None:
+            values = [None] * length
+        store.set_column(col.name, [col.validate(v) for v in values])
     return result
+
+
+def _extend_table(source: Table, output_name: str,
+                  new_columns: List[Tuple[str, DataType]],
+                  compute: Callable[[Dict[str, Any]], Dict[str, Any]]) -> Table:
+    """Add computed columns, evaluating ``compute`` once per row in order.
+
+    Row-compatibility shim over :func:`_extend_table_columns`: the per-row
+    results are transposed into column vectors and written in one shot, so
+    the source's own columns are never copied.
+    """
+    computed = [compute(row) for row in source]
+    vectors: Dict[str, List[Any]] = {
+        column_name: [values.get(column_name) for values in computed]
+        for column_name, _ in new_columns
+    }
+    return _extend_table_columns(source, output_name, new_columns, vectors)
 
 
 def _filter_table(source: Table, output_name: str,
                   keep: Callable[[Dict[str, Any]], bool]) -> Table:
-    """Copy rows of ``source`` that satisfy ``keep``."""
-    result = Table(output_name, Schema(list(source.schema.columns)))
-    for row in source:
-        if keep(row):
-            result.insert(dict(row))
-    return result
+    """Keep rows of ``source`` that satisfy ``keep`` (position gather)."""
+    positions = [i for i, row in enumerate(source) if keep(row)]
+    return Table._adopt(output_name, Schema(list(source.schema.columns)),
+                        source._store.gather(positions),
+                        description=source.description,
+                        lossy_columns=source.lossy_columns)
+
+
+def _filter_table_column(source: Table, output_name: str, column: str,
+                         keep_value: Callable[[Any], bool]) -> Table:
+    """Whole-column filter: apply ``keep_value`` over one column's vector."""
+    vector = _safe_vector(source, column)
+    positions = [i for i, value in enumerate(vector) if keep_value(value)]
+    return Table._adopt(output_name, Schema(list(source.schema.columns)),
+                        source._store.gather(positions),
+                        description=source.description,
+                        lossy_columns=source.lossy_columns)
+
+
+def _safe_vector(table: Table, name: str) -> List[Any]:
+    """One column's raw vector; all-NULL when the column does not exist.
+
+    Mirrors ``row.get(name)`` — scoring templates routinely probe columns
+    that only some pipelines produce.  Treat the result as read-only.
+    """
+    store = table._store
+    resolved = store.resolve(name)
+    if resolved is None:
+        return [None] * len(table)
+    return store.column(resolved)
 
 
 def _rows_by_key(table: Table, key: str) -> Dict[Any, List[Dict[str, Any]]]:
@@ -243,7 +295,8 @@ class ImplementationLibrary:
         self._register(ImplementationSpec(
             "fused_scores", "monolithic", "embedding", 0.8, 6.0, self._build_fused_scores,
             "One large function computing every score and their combination in a single pass. "
-            "Cheaper to materialize but harder to generate and explain (paper Section 4)."))
+            "Cheaper to materialize but harder to generate and explain (paper Section 4).",
+            batchable=True, batch_setup_tokens=5.0))
 
     # ------------------------------------------------------------------------------
     # Template builders.  Each returns (body, source_text).
@@ -406,14 +459,19 @@ class ImplementationLibrary:
             source = _primary_input(node, inputs)
             node_keywords = {k.lower() for k in (context.parameters.get("keywords") or keywords)}
 
-            def compute(row: Dict[str, Any]) -> Dict[str, Any]:
-                terms = [str(t).lower() for t in (row.get("entity_terms") or [])]
+            # Whole-column: one pass over the entity-terms vector, no row
+            # proxies on the hot path.
+            scores: List[Any] = []
+            for raw_terms in _safe_vector(source, "entity_terms"):
+                terms = [str(t).lower() for t in (raw_terms or [])]
                 if not terms:
-                    return {score_column: 0.0}
+                    scores.append(0.0)
+                    continue
                 hits = sum(1 for term in terms if term in node_keywords)
-                return {score_column: round(hits / len(terms), 6)}
-
-            return _extend_table(source, node.output, [(score_column, DataType.FLOAT)], compute)
+                scores.append(round(hits / len(terms), 6))
+            return _extend_table_columns(source, node.output,
+                                         [(score_column, DataType.FLOAT)],
+                                         {score_column: scores})
 
         source_text = (
             f"def {node.name}(films):\n"
@@ -433,20 +491,24 @@ class ImplementationLibrary:
 
         def body(inputs: Dict[str, Table], context: FunctionContext) -> Table:
             source = _primary_input(node, inputs)
-            years = [row.get(year_column) for row in source if row.get(year_column) is not None]
+            # Whole-column: min/max and the normalization are vector math over
+            # the shared year vector; no row proxies are materialized.
+            year_vector = _safe_vector(source, year_column)
+            years = [y for y in year_vector if y is not None]
             low, high = (min(years), max(years)) if years else (0, 1)
             span = max(1, high - low)
-
-            def compute(row: Dict[str, Any]) -> Dict[str, Any]:
-                year = row.get(year_column)
+            scores: List[Any] = []
+            for year in year_vector:
                 if year is None:
-                    return {score_column: None}
+                    scores.append(None)
+                    continue
                 normalized = (year - low) / span
                 if reverse:
                     normalized = 1.0 - normalized
-                return {score_column: round(float(normalized), 6)}
-
-            return _extend_table(source, node.output, [(score_column, DataType.FLOAT)], compute)
+                scores.append(round(float(normalized), 6))
+            return _extend_table_columns(source, node.output,
+                                         [(score_column, DataType.FLOAT)],
+                                         {score_column: scores})
 
         direction = "older films score higher (BUG)" if reverse else "newer films score higher"
         source_text = (
@@ -472,15 +534,17 @@ class ImplementationLibrary:
                 candidates = [c.name for c in source.schema if c.name.endswith("_score")]
                 node_weights = {name: 1.0 / len(candidates) for name in candidates} if candidates else {}
 
-            def compute(row: Dict[str, Any]) -> Dict[str, Any]:
-                total = 0.0
-                for column, weight in node_weights.items():
-                    value = row.get(column)
+            # Whole-column weighted sum: one accumulator vector, one pass per
+            # score column, reading the shared vectors directly.
+            totals = [0.0] * len(source)
+            for column, weight in node_weights.items():
+                for i, value in enumerate(_safe_vector(source, column)):
                     if value is not None:
-                        total += weight * float(value)
-                return {output_column: round(total, 8)}
-
-            return _extend_table(source, node.output, [(output_column, DataType.FLOAT)], compute)
+                        totals[i] += weight * float(value)
+            combined = [round(total, 8) for total in totals]
+            return _extend_table_columns(source, node.output,
+                                         [(output_column, DataType.FLOAT)],
+                                         {output_column: combined})
 
         terms = " + ".join(f"{w} * row['{c}']" for c, w in weights.items()) or "sum of score columns"
         source_text = (
@@ -701,8 +765,8 @@ class ImplementationLibrary:
 
         def body(inputs: Dict[str, Table], context: FunctionContext) -> Table:
             source = _primary_input(node, inputs)
-            return _filter_table(source, node.output,
-                                 lambda row: bool(row.get(flag_column)) == keep_if_true)
+            return _filter_table_column(source, node.output, flag_column,
+                                        lambda value: bool(value) == keep_if_true)
 
         comparison = "is True" if keep_if_true else "is False"
         source_text = (
@@ -718,8 +782,8 @@ class ImplementationLibrary:
 
         def body(inputs: Dict[str, Table], context: FunctionContext) -> Table:
             source = _primary_input(node, inputs)
-            return _filter_table(source, node.output,
-                                 lambda row: (row.get(score_column) or 0.0) >= threshold)
+            return _filter_table_column(source, node.output, score_column,
+                                        lambda value: (value or 0.0) >= threshold)
 
         source_text = (
             f"def {node.name}(films):\n"
@@ -747,8 +811,8 @@ class ImplementationLibrary:
 
         def body(inputs: Dict[str, Table], context: FunctionContext) -> Table:
             source = _primary_input(node, inputs)
-            return _filter_table(source, node.output,
-                                 lambda row: comparator(row.get(column), value))
+            return _filter_table_column(source, node.output, column,
+                                        lambda cell: comparator(cell, value))
 
         source_text = (
             f"def {node.name}(films):\n"
@@ -821,9 +885,12 @@ class ImplementationLibrary:
         def body(inputs: Dict[str, Table], context: FunctionContext) -> Table:
             source = _primary_input(node, inputs)
             embeddings = context.models.embeddings
-            years = [row.get("year") for row in source if row.get("year") is not None]
+            length = len(source)
+            year_vector = _safe_vector(source, "year")
+            years = [y for y in year_vector if y is not None]
             low, high = (min(years), max(years)) if years else (0, 1)
             span = max(1, high - low)
+            chunk = _batch_size(context)
 
             new_columns: List[Tuple[str, DataType]] = []
             for spec in sub_specs:
@@ -832,34 +899,57 @@ class ImplementationLibrary:
                 if column:
                     new_columns.append((column, DataType.FLOAT))
 
-            def compute(row: Dict[str, Any]) -> Dict[str, Any]:
-                computed: Dict[str, Any] = {}
-                merged = dict(row)
-                for spec in sub_specs:
-                    parameters = spec.get("parameters", {})
-                    name = spec.get("name", "")
-                    if name.startswith("gen_recency"):
-                        year = merged.get(parameters.get("year_column", "year"))
-                        value = None if year is None else round((year - low) / span, 6)
-                        column = parameters.get("score_column", "recency_score")
-                    elif name.startswith("gen_"):
-                        keywords = list(parameters.get("keywords") or [])
-                        terms = merged.get("entity_terms") or []
-                        value = round(float(embeddings.match_fraction(
-                            keywords, terms, purpose=node.name)), 6)
-                        column = parameters.get("score_column", "semantic_score")
-                    elif name.startswith("combine"):
-                        weights = dict(parameters.get("weights") or {})
-                        value = round(sum(w * float(merged.get(c) or 0.0)
-                                          for c, w in weights.items()), 8)
-                        column = parameters.get("output_column", "final_score")
-                    else:
-                        continue
-                    computed[column] = value
-                    merged[column] = value
-                return computed
+            # Whole-column fusion: each sub-spec produces one score vector; a
+            # later spec (combine) reads the vectors produced before it, then
+            # falls back to the source columns -- same visibility the per-row
+            # ``merged`` dict used to provide.
+            computed_vectors: Dict[str, List[Any]] = {}
 
-            return _extend_table(source, node.output, new_columns, compute)
+            def _column_of(name: str) -> List[Any]:
+                if name in computed_vectors:
+                    return computed_vectors[name]
+                return _safe_vector(source, name)
+
+            for spec in sub_specs:
+                parameters = spec.get("parameters", {})
+                name = spec.get("name", "")
+                if name.startswith("gen_recency"):
+                    column = parameters.get("score_column", "recency_score")
+                    spec_years = _column_of(parameters.get("year_column", "year"))
+                    values: List[Any] = [
+                        None if year is None else round((year - low) / span, 6)
+                        for year in spec_years]
+                elif name.startswith("gen_"):
+                    column = parameters.get("score_column", "semantic_score")
+                    keywords = list(parameters.get("keywords") or [])
+                    term_lists = [terms or [] for terms in _column_of("entity_terms")]
+                    if chunk > 1 and hasattr(embeddings, "match_fraction_batch"):
+                        # Batched match-density calls over the whole column
+                        # (the PR-4 funnel): bit-identical scores, sub-linear
+                        # token cost versus one call per row.
+                        scores: List[float] = []
+                        for start, stop in _chunks(length, chunk):
+                            scores.extend(embeddings.match_fraction_batch(
+                                keywords, term_lists[start:stop], purpose=node.name))
+                        values = [round(float(score), 6) for score in scores]
+                    else:
+                        values = [round(float(embeddings.match_fraction(
+                            keywords, terms, purpose=node.name)), 6)
+                            for terms in term_lists]
+                elif name.startswith("combine"):
+                    column = parameters.get("output_column", "final_score")
+                    weights = dict(parameters.get("weights") or {})
+                    totals = [0.0] * length
+                    for weighted_column, weight in weights.items():
+                        for i, value in enumerate(_column_of(weighted_column)):
+                            totals[i] += weight * float(value or 0.0)
+                    values = [round(total, 8) for total in totals]
+                else:
+                    continue
+                computed_vectors[column] = values
+
+            return _extend_table_columns(source, node.output, new_columns,
+                                         computed_vectors)
 
         steps = ", ".join(spec.get("name", "?") for spec in sub_specs)
         source_text = (

@@ -68,9 +68,7 @@ class Profiler:
         sampled_inputs: Dict[str, Table] = {}
         for name, table in inputs.items():
             if name == primary_name and len(table) > size:
-                sample = Table(table.name, Schema(list(table.schema.columns)))
-                sample.rows.extend(dict(row) for row in table.rows[:size])
-                sampled_inputs[name] = sample
+                sampled_inputs[name] = table.head_table(size)
             else:
                 sampled_inputs[name] = table
 

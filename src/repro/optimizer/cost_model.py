@@ -24,8 +24,10 @@ _FLAG_FILTER_SELECTIVITY = 0.5
 _RELATIONAL_FILTER_SELECTIVITY = 0.4
 # Synthetic latency per 1000 tokens (seconds); matches the CostMeter scale.
 _SECONDS_PER_1K_TOKENS = 0.02
-# Relational per-row processing cost (seconds).
-_SECONDS_PER_ROW = 2e-6
+# Relational per-row processing cost (seconds).  Halved when the relational
+# core went columnar: pure operators now run over shared column vectors
+# instead of materializing a dict per row (see benchmarks/bench_columnar.py).
+_SECONDS_PER_ROW = 1e-6
 
 
 @dataclass

@@ -264,9 +264,7 @@ class QueryOptimizer:
         except Exception:  # noqa: BLE001 - sampling must never abort optimization
             sample_output = Table(node.output, Schema([]))
         if len(sample_output) > self.sample_size:
-            truncated = Table(node.output, Schema(list(sample_output.schema.columns)))
-            truncated.rows.extend(dict(row) for row in sample_output.rows[: self.sample_size])
-            sample_output = truncated
+            sample_output = sample_output.head_table(self.sample_size, node.output)
         sample_tables[node.output] = sample_output
 
         batchable = chosen.batchable and self.vectorized_batch_size > 1
@@ -305,9 +303,7 @@ class QueryOptimizer:
         if sample_output is None:
             sample_output = Table(node.output, Schema([]))
         if len(sample_output) > self.sample_size:
-            truncated = Table(node.output, Schema(list(sample_output.schema.columns)))
-            truncated.rows.extend(dict(row) for row in sample_output.rows[: self.sample_size])
-            sample_output = truncated
+            sample_output = sample_output.head_table(self.sample_size, node.output)
         sample_output.name = node.output
         sample_tables[node.output] = sample_output
 

@@ -1,0 +1,355 @@
+"""Columnar storage core: shared column vectors with copy-on-write overlays.
+
+``ColumnStore`` keeps one Python list per column.  ``fork()`` is O(columns):
+the child shares every vector with the parent and *both* sides drop ownership,
+so the first write to a column — on either side — copies just that column.
+Untouched columns stay physically shared for the lifetime of the fork, which
+is what makes session overlays and ``Table.copy()`` effectively free.
+
+``RowView`` is the compatibility shim that keeps the historical row-dict API
+alive on top of the columnar layout: it is a ``MutableMapping`` proxy over one
+row index whose writes go through the owning :class:`~repro.relational.table.Table`,
+so in-place mutation (``table.rows[0]["col"] = x``) participates in index
+staleness tracking instead of bypassing it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, MutableMapping, Optional, Sequence, Tuple
+
+__all__ = ["ColumnStore", "RowView"]
+
+
+class ColumnStore:
+    """One typed value vector per column, with copy-on-write sharing.
+
+    The store tracks which vectors it *owns*; a vector that is not owned may
+    be shared with a forked sibling and must be copied before the first
+    mutation (``_own``).  Length is tracked explicitly so zero-column tables
+    can still hold rows.
+    """
+
+    __slots__ = ("_columns", "_owned", "_length")
+
+    def __init__(self, names: Iterable[str] = ()):  # noqa: D107 - short init
+        self._columns: Dict[str, List[Any]] = {name: [] for name in names}
+        self._owned = set(self._columns)
+        self._length = 0
+
+    # -- introspection ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Resolve ``name`` to the stored column key (case-insensitive fallback)."""
+        if name in self._columns:
+            return name
+        lowered = name.lower()
+        for key in self._columns:
+            if key.lower() == lowered:
+                return key
+        return None
+
+    def column(self, name: str) -> List[Any]:
+        """The raw vector for ``name``.  Treat as read-only: it may be shared."""
+        resolved = self.resolve(name)
+        if resolved is None:
+            raise KeyError(name)
+        return self._columns[resolved]
+
+    def owns(self, name: str) -> bool:
+        return name in self._owned
+
+    def shares_column_with(self, other: "ColumnStore", name: str) -> bool:
+        """True when both stores reference the *same* vector object (zero-copy)."""
+        mine = self.resolve(name)
+        theirs = other.resolve(name)
+        if mine is None or theirs is None:
+            return False
+        return self._columns[mine] is other._columns[theirs]
+
+    # -- copy-on-write ------------------------------------------------------------
+    def fork(self) -> "ColumnStore":
+        """O(columns) fork: share every vector; both sides copy-before-write."""
+        child = ColumnStore.__new__(ColumnStore)
+        child._columns = dict(self._columns)
+        child._length = self._length
+        child._owned = set()
+        # The parent's next write must also copy: the vectors are now shared.
+        self._owned = set()
+        return child
+
+    def fork_projection(self, mapping: Sequence[Tuple[str, str]]) -> "ColumnStore":
+        """Fork holding only ``(out_name, source_name)`` columns, vectors shared."""
+        child = ColumnStore.__new__(ColumnStore)
+        child._columns = {}
+        for out_name, source_name in mapping:
+            resolved = self.resolve(source_name)
+            if resolved is None:
+                raise KeyError(source_name)
+            child._columns[out_name] = self._columns[resolved]
+            self._owned.discard(resolved)
+        child._owned = set()
+        child._length = self._length
+        return child
+
+    def _own(self, name: str) -> List[Any]:
+        """Copy ``name``'s vector if shared; return the now-private vector."""
+        vector = self._columns[name]
+        if name not in self._owned:
+            vector = list(vector)
+            self._columns[name] = vector
+            self._owned.add(name)
+        return vector
+
+    def _own_all(self) -> None:
+        if len(self._owned) == len(self._columns):
+            return
+        for name in self._columns:
+            self._own(name)
+
+    # -- reads --------------------------------------------------------------------
+    def get(self, index: int, name: str, default: Any = None) -> Any:
+        resolved = self.resolve(name)
+        if resolved is None:
+            return default
+        return self._columns[resolved][index]
+
+    def row_dict(self, index: int) -> Dict[str, Any]:
+        return {name: vector[index] for name, vector in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        names = list(self._columns)
+        vectors = [self._columns[name] for name in names]
+        for index in range(self._length):
+            yield {name: vector[index] for name, vector in zip(names, vectors)}
+
+    # -- writes -------------------------------------------------------------------
+    def set_value(self, index: int, name: str, value: Any) -> None:
+        """Set one cell, creating the column (``None``-filled) when missing."""
+        resolved = self.resolve(name)
+        if resolved is None:
+            self._columns[name] = [None] * self._length
+            self._owned.add(name)
+            resolved = name
+        self._own(resolved)[index] = value
+
+    def append_row(self, row: Mapping[str, Any]) -> None:
+        self._own_all()
+        columns = self._columns
+        for name, vector in columns.items():
+            vector.append(row[name] if name in row else None)
+        self._length += 1
+        for key in row:
+            if key in columns:
+                continue
+            resolved = self.resolve(key)
+            if resolved is not None:
+                columns[resolved][-1] = row[key]
+            else:
+                columns[key] = [None] * (self._length - 1) + [row[key]]
+                self._owned.add(key)
+
+    def insert_row(self, index: int, row: Mapping[str, Any]) -> None:
+        self._own_all()
+        columns = self._columns
+        for name, vector in columns.items():
+            vector.insert(index, row[name] if name in row else None)
+        self._length += 1
+        position = index if index >= 0 else max(0, self._length + index - 1)
+        position = min(position, self._length - 1)
+        for key in row:
+            if key in columns:
+                continue
+            resolved = self.resolve(key)
+            if resolved is not None:
+                columns[resolved][position] = row[key]
+            else:
+                fresh: List[Any] = [None] * self._length
+                fresh[position] = row[key]
+                columns[key] = fresh
+                self._owned.add(key)
+
+    def set_row(self, index: int, row: Mapping[str, Any]) -> None:
+        """Replace one row wholesale (missing keys become ``None``)."""
+        self._own_all()
+        columns = self._columns
+        for name, vector in columns.items():
+            vector[index] = row[name] if name in row else None
+        for key in row:
+            if key in columns:
+                continue
+            resolved = self.resolve(key)
+            if resolved is not None:
+                columns[resolved][index] = row[key]
+            else:
+                position = index if index >= 0 else self._length + index
+                fresh = [None] * self._length
+                fresh[position] = row[key]
+                columns[key] = fresh
+                self._owned.add(key)
+
+    def delete_rows(self, index: Any) -> None:
+        """Delete by int index or slice, mirroring ``list.__delitem__``."""
+        self._own_all()
+        for vector in self._columns.values():
+            del vector[index]
+        self._length = (len(next(iter(self._columns.values())))
+                        if self._columns else self._deleted_length(index))
+
+    def _deleted_length(self, index: Any) -> int:
+        # Zero-column stores: emulate list deletion on a phantom list.
+        phantom = [None] * self._length
+        del phantom[index]
+        return len(phantom)
+
+    def keep_positions(self, positions: Sequence[int]) -> None:
+        """Compress in place to only ``positions`` (ascending)."""
+        columns = self._columns
+        self._columns = {name: [vector[p] for p in positions]
+                         for name, vector in columns.items()}
+        self._owned = set(self._columns)
+        self._length = len(positions)
+
+    def clear(self) -> None:
+        self._columns = {name: [] for name in self._columns}
+        self._owned = set(self._columns)
+        self._length = 0
+
+    def add_column(self, name: str, values: Optional[Sequence[Any]] = None,
+                   fill: Any = None) -> None:
+        if values is not None:
+            if len(values) != self._length:
+                raise ValueError(
+                    f"column {name!r} has {len(values)} values for {self._length} rows")
+            self._columns[name] = list(values)
+        else:
+            self._columns[name] = [fill] * self._length
+        self._owned.add(name)
+
+    def set_column(self, name: str, values: Sequence[Any]) -> None:
+        """Replace (or create) one column's vector wholesale."""
+        if len(values) != self._length:
+            raise ValueError(
+                f"column {name!r} has {len(values)} values for {self._length} rows")
+        resolved = self.resolve(name) or name
+        self._columns[resolved] = list(values)
+        self._owned.add(resolved)
+
+    def drop_column(self, name: str) -> None:
+        resolved = self.resolve(name)
+        if resolved is not None:
+            del self._columns[resolved]
+            self._owned.discard(resolved)
+
+    # -- bulk layout transforms -----------------------------------------------------
+    def gather(self, positions: Sequence[int]) -> "ColumnStore":
+        """New store with rows at ``positions`` (copied vectors, fully owned)."""
+        child = ColumnStore.__new__(ColumnStore)
+        child._columns = {name: [vector[p] for p in positions]
+                          for name, vector in self._columns.items()}
+        child._owned = set(child._columns)
+        child._length = len(positions)
+        return child
+
+    def slice(self, start: int, stop: int) -> "ColumnStore":
+        child = ColumnStore.__new__(ColumnStore)
+        child._columns = {name: vector[start:stop]
+                          for name, vector in self._columns.items()}
+        child._owned = set(child._columns)
+        # Method bodies do not see class scope, so ``slice`` here is the builtin.
+        child._length = len(range(*slice(start, stop).indices(self._length)))
+        return child
+
+    def apply_permutation(self, order: Sequence[int]) -> None:
+        """Reorder rows in place so new row ``i`` is old row ``order[i]``."""
+        self._columns = {name: [vector[p] for p in order]
+                         for name, vector in self._columns.items()}
+        self._owned = set(self._columns)
+
+    def reverse(self) -> None:
+        self._own_all()
+        for vector in self._columns.values():
+            vector.reverse()
+
+    def replace_all(self, columns: Dict[str, List[Any]], length: int) -> None:
+        """Swap in a freshly built column mapping (ownership transfers)."""
+        self._columns = columns
+        self._owned = set(columns)
+        self._length = length
+
+
+class RowView(MutableMapping):
+    """A mutable-mapping proxy over one row of a columnar table.
+
+    Reads come straight from the column vectors; writes go through the owning
+    table so copy-on-write and ``non_append_version`` tracking both fire.
+    Compares equal to the plain dict with the same items.
+    """
+
+    __slots__ = ("_table", "_index")
+
+    def __init__(self, table: Any, index: int):  # noqa: D107 - trivial
+        self._table = table
+        self._index = index
+
+    # -- mapping protocol ----------------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        store = self._table._store
+        resolved = store.resolve(key)
+        if resolved is None:
+            raise KeyError(key)
+        return store._columns[resolved][self._index]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        store = self._table._store
+        resolved = store.resolve(key)
+        if resolved is None:
+            return default
+        return store._columns[resolved][self._index]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._table._set_cell(self._index, key, value)
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("cannot delete columns through a row view; "
+                        "use Schema/Table column operations instead")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table._store.column_names())
+
+    def __len__(self) -> int:
+        return len(self._table._store._columns)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self._table._store.resolve(key) is not None
+
+    # -- conversions / equality ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return self._table._store.row_dict(self._index)
+
+    def copy(self) -> Dict[str, Any]:
+        return self.to_dict()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowView):
+            if other._table is self._table and other._index == self._index:
+                return True
+            other = other.to_dict()
+        if isinstance(other, Mapping):
+            return self.to_dict() == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # type: ignore[assignment] - mutable, like dict
+
+    def __repr__(self) -> str:
+        return f"RowView({self.to_dict()!r})"

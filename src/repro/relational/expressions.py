@@ -10,10 +10,13 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import ExpressionError
 from repro.relational.types import compare_values
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.relational.table import Table
 
 
 class Expression:
@@ -22,6 +25,27 @@ class Expression:
     def evaluate(self, row: Dict[str, Any]) -> Any:
         """Evaluate against one row dict."""
         raise NotImplementedError
+
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        """Evaluate against every row of a columnar table, returning a vector.
+
+        Subclasses override this to work column-at-a-time over the table's
+        shared vectors; the base implementation falls back to row-at-a-time
+        evaluation (row proxies), which is always semantically safe.  The
+        returned list may be a live column vector — treat it as read-only.
+        """
+        return [self.evaluate(row) for row in table.rows]
+
+    def is_pure(self) -> bool:
+        """True when evaluation is side-effect free and order-independent.
+
+        Only pure expressions are safe to vectorize through short-circuiting
+        operators (``AND``/``OR``): the row-at-a-time evaluator skips the
+        right operand when the left decides, while the columnar evaluator
+        computes both sides for every row.  Unknown expression types are
+        conservatively impure.
+        """
+        return False
 
     def referenced_columns(self) -> List[str]:
         """All column names referenced anywhere inside this expression."""
@@ -44,6 +68,12 @@ class Literal(Expression):
     def evaluate(self, row: Dict[str, Any]) -> Any:
         return self.value
 
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        return [self.value] * len(table)
+
+    def is_pure(self) -> bool:
+        return True
+
     def describe(self) -> str:
         if isinstance(self.value, str):
             return "'" + self.value.replace("'", "''") + "'"
@@ -64,6 +94,17 @@ class ColumnRef(Expression):
             if key.lower() == lowered:
                 return value
         raise ExpressionError(f"row has no column {self.name!r} (keys: {sorted(row)})")
+
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        store = table._store
+        resolved = store.resolve(self.name)
+        if resolved is None:
+            raise ExpressionError(
+                f"row has no column {self.name!r} (keys: {sorted(store.column_names())})")
+        return store.column(resolved)
+
+    def is_pure(self) -> bool:
+        return True
 
     def referenced_columns(self) -> List[str]:
         return [self.name]
@@ -127,6 +168,51 @@ class BinaryOp(Expression):
                 ) from error
         raise ExpressionError(f"unknown binary operator: {self.op!r}")
 
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        op = self.op.upper() if self.op.isalpha() else self.op
+        if op in ("AND", "OR"):
+            # Vectorizing evaluates both sides for every row; only safe when
+            # neither side can have effects the row path would short-circuit.
+            if not self.is_pure():
+                return super().evaluate_column(table)
+            left = self.left.evaluate_column(table)
+            right = self.right.evaluate_column(table)
+            if op == "AND":
+                return [bool(a) and bool(b) for a, b in zip(left, right)]
+            return [bool(a) or bool(b) for a, b in zip(left, right)]
+        left = self.left.evaluate_column(table)
+        right = self.right.evaluate_column(table)
+        if self.op in _COMPARISONS:
+            check = _COMPARISONS[self.op]
+            out: List[Any] = []
+            for a, b in zip(left, right):
+                if a is None or b is None:
+                    out.append(False)
+                    continue
+                comparison = compare_values(a, b)
+                if comparison is None:
+                    comparison = compare_values(str(a), str(b))
+                out.append(check(comparison))
+            return out
+        if self.op in _ARITHMETIC:
+            fn = _ARITHMETIC[self.op]
+            out = []
+            for a, b in zip(left, right):
+                if a is None or b is None:
+                    out.append(None)
+                    continue
+                try:
+                    out.append(fn(a, b))
+                except TypeError as error:
+                    raise ExpressionError(
+                        f"cannot apply {self.op!r} to {type(a).__name__} "
+                        f"and {type(b).__name__}") from error
+            return out
+        raise ExpressionError(f"unknown binary operator: {self.op!r}")
+
+    def is_pure(self) -> bool:
+        return self.left.is_pure() and self.right.is_pure()
+
     def referenced_columns(self) -> List[str]:
         return self.left.referenced_columns() + self.right.referenced_columns()
 
@@ -150,6 +236,18 @@ class UnaryOp(Expression):
             return -value if value is not None else None
         raise ExpressionError(f"unknown unary operator: {self.op!r}")
 
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        values = self.operand.evaluate_column(table)
+        op = self.op.upper()
+        if op == "NOT":
+            return [not bool(v) for v in values]
+        if self.op == "-":
+            return [-v if v is not None else None for v in values]
+        raise ExpressionError(f"unknown unary operator: {self.op!r}")
+
+    def is_pure(self) -> bool:
+        return self.operand.is_pure()
+
     def referenced_columns(self) -> List[str]:
         return self.operand.referenced_columns()
 
@@ -167,6 +265,15 @@ class IsNull(Expression):
     def evaluate(self, row: Dict[str, Any]) -> bool:
         value = self.operand.evaluate(row)
         return (value is not None) if self.negated else (value is None)
+
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        values = self.operand.evaluate_column(table)
+        if self.negated:
+            return [v is not None for v in values]
+        return [v is None for v in values]
+
+    def is_pure(self) -> bool:
+        return self.operand.is_pure()
 
     def referenced_columns(self) -> List[str]:
         return self.operand.referenced_columns()
@@ -201,6 +308,22 @@ class Like(Expression):
         matched = bool(self._regex().match(str(value)))
         return (not matched) if self.negated else matched
 
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        # The row path compiles the pattern per row; here it compiles once.
+        regex = self._regex()
+        values = self.operand.evaluate_column(table)
+        out: List[Any] = []
+        for value in values:
+            if value is None:
+                out.append(False)
+                continue
+            matched = bool(regex.match(str(value)))
+            out.append((not matched) if self.negated else matched)
+        return out
+
+    def is_pure(self) -> bool:
+        return self.operand.is_pure()
+
     def referenced_columns(self) -> List[str]:
         return self.operand.referenced_columns()
 
@@ -221,6 +344,18 @@ class InList(Expression):
         members = [opt.evaluate(row) for opt in self.options]
         found = any(compare_values(value, m) == 0 for m in members)
         return (not found) if self.negated else found
+
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        values = self.operand.evaluate_column(table)
+        member_vectors = [opt.evaluate_column(table) for opt in self.options]
+        out: List[Any] = []
+        for i, value in enumerate(values):
+            found = any(compare_values(value, vec[i]) == 0 for vec in member_vectors)
+            out.append((not found) if self.negated else found)
+        return out
+
+    def is_pure(self) -> bool:
+        return self.operand.is_pure() and all(opt.is_pure() for opt in self.options)
 
     def referenced_columns(self) -> List[str]:
         cols = self.operand.referenced_columns()
@@ -273,6 +408,24 @@ class FunctionCall(Expression):
             return fn(*values)
         except (TypeError, ValueError) as error:
             raise ExpressionError(f"error evaluating {self.name}(...): {error}") from error
+
+    def evaluate_column(self, table: "Table") -> List[Any]:
+        fn = _SCALAR_FUNCTIONS.get(self.name.lower())
+        if fn is None:
+            raise ExpressionError(f"unknown scalar function: {self.name!r}")
+        arg_vectors = [arg.evaluate_column(table) for arg in self.args]
+        out: List[Any] = []
+        for values in zip(*arg_vectors) if arg_vectors else ((),) * len(table):
+            try:
+                out.append(fn(*values))
+            except (TypeError, ValueError) as error:
+                raise ExpressionError(
+                    f"error evaluating {self.name}(...): {error}") from error
+        return out
+
+    def is_pure(self) -> bool:
+        # The built-in scalar functions are all pure; purity rides on args.
+        return all(arg.is_pure() for arg in self.args)
 
     def referenced_columns(self) -> List[str]:
         cols: List[str] = []

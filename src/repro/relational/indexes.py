@@ -25,12 +25,19 @@ class HashIndex:
         self._built_version = -1
         self.rebuild()
 
+    def _column_vector(self) -> List[Any]:
+        """The indexed column's raw vector (read-only, possibly shared)."""
+        store = self.table._store
+        resolved = store.resolve(self.column)
+        if resolved is None:
+            return [None] * len(store)
+        return store.column(resolved)
+
     def rebuild(self) -> None:
-        """Recompute the index from scratch."""
+        """Recompute the index from scratch (one pass over the column vector)."""
         self._positions = {}
-        for position, row in enumerate(self.table.rows):
-            key = self._key(row.get(self.column))
-            self._positions.setdefault(key, []).append(position)
+        for position, value in enumerate(self._column_vector()):
+            self._positions.setdefault(self._key(value), []).append(position)
         self._built_size = len(self.table)
         self._built_version = getattr(self.table, "non_append_version", 0)
 
@@ -45,20 +52,22 @@ class HashIndex:
         """Bring the index up to date with the backing table.
 
         Pure appends (the common case: insert/insert_many) are indexed
-        incrementally by walking only the new suffix.  Any non-append
-        mutation — ``update_where``, ``delete_where``, ``truncate``,
-        ``add_column`` — bumps the table's ``non_append_version`` and forces
-        a full rebuild here: before this check, a delete-then-insert that
-        kept the row count constant (or an in-place value update) silently
-        served stale positions.
+        incrementally by walking only the new suffix of the column vector.
+        Any non-append mutation — ``update_where``, ``delete_where``,
+        ``truncate``, ``add_column``, and (since the columnar store) even
+        in-place cell writes through row proxies
+        (``table.rows[i][col] = x``) — bumps the table's
+        ``non_append_version`` and forces a full rebuild here.  That closes
+        the last staleness hole the row-dict layout had: mutations that
+        kept the row count constant used to serve stale positions.
         """
         if getattr(self.table, "non_append_version", 0) != self._built_version \
                 or len(self.table) < self._built_size:
             self.rebuild()
             return
+        vector = self._column_vector()
         for position in range(self._built_size, len(self.table)):
-            row = self.table.rows[position]
-            self._positions.setdefault(self._key(row.get(self.column)), []).append(position)
+            self._positions.setdefault(self._key(vector[position]), []).append(position)
         self._built_size = len(self.table)
 
     def lookup(self, value: Any) -> List[Dict[str, Any]]:

@@ -27,13 +27,18 @@ class TableStorage:
     """Persist tables as one JSON file per table inside a directory.
 
     KathDB materializes intermediate results and persists generated functions;
-    this class covers the table side of that requirement.  BLOB columns (raw
-    pixel arrays) are not serialized — they are replaced by a marker and come
-    back as NULL.  :meth:`load` flags such lossy restores: the returned
-    table's ``lossy_columns`` lists the affected columns and a
+    this class covers the table side of that requirement.  Tables are written
+    in the **columnar** format (one value vector per column, matching the
+    in-memory :class:`~repro.relational.columns.ColumnStore` layout); legacy
+    row-major files load transparently — :meth:`~repro.relational.table.Table.from_dict`
+    accepts both payload shapes, so old workspaces keep working.  BLOB
+    columns (raw pixel arrays) are not serialized — they are replaced by a
+    marker and come back as NULL.  :meth:`load` flags such lossy restores:
+    the returned table's ``lossy_columns`` lists the affected columns and a
     :class:`LossyBlobWarning` is emitted, so callers that need the payloads
     can re-render them (e.g. from the original image URIs) rather than
-    silently reading NULLs.
+    silently reading NULLs.  ``lossy_columns`` survives further round-trips:
+    the columnar payload carries it forward explicitly.
     """
 
     def __init__(self, directory: Union[str, Path]):
@@ -48,7 +53,7 @@ class TableStorage:
         """Write one table atomically; returns the file path."""
         path = self._path(table.name)
         try:
-            payload = table.to_dict()
+            payload = table.to_dict(orient="columnar")
             text = json.dumps(payload, indent=2, default=_json_default)
             atomic_write_text(path, text)
         except (OSError, TypeError, ValueError) as error:

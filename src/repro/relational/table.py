@@ -1,27 +1,39 @@
-"""Row-oriented in-memory tables."""
+"""Columnar in-memory tables behind the historical row-dict API.
+
+Storage is one typed value vector per column (:class:`ColumnStore`); the
+row-dict API every call site was written against survives as lightweight
+:class:`RowView` proxies.  ``Table.fork()`` (and ``copy()``, now an alias)
+is an O(columns) copy-on-write fork: both tables share every column vector
+until one of them writes, at which point only the touched column is copied.
+"""
 
 from __future__ import annotations
 
+import functools
 from collections.abc import MutableSequence
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.columns import ColumnStore, RowView
 from repro.relational.schema import Column, Schema
 from repro.relational.types import DataType, compare_values
 
 
 class TrackedRows(MutableSequence):
-    """A mutation-tracking view over a table's row list.
+    """A mutation-tracking row-proxy view over a table's columnar store.
 
-    ``Table.rows`` hands this out instead of the raw list so that *external*
+    ``Table.rows`` hands this out instead of a raw list so that *external*
     structural mutation cannot silently bypass index staleness tracking:
     appends (``append``/``extend``/``+=``) keep the append-only contract
     secondary indexes rely on (they index the suffix), while in-place
     replacement, deletion, insertion, and reordering bump the table's
     ``non_append_version`` exactly as the validated mutation API does — so a
     :class:`~repro.relational.indexes.HashIndex` rebuilds instead of serving
-    stale positions.  Row *values* still bypass schema validation, as the
-    raw-list escape hatch always has.
+    stale positions.  Indexing returns live :class:`RowView` proxies, and
+    because their cell writes also route through the table, even
+    ``table.rows[0]["col"] = x`` is tracked now (the hole the row-dict
+    layout could not close).  Row *values* still bypass schema validation,
+    as the raw-list escape hatch always has.
     """
 
     __slots__ = ("_table",)
@@ -31,62 +43,100 @@ class TrackedRows(MutableSequence):
 
     # -- read access (no tracking needed) ---------------------------------------
     def __len__(self) -> int:
-        return len(self._table._rows)
+        return len(self._table._store)
+
+    def _normalize(self, index: int) -> int:
+        length = len(self._table._store)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("row index out of range")
+        return index
 
     def __getitem__(self, index):
-        return self._table._rows[index]
+        if isinstance(index, slice):
+            return [RowView(self._table, i)
+                    for i in range(*index.indices(len(self._table._store)))]
+        return RowView(self._table, self._normalize(index))
 
-    def __iter__(self) -> Iterator[Dict[str, Any]]:
-        return iter(self._table._rows)
+    def __iter__(self) -> Iterator[RowView]:
+        for i in range(len(self._table._store)):
+            yield RowView(self._table, i)
+
+    def _materialize(self) -> List[Dict[str, Any]]:
+        return [self._table._store.row_dict(i)
+                for i in range(len(self._table._store))]
 
     def __eq__(self, other: Any) -> bool:
         if isinstance(other, TrackedRows):
-            return self._table._rows == other._table._rows
-        return self._table._rows == other
+            return self._materialize() == other._materialize()
+        return self._materialize() == other
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return repr(self._table._rows)
+        return repr(self._materialize())
 
     # -- append-like mutation (suffix-indexable, no version bump) ---------------
     def append(self, row: Dict[str, Any]) -> None:
-        self._table._rows.append(row)
+        self._table._store.append_row(row)
 
     def extend(self, rows: Iterable[Dict[str, Any]]) -> None:
-        self._table._rows.extend(rows)
+        store = self._table._store
+        for row in rows:
+            store.append_row(row)
 
     # -- non-append mutation (bumps the staleness counter) ----------------------
     def __setitem__(self, index, value) -> None:
-        self._table._rows[index] = value
+        store = self._table._store
+        if isinstance(index, slice):
+            rows = self._materialize()
+            rows[index] = [dict(row) for row in value]
+            self._table._rebuild(rows)
+        else:
+            store.set_row(self._normalize(index), value)
         self._table._non_append_version += 1
 
     def __delitem__(self, index) -> None:
-        del self._table._rows[index]
+        if isinstance(index, slice):
+            self._table._store.delete_rows(index)
+        else:
+            self._table._store.delete_rows(self._normalize(index))
         self._table._non_append_version += 1
 
     def insert(self, index: int, value: Dict[str, Any]) -> None:
-        self._table._rows.insert(index, value)
+        self._table._store.insert_row(index, value)
         self._table._non_append_version += 1
 
+    def pop(self, index: int = -1) -> Dict[str, Any]:
+        position = self._normalize(index)
+        row = self._table._store.row_dict(position)
+        self._table._store.delete_rows(position)
+        self._table._non_append_version += 1
+        return row
+
     def clear(self) -> None:
-        self._table._rows.clear()
+        self._table._store.clear()
         self._table._non_append_version += 1
 
     def sort(self, **kwargs) -> None:
-        self._table._rows.sort(**kwargs)
+        rows = self._materialize()
+        rows.sort(**kwargs)
+        self._table._rebuild(rows)
         self._table._non_append_version += 1
 
     def reverse(self) -> None:
-        self._table._rows.reverse()
+        self._table._store.reverse()
         self._table._non_append_version += 1
 
 
 class Table:
-    """A named, typed, row-oriented table.
+    """A named, typed, columnar table with a row-dict compatible API.
 
-    Rows are stored as plain dictionaries keyed by column name.  The table
-    validates rows against its schema on insert and offers a handful of
-    dataframe-style conveniences (``head``, ``order_by``, ``where``) used by
-    the FAO implementation library.
+    Values live in per-column vectors; row access (iteration, indexing)
+    yields :class:`RowView` mapping proxies that read and write through to
+    the columns.  The table validates rows against its schema on insert and
+    offers a handful of dataframe-style conveniences (``head``, ``order_by``,
+    ``where``) used by the FAO implementation library, plus whole-column
+    accessors the columnar operators build on.
     """
 
     def __init__(self, name: str, schema: Schema, rows: Optional[Iterable[Dict[str, Any]]] = None,
@@ -94,20 +144,20 @@ class Table:
         if not name:
             raise SchemaError("table name must be non-empty")
         self.name = name
-        self.schema = schema
         self.description = description
-        self._rows: List[Dict[str, Any]] = []
+        self._store = ColumnStore(schema.column_names())
+        self._schema = schema
         # One reusable rows view (it holds no state beyond the table
-        # reference); per-row operator loops access ``.rows`` hotly.
+        # reference); per-row compatibility loops access ``.rows`` hotly.
         self._rows_view = TrackedRows(self)
         # Bumped by every mutation that is *not* a pure append (delete,
-        # update, truncate, add_column): secondary indexes use it to tell
-        # "new rows were appended" (index the suffix) from "existing rows
-        # changed" (rebuild).  Direct ``rows`` mutation bypasses it, exactly
-        # as it bypasses validation.
+        # update, truncate, add_column, in-place cell writes through row
+        # views): secondary indexes use it to tell "new rows were appended"
+        # (index the suffix) from "existing rows changed" (rebuild).
         self._non_append_version = 0
         # Column names whose values were lost in a serialization round-trip
-        # (BLOBs come back as NULL); set by :meth:`from_dict`.
+        # (BLOBs come back as NULL); set by :meth:`from_dict` and propagated
+        # through forks.
         self.lossy_columns: List[str] = []
         if rows:
             self.insert_many(rows)
@@ -124,45 +174,86 @@ class Table:
             schema = Schema.infer(rows)
         return cls(name, schema, rows, description=description)
 
+    @classmethod
+    def _adopt(cls, name: str, schema: Schema, store: ColumnStore,
+               description: str = "", lossy_columns: Iterable[str] = ()) -> "Table":
+        """Internal: wrap an existing store without re-validating values."""
+        table = cls(name, schema, description=description)
+        table._store = store
+        table.lossy_columns = list(lossy_columns)
+        return table
+
     def empty_like(self, name: Optional[str] = None) -> "Table":
         """A new empty table with the same schema."""
-        return Table(name or self.name, Schema(list(self.schema.columns)), description=self.description)
+        return Table(name or self.name, Schema(list(self.schema.columns)),
+                     description=self.description)
+
+    def fork(self, name: Optional[str] = None) -> "Table":
+        """O(columns) copy-on-write fork.
+
+        The fork shares every column vector with this table; the first write
+        to a column — on either side — copies just that column.  Untouched
+        columns stay physically shared (zero-copy), which is what makes
+        session overlays and samples cheap.  ``lossy_columns`` propagates.
+        """
+        clone = self.empty_like(name)
+        clone._store = self._store.fork()
+        clone.lossy_columns = list(self.lossy_columns)
+        return clone
 
     def copy(self, name: Optional[str] = None) -> "Table":
-        """Deep copy (rows are copied; blob payloads are shared)."""
-        clone = self.empty_like(name)
-        clone._rows = [dict(row) for row in self._rows]
-        return clone
+        """A logically independent copy (copy-on-write; alias of :meth:`fork`).
+
+        Historically this deep-copied every row dict while *implicitly*
+        sharing blob payloads.  Sharing is now explicit and column-granular:
+        untouched columns (blob payloads included) stay shared until written.
+        """
+        return self.fork(name)
 
     # -- basic protocol ---------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._store)
 
-    def __iter__(self) -> Iterator[Dict[str, Any]]:
-        return iter(self._rows)
+    def __iter__(self) -> Iterator[RowView]:
+        for i in range(len(self._store)):
+            yield RowView(self, i)
 
-    def __getitem__(self, index: int) -> Dict[str, Any]:
-        return self._rows[index]
+    def __getitem__(self, index):
+        return self._rows_view[index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.name!r}, columns={self.schema.column_names()}, rows={len(self)})"
 
     @property
-    def rows(self) -> "TrackedRows":
-        """A mutation-tracking view of the underlying rows.
+    def schema(self) -> Schema:
+        return self._schema
 
-        Reading (iteration, indexing, slicing) behaves exactly like the raw
-        list.  Structural mutation through the view bypasses validation (as
-        the raw list always did) but no longer bypasses index staleness
-        tracking: non-append operations bump ``non_append_version`` so
-        secondary indexes rebuild (see :class:`TrackedRows`).
+    @schema.setter
+    def schema(self, value: Schema) -> None:
+        """Replace the schema, materializing any new columns as NULL vectors."""
+        self._schema = value
+        for column_name in value.column_names():
+            if self._store.resolve(column_name) is None:
+                self._store.add_column(column_name)
+
+    @property
+    def rows(self) -> "TrackedRows":
+        """A mutation-tracking row-proxy view over the columnar store.
+
+        Reading (iteration, indexing, slicing) yields :class:`RowView`
+        proxies that behave like the row dicts did.  Structural mutation
+        through the view bypasses validation (as the raw list always did)
+        but no longer bypasses index staleness tracking: non-append
+        operations — including in-place cell writes on the proxies — bump
+        ``non_append_version`` so secondary indexes rebuild
+        (see :class:`TrackedRows`).
         """
         return self._rows_view
 
     @rows.setter
     def rows(self, value: Iterable[Dict[str, Any]]) -> None:
-        """Replace the row list wholesale (a non-append mutation)."""
-        self._rows = list(value)
+        """Replace the rows wholesale (a non-append mutation)."""
+        self._rebuild([dict(row) for row in value])
         self._non_append_version += 1
 
     @property
@@ -174,11 +265,44 @@ class Table:
         """Column names, in schema order."""
         return self.schema.column_names()
 
+    # -- internal columnar plumbing ---------------------------------------------
+    def _rebuild(self, rows: List[Dict[str, Any]]) -> None:
+        """Swap in a fresh store built from materialized row dicts."""
+        store = ColumnStore(self._store.column_names())
+        for row in rows:
+            store.append_row(row)
+        self._store = store
+
+    def _set_cell(self, index: int, key: str, value: Any) -> None:
+        """Write-through for :class:`RowView`: tracked, unvalidated."""
+        self._store.set_value(index, key, value)
+        self._non_append_version += 1
+
+    def column(self, name: str) -> List[Any]:
+        """The raw (possibly shared) column vector for ``name``.
+
+        This is the zero-copy read path the columnar operators use.  Treat
+        the returned list as read-only; use :meth:`set_column` or the
+        mutation API to write.
+        """
+        col = self.schema.column(name)
+        return self._store.column(col.name)
+
+    def set_column(self, name: str, values: Sequence[Any]) -> None:
+        """Replace one column's values wholesale (validated, tracked)."""
+        col = self.schema.column(name)
+        self._store.set_column(col.name, [col.validate(v) for v in values])
+        self._non_append_version += 1
+
+    def shares_column(self, other: "Table", name: str) -> bool:
+        """True when both tables still share ``name``'s vector (zero-copy)."""
+        return self._store.shares_column_with(other._store, name)
+
     # -- mutation ---------------------------------------------------------------
     def insert(self, row: Dict[str, Any]) -> Dict[str, Any]:
         """Validate and append one row; returns the stored (coerced) row."""
         cleaned = self.schema.validate_row(row)
-        self._rows.append(cleaned)
+        self._store.append_row(cleaned)
         return cleaned
 
     def insert_many(self, rows: Iterable[Dict[str, Any]]) -> int:
@@ -191,10 +315,11 @@ class Table:
 
     def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
         """Delete rows matching ``predicate``; returns how many were removed."""
-        before = len(self._rows)
-        self._rows = [row for row in self._rows if not predicate(row)]
-        removed = before - len(self._rows)
+        keep = [i for i in range(len(self._store))
+                if not predicate(RowView(self, i))]
+        removed = len(self._store) - len(keep)
         if removed:
+            self._store.keep_positions(keep)
             self._non_append_version += 1
         return removed
 
@@ -213,9 +338,10 @@ class Table:
             validated[col.name] = col.validate(value)
         count = 0
         try:
-            for row in self._rows:
-                if predicate(row):
-                    row.update(validated)
+            for i in range(len(self._store)):
+                if predicate(RowView(self, i)):
+                    for column_name, value in validated.items():
+                        self._store.set_value(i, column_name, value)
                     count += 1
         finally:
             # A predicate that raises mid-scan has already mutated earlier
@@ -229,32 +355,42 @@ class Table:
         """Add a column, filling it with ``default`` or ``compute(row)``."""
         if self.schema.has_column(column.name):
             raise SchemaError(f"column {column.name!r} already exists on {self.name!r}")
-        self.schema = self.schema.add(column)
-        for row in self._rows:
-            value = compute(row) if compute is not None else default
-            row[column.name] = column.validate(value)
+        if compute is not None:
+            values = [column.validate(compute(RowView(self, i)))
+                      for i in range(len(self._store))]
+        else:
+            values = [column.validate(default)] * len(self._store)
+        self._schema = self._schema.add(column)
+        self._store.add_column(column.name, values)
         self._non_append_version += 1
 
     def truncate(self) -> None:
         """Remove all rows."""
-        self._rows = []
+        self._store.clear()
         self._non_append_version += 1
 
     # -- dataframe-style helpers --------------------------------------------------
     def head(self, n: int = 5) -> List[Dict[str, Any]]:
         """The first ``n`` rows (copies, safe to hand to agents as samples)."""
-        return [dict(row) for row in self._rows[:n]]
+        return [self._store.row_dict(i)
+                for i in range(min(max(n, 0), len(self._store)))]
+
+    def head_table(self, n: int, name: Optional[str] = None) -> "Table":
+        """A new table holding the first ``n`` rows (column-sliced copy)."""
+        result = self.empty_like(name)
+        result._store = self._store.slice(0, max(n, 0))
+        result.lossy_columns = list(self.lossy_columns)
+        return result
 
     def column_values(self, name: str) -> List[Any]:
-        """All values of one column, in row order."""
-        col = self.schema.column(name)
-        return [row.get(col.name) for row in self._rows]
+        """All values of one column, in row order (a fresh list)."""
+        return list(self.column(name))
 
     def distinct_values(self, name: str) -> List[Any]:
         """Distinct values of one column, preserving first-seen order."""
         seen = set()
         out: List[Any] = []
-        for value in self.column_values(name):
+        for value in self.column(name):
             key = repr(value)
             if key not in seen:
                 seen.add(key)
@@ -263,38 +399,42 @@ class Table:
 
     def where(self, predicate: Callable[[Dict[str, Any]], bool], name: Optional[str] = None) -> "Table":
         """A new table holding rows matching ``predicate``."""
+        positions = [i for i in range(len(self._store))
+                     if predicate(RowView(self, i))]
         result = self.empty_like(name or f"{self.name}_filtered")
-        result._rows = [dict(row) for row in self._rows if predicate(row)]
+        result._store = self._store.gather(positions)
         return result
 
     def order_by(self, column: str, descending: bool = False, name: Optional[str] = None) -> "Table":
         """A new table sorted by one column (NULLs first ascending)."""
-        self.schema.column(column)
-        import functools
+        col = self.schema.column(column)
+        vector = self._store.column(col.name)
 
-        def cmp(a: Dict[str, Any], b: Dict[str, Any]) -> int:
-            result = compare_values(a.get(column), b.get(column))
+        def cmp(a: int, b: int) -> int:
+            result = compare_values(vector[a], vector[b])
             if result is None:
-                result = compare_values(repr(a.get(column)), repr(b.get(column))) or 0
+                result = compare_values(repr(vector[a]), repr(vector[b])) or 0
             return result
 
-        ordered = sorted(self._rows, key=functools.cmp_to_key(cmp), reverse=descending)
+        order = sorted(range(len(self._store)), key=functools.cmp_to_key(cmp),
+                       reverse=descending)
         result = self.empty_like(name or f"{self.name}_sorted")
-        result._rows = [dict(row) for row in ordered]
+        result._store = self._store.gather(order)
         return result
 
     def select_columns(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
-        """A new table with only the given columns."""
+        """A new table with only the given columns (vectors stay shared)."""
         schema = self.schema.project(names)
-        result = Table(name or f"{self.name}_projected", schema)
-        for row in self._rows:
-            result.insert({col: row.get(self.schema.column(col).name) for col in names})
-        return result
+        store = self._store.fork_projection(
+            [(col.name, col.name) for col in schema.columns])
+        return Table._adopt(name or f"{self.name}_projected", schema, store,
+                            lossy_columns=[c for c in self.lossy_columns
+                                           if schema.has_column(c)])
 
     # -- statistics ---------------------------------------------------------------
     def null_fraction(self, column: str) -> float:
         """Fraction of rows whose value for ``column`` is NULL."""
-        values = self.column_values(column)
+        values = self.column(column)
         if not values:
             return 0.0
         return sum(1 for v in values if v is None) / len(values)
@@ -304,55 +444,94 @@ class Table:
         return len(self.distinct_values(column))
 
     # -- serialization --------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        """Serialize schema and rows (BLOB columns are replaced by a marker)."""
-        rows = []
-        for row in self._rows:
-            encoded = {}
-            for col in self.schema.columns:
-                value = row.get(col.name)
-                if col.data_type is DataType.BLOB and value is not None:
-                    encoded[col.name] = {"__blob__": True, "repr": f"<blob:{type(value).__name__}>"}
-                else:
-                    encoded[col.name] = value
-            rows.append(encoded)
-        return {
+    def _encode_value(self, col: Column, value: Any) -> Any:
+        if col.data_type is DataType.BLOB and value is not None:
+            return {"__blob__": True, "repr": f"<blob:{type(value).__name__}>"}
+        return value
+
+    def to_dict(self, orient: str = "rows") -> Dict[str, Any]:
+        """Serialize schema and data (BLOB values are replaced by a marker).
+
+        ``orient="rows"`` (the default) keeps the historical row-major
+        payload; ``orient="columnar"`` emits one value vector per column —
+        the on-disk format :class:`~repro.relational.storage.TableStorage`
+        writes.  Both restore through :meth:`from_dict`.
+        """
+        payload: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "schema": self.schema.to_dict(),
-            "rows": rows,
         }
+        if orient == "columnar":
+            payload["format"] = "columnar"
+            payload["row_count"] = len(self._store)
+            payload["lossy_columns"] = list(self.lossy_columns)
+            payload["columns"] = {
+                col.name: [self._encode_value(col, v)
+                           for v in self._store.column(col.name)]
+                for col in self.schema.columns
+            }
+            return payload
+        if orient != "rows":
+            raise ValueError(f"unknown to_dict orient: {orient!r}")
+        rows = []
+        for i in range(len(self._store)):
+            rows.append({col.name: self._encode_value(col, self._store.get(i, col.name))
+                         for col in self.schema.columns})
+        payload["rows"] = rows
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Table":
-        """Inverse of :meth:`to_dict` (blob markers become None).
+        """Inverse of :meth:`to_dict`; accepts row-major and columnar payloads.
 
         The restore is *lossy* for BLOB columns: their payloads were replaced
         by markers at save time and come back as NULL.  Affected column names
         are recorded on ``table.lossy_columns`` so callers can detect the
         loss instead of silently reading NULLs
         (:meth:`~repro.relational.storage.TableStorage.load` also emits a
-        :class:`~repro.relational.storage.LossyBlobWarning`).
+        :class:`~repro.relational.storage.LossyBlobWarning`).  Columnar
+        payloads additionally carry ``lossy_columns`` forward, so a table
+        that was already lossy stays marked across further round-trips.
         """
         schema = Schema.from_dict(payload["schema"])
         table = cls(payload["name"], schema, description=payload.get("description", ""))
         lossy = set()
-        for row in payload.get("rows", []):
-            cleaned = {}
-            for key, value in row.items():
-                if isinstance(value, dict) and value.get("__blob__"):
-                    cleaned[key] = None
-                    lossy.add(key)
-                else:
-                    cleaned[key] = value
-            table.insert(cleaned)
+        if payload.get("format") == "columnar" or "columns" in payload:
+            lossy.update(payload.get("lossy_columns", []))
+            count = int(payload.get("row_count", 0))
+            encoded_columns = payload.get("columns", {})
+            columns: Dict[str, List[Any]] = {}
+            for col in schema.columns:
+                raw = encoded_columns.get(col.name)
+                if raw is None:
+                    raw = [None] * count
+                decoded = []
+                for value in raw:
+                    if isinstance(value, dict) and value.get("__blob__"):
+                        decoded.append(None)
+                        lossy.add(col.name)
+                    else:
+                        decoded.append(col.validate(value))
+                columns[col.name] = decoded
+            table._store.replace_all(columns, count)
+        else:
+            for row in payload.get("rows", []):
+                cleaned = {}
+                for key, value in row.items():
+                    if isinstance(value, dict) and value.get("__blob__"):
+                        cleaned[key] = None
+                        lossy.add(key)
+                    else:
+                        cleaned[key] = value
+                table.insert(cleaned)
         table.lossy_columns = sorted(lossy)
         return table
 
     def pretty(self, limit: int = 10) -> str:
         """A fixed-width text rendering of the first ``limit`` rows."""
         names = self.column_names()
-        shown = self._rows[:limit]
+        shown = self.head(limit)
 
         def fmt(value: Any) -> str:
             if value is None:
@@ -374,6 +553,6 @@ class Table:
         lines = [header, sep]
         for cells in rendered:
             lines.append(" | ".join(cells[n].ljust(widths[n]) for n in names))
-        if len(self._rows) > limit:
-            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        if len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more rows)")
         return "\n".join(lines)

@@ -27,7 +27,6 @@ from repro.fao.library import ImplementationLibrary, ImplementationSpec
 from repro.fao.profiler import ProfileResult, Profiler
 from repro.fao.signature import FunctionSignature
 from repro.parser.logical_plan import LogicalPlanNode
-from repro.relational.schema import Schema
 from repro.relational.table import Table
 from repro.skills.record import SkillRecord, strip_patch_comments
 from repro.utils.timer import Timer
@@ -131,9 +130,7 @@ class RevalidationHarness:
         sampled: Dict[str, Table] = {}
         for name, table in inputs.items():
             if name == primary and len(table) > size:
-                sample = Table(table.name, Schema(list(table.schema.columns)))
-                sample.rows.extend(dict(row) for row in table.rows[:size])
-                sampled[name] = sample
+                sampled[name] = table.head_table(size)
             else:
                 sampled[name] = table
         rows_in = len(sampled[primary]) if primary and primary in sampled else 0

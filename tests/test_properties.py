@@ -17,7 +17,7 @@ from repro.relational.operators import (
     sort,
     union_all,
 )
-from repro.relational.schema import Schema
+from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
 from repro.relational.types import DataType, coerce_value, compare_values
 from repro.utils.seed import SeededRNG, stable_hash
@@ -171,6 +171,117 @@ class TestRelationalProperties:
                      st.booleans(), st.text(max_size=10)))
     def test_coerce_text_always_str(self, value):
         assert isinstance(coerce_value(value, DataType.TEXT), str)
+
+
+# ---------------------------------------------------------------------------
+# Columnar store invariants
+# ---------------------------------------------------------------------------
+mutation_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), row_strategy),
+        st.tuples(st.just("set_cell"), st.integers(min_value=0, max_value=10**6),
+                  st.integers(min_value=1900, max_value=2030)),
+        st.tuples(st.just("update"), st.integers(min_value=1900, max_value=2030),
+                  st.floats(min_value=0.0, max_value=1.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("delete"), st.integers(min_value=1, max_value=50)),
+        st.tuples(st.just("add_column"), st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("fork"), st.booleans()),
+    ),
+    max_size=20,
+)
+
+
+def _apply_mutations(table, model, operations):
+    """Drive ``table`` and a plain list-of-dicts reference model through the
+    same mutation sequence; returns (table, model, parent_snapshots)."""
+    snapshots = []
+    for operation in operations:
+        kind = operation[0]
+        if kind == "insert":
+            row = dict(operation[1])
+            table.insert(row)
+            full = {name: row.get(name) for name in table.column_names()}
+            model.append(full)
+        elif kind == "set_cell" and model:
+            index = operation[1] % len(model)
+            table.rows[index]["year"] = operation[2]
+            model[index]["year"] = operation[2]
+        elif kind == "update":
+            threshold, score = operation[1], operation[2]
+            table.update_where(lambda r: r["year"] > threshold, {"score": score})
+            for row in model:
+                if row["year"] > threshold:
+                    row["score"] = score
+        elif kind == "delete":
+            movie_id = operation[1]
+            table.delete_where(lambda r: r["movie_id"] == movie_id)
+            model[:] = [row for row in model if row["movie_id"] != movie_id]
+        elif kind == "add_column":
+            name = f"extra_{operation[1]}"
+            if not table.schema.has_column(name):
+                table.add_column(Column(name, DataType.INTEGER),
+                                 default=operation[1])
+                for row in model:
+                    row[name] = operation[1]
+        elif kind == "fork":
+            snapshots.append((table, [dict(row) for row in table]))
+            table = table.fork()
+            model = [dict(row) for row in model]
+    return table, model, snapshots
+
+
+class TestColumnarProperties:
+    @given(rows_strategy, mutation_strategy)
+    @settings(max_examples=60)
+    def test_row_api_matches_reference_model(self, rows, operations):
+        """Randomized mutation sequences: the columnar table seen through the
+        row API stays equivalent to a plain list-of-dicts reference model."""
+        table = make_table(rows)
+        model = [dict(row) for row in table]
+        table, model, snapshots = _apply_mutations(table, model, operations)
+        assert [dict(row) for row in table] == model
+        # COW isolation: every pre-fork parent still holds its snapshot.
+        for parent, snapshot in snapshots:
+            assert [dict(row) for row in parent] == snapshot
+
+    @given(rows_strategy, mutation_strategy)
+    @settings(max_examples=60)
+    def test_row_api_matches_column_api(self, rows, operations):
+        """The row view and the column view of one table never disagree."""
+        table = make_table(rows)
+        table, _, _ = _apply_mutations(table, [dict(r) for r in table], operations)
+        names = table.column_names()
+        vectors = {name: table.column_values(name) for name in names}
+        for i, row in enumerate(table):
+            for name in names:
+                assert row[name] == vectors[name][i]
+        assert all(len(vector) == len(table) for vector in vectors.values())
+
+    @given(rows_strategy, st.integers(min_value=1900, max_value=2030))
+    @settings(max_examples=60)
+    def test_fork_isolation_both_directions(self, rows, year):
+        parent = make_table(rows)
+        parent_snapshot = [dict(row) for row in parent]
+        child = parent.fork()
+        child.rows[0]["year"] = year
+        child.update_where(lambda r: True, {"score": 0.5})
+        assert [dict(row) for row in parent] == parent_snapshot
+        child_snapshot = [dict(row) for row in child]
+        parent.rows[0]["year"] = 1899
+        parent.truncate()
+        assert [dict(row) for row in child] == child_snapshot
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_untouched_fork_columns_stay_shared(self, rows):
+        parent = make_table(rows)
+        child = parent.fork()
+        child.set_column("score", [None] * len(child))
+        assert not parent.shares_column(child, "score")
+        for name in ("movie_id", "title", "year"):
+            assert parent.shares_column(child, name)
+            assert parent.column(name) is child.column(name)
 
 
 # ---------------------------------------------------------------------------
