@@ -156,6 +156,12 @@ def _quick_observability() -> Dict[str, Any]:
                                wall_budget_pct=30.0)
 
 
+def _quick_sharded() -> Dict[str, Any]:
+    bench = _bench("bench_sharded")
+    return bench.run_benchmark(corpus_size=bench.QUICK_CORPUS,
+                               shard_counts=bench.QUICK_SHARDS)
+
+
 GATES: Dict[str, GateSpec] = {
     "concurrency": GateSpec(
         name="concurrency",
@@ -320,6 +326,35 @@ GATES: Dict[str, GateSpec] = {
             Check("tracing_on.spans_recorded", minimum=0, strict=True),
         ],
         quick_run=_quick_observability,
+    ),
+    "sharded": GateSpec(
+        name="sharded",
+        record_file="BENCH_sharded.json",
+        committed=[
+            # The acceptance bar: population scattered over 4 shared-nothing
+            # shards >= 1.7x over the same sharding layer at 1 shard, merged
+            # scans row-identical (every column but the per-process lineage
+            # lid) to an unsharded service, and a file-backed gateway cache
+            # serving exact hits — with a real token cut — across a full
+            # service restart.
+            Check("population.speedup_4", minimum=1.7),
+            Check("population.speedup_2", minimum=1.2),
+            Check("row_identical", equals=True),
+            Check("restart.warm_exact_hits", minimum=0, strict=True),
+            Check("restart.restored_entries", minimum=0, strict=True),
+            Check("restart.token_ratio", minimum=1.2),
+        ],
+        quick=[
+            # The quick shape runs 1/2 shards on a smaller corpus: fewer
+            # batched model waits to overlap, so only the 2-shard ratio is
+            # held (looser); the structural floors stay strict.
+            Check("population.speedup_2", minimum=1.2),
+            Check("row_identical", equals=True),
+            Check("restart.warm_exact_hits", minimum=0, strict=True),
+            Check("restart.restored_entries", minimum=0, strict=True),
+            Check("restart.token_ratio", minimum=1.2),
+        ],
+        quick_run=_quick_sharded,
     ),
 }
 

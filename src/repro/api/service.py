@@ -86,8 +86,11 @@ class KathDBService:
         # sessions (and corpus population): shared exact/semantic caching,
         # in-flight coalescing, micro-batching, and admission control.
         gateway_config = self.config.gateway_config()
+        self.gateway_store = (self._build_gateway_store()
+                              if gateway_config is not None else None)
         self.gateway: Optional[ModelGateway] = (
-            ModelGateway(gateway_config, metrics=self.metrics)
+            ModelGateway(gateway_config, metrics=self.metrics,
+                         store=self.gateway_store)
             if gateway_config is not None else None)
         populator_models = (
             self.gateway.route(self.models, "loader", quota_exempt=True)
@@ -107,6 +110,7 @@ class KathDBService:
         self._session_ids = itertools.count(1)
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._closed = False
         # The legacy stats surfaces stay API-compatible as registry views:
         # gateway_stats()/skill_stats() read *through* the registry, so one
         # store owns every number the service reports.
@@ -116,6 +120,25 @@ class KathDBService:
             self.metrics.register_view("skills", self.skill_store.stats)
         if self.prepared is not None:
             self.metrics.register_view("prepared", self.prepared.stats.as_dict)
+        if self.gateway_store is not None:
+            self.metrics.register_view("gateway_cache_store",
+                                       self.gateway_store.stats.as_dict)
+
+    def _build_gateway_store(self):
+        """The durable gateway cache store these config knobs imply, or None.
+
+        ``"memory"`` means no cross-process durability is wanted — the
+        in-process :class:`~repro.gateway.cache.ExactResultCache` already
+        is the memory tier, so wrapping a second in-memory copy would only
+        double every entry.
+        """
+        config = self.config
+        if config.gateway_cache_backend == "memory" or not config.enable_model_cache:
+            return None
+        from repro.gateway.persist import GatewayCacheStore
+        backend = backend_from_spec(config.gateway_cache_backend,
+                                    config.gateway_cache_path)
+        return GatewayCacheStore(backend)
 
     def _build_skill_store(self) -> Optional[SkillStore]:
         """The durable skill store these config knobs imply, or None."""
@@ -283,16 +306,36 @@ class KathDBService:
 
     # -- lifecycle / introspection -------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop the worker pool (idempotent)."""
+        """Stop the worker pool and flush/close persistent backends.
+
+        Idempotent: the pool teardown always runs (and re-runs harmlessly),
+        while the backend closes — the gateway's durable cache store, the
+        skill store's backend, the JSONL trace sink — happen exactly once.
+        File and SQLite-backed runs must never lose buffered writes to a
+        double ``shutdown()`` or a ``with`` block that also calls it.
+        """
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._closed:
+                return
+            self._closed = True
+        if self.gateway is not None:
+            self.gateway.close()
+        if self.skill_store is not None:
+            self.skill_store.close()
+        if self._trace_sink is not None:
+            try:
+                self._trace_sink.close()
+            except OSError:
+                self.metrics.counter("trace_sink_errors").inc()
 
     def __enter__(self) -> "KathDBService":
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Idempotent close: re-entering/exiting never double-releases."""
         self.shutdown()
 
     def total_tokens(self) -> int:

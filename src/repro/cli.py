@@ -92,6 +92,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "are persisted and reused (after revalidation) "
                              "across restarts pointed at the same path (forces "
                              "service mode)")
+    parser.add_argument("--gateway-cache", default=None, metavar="BACKEND[:PATH]",
+                        help="persistent backing store for the gateway's "
+                             "exact/semantic result caches: 'memory' (default; "
+                             "process-local), 'file:DIR', or 'sqlite:FILE'; "
+                             "non-volatile cached results survive restarts "
+                             "pointed at the same path (forces service mode)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="shard the engine N ways (shared-nothing workers; "
+                             "population and queries scatter-gather with "
+                             "row-identical merged results; forces service "
+                             "mode; default: 1 = unsharded)")
     parser.add_argument("--skill-stats", action="store_true",
                         help="print the skill store's hit/miss/revalidation "
                              "counters after the run (forces service mode)")
@@ -152,6 +163,22 @@ def parse_skill_store(spec: str) -> Dict[str, object]:
     return overrides
 
 
+def parse_gateway_cache(spec: str) -> Dict[str, object]:
+    """Parse a ``--gateway-cache BACKEND[:PATH]`` spec into config overrides."""
+    kind, separator, path = spec.partition(":")
+    kind = kind.strip()
+    if kind not in ("memory", "file", "sqlite"):
+        raise ValueError(
+            f"--gateway-cache expects memory, file:DIR or sqlite:FILE, got {spec!r}")
+    overrides: Dict[str, object] = {"gateway_cache_backend": kind}
+    if separator and path.strip():
+        overrides["gateway_cache_path"] = path.strip()
+    elif kind != "memory":
+        raise ValueError(f"--gateway-cache {kind} requires a path "
+                         f"({kind}:/some/where)")
+    return overrides
+
+
 def build_user(args: argparse.Namespace) -> UserAgent:
     """Choose the user agent implied by the CLI options."""
     if args.interactive:
@@ -186,6 +213,47 @@ def print_span_tree(spans: Sequence[Dict[str, object]], output) -> None:
         emit(root, 0)
 
 
+def run_sharded_batch(args: argparse.Namespace, query: str, sharded,
+                      corpus, output) -> int:
+    """Serve the batch through a :class:`~repro.sharding.ShardedService`.
+
+    The sharded facade reports its own per-shard summary instead of the
+    single-service cache/trace surfaces (each shard keeps those privately).
+    """
+    from repro import QueryOptions, QueryRequest
+    from repro.utils.timer import Timer
+
+    with sharded:
+        sharded.load_corpus(corpus)
+        requests = [QueryRequest(nl_query=query, user=build_user(args),
+                                 options=QueryOptions(
+                                     use_prepared=not args.no_prepared))
+                    for _ in range(max(1, args.repeat))]
+        timer = Timer()
+        with timer:
+            responses = sharded.query_batch(requests)
+        failed = [r for r in responses if not r.ok]
+        print(f"\nquery: {query}", file=output)
+        print(f"batch: {len(responses)} request(s), "
+              f"{sharded.num_shards} shard(s), "
+              f"{timer.elapsed:.3f} s wall clock "
+              f"({len(responses) / max(timer.elapsed, 1e-9):.1f} queries/s)",
+              file=output)
+        for response in responses:
+            print("  " + response.describe(), file=output)
+        print(sharded.describe(), file=output)
+        if args.gateway_stats:
+            stats = sharded.gateway_stats()
+            print("gateway (all shards): "
+                  + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())),
+                  file=output)
+        first_ok = next((r for r in responses if r.ok), None)
+        if first_ok is not None:
+            print(first_ok.result.final_table.pretty(limit=args.limit),
+                  file=output)
+    return 1 if failed else 0
+
+
 def run_batch(args: argparse.Namespace, query: str, output) -> int:
     """Serve ``--repeat`` copies of the query through the service layer."""
     from repro import KathDBService, QueryOptions, QueryRequest
@@ -200,6 +268,9 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
     skill_overrides: Dict[str, object] = {}
     if args.skill_store is not None:
         skill_overrides = parse_skill_store(args.skill_store)
+    gateway_cache_overrides: Dict[str, object] = {}
+    if args.gateway_cache is not None:
+        gateway_cache_overrides = parse_gateway_cache(args.gateway_cache)
     config = KathDBConfig(seed=args.seed, lineage_level=args.lineage_level,
                           monitor_enabled=not args.no_monitor,
                           enable_prepared_cache=not args.no_prepared,
@@ -209,7 +280,15 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           simulate_model_latency=max(0.0, args.simulate_latency),
                           gateway_batch_window_s=args.batch_window,
                           slow_query_ms=args.slow_query_ms,
-                          **semantic_overrides, **skill_overrides)
+                          **semantic_overrides, **skill_overrides,
+                          **gateway_cache_overrides)
+    shards = max(1, args.shards)
+    if shards > 1:
+        from repro.sharding import ShardedService
+        sharded = ShardedService(config, shards=shards)
+        print(f"loading corpus ({len(corpus)} movies) across {shards} shards "
+              f"and populating multimodal views ...", file=output)
+        return run_sharded_batch(args, query, sharded, corpus, output)
     service = KathDBService(config)
     print(f"loading corpus ({len(corpus)} movies) and populating multimodal views ...",
           file=output)
@@ -362,6 +441,7 @@ def run(args: argparse.Namespace, output=None) -> int:
                     or args.batch_window is not None
                     or args.semantic_cache is not None
                     or args.skill_store is not None or args.skill_stats
+                    or args.gateway_cache is not None or args.shards > 1
                     or args.trace or args.trace_out is not None
                     or args.metrics or args.slow_query_ms is not None)
     if service_mode:

@@ -87,6 +87,15 @@ class KathDBConfig:
     enable_model_cache: bool = True
     gateway_cache_entries: int = 4096
     gateway_cache_token_budget: Optional[int] = None
+    # Durable gateway cache: persist the exact tier's non-volatile entries
+    # and the semantic tier's (group, signature, answer) records through the
+    # same pluggable backends as the skill store ("memory" = process-local
+    # only, "file" = atomic JSON directory, "sqlite").  A restarted service
+    # pointed at the same path starts with a warm exact cache and rebuilds
+    # the semantic LSH index from the persisted signatures.  Setting a path
+    # with the default backend promotes it to "file".
+    gateway_cache_backend: str = "memory"
+    gateway_cache_path: Optional[Union[str, Path]] = None
     # In-flight coalescing of identical concurrent calls.
     enable_request_coalescing: bool = True
     # Micro-batching of batchable kinds (embeddings, NER, detector).  A None
@@ -155,6 +164,16 @@ class KathDBConfig:
             raise KathDBError("vectorized_batch_size must be at least 1")
         if self.gateway_cache_entries < 1:
             raise KathDBError("gateway_cache_entries must be at least 1")
+        if self.gateway_cache_path is not None and self.gateway_cache_backend == "memory":
+            # A path means the caller wants durability; default to files.
+            self.gateway_cache_backend = "file"
+        if self.gateway_cache_backend not in ("memory", "file", "sqlite"):
+            raise KathDBError(
+                "gateway_cache_backend must be 'memory', 'file', or 'sqlite'")
+        if self.gateway_cache_backend != "memory" and self.gateway_cache_path is None:
+            raise KathDBError(
+                f"gateway_cache_backend {self.gateway_cache_backend!r} "
+                "requires gateway_cache_path")
         if self.gateway_batch_window_s is not None and self.gateway_batch_window_s < 0:
             raise KathDBError("gateway_batch_window_s must be non-negative")
         if self.gateway_max_batch < 1:

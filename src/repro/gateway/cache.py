@@ -57,14 +57,35 @@ class ExactCacheStats:
 
 
 class ExactResultCache:
-    """A thread-safe LRU of model results with per-entry token accounting."""
+    """A thread-safe LRU of model results with per-entry token accounting.
 
-    def __init__(self, capacity: int = 4096, token_budget: Optional[int] = None):
+    An optional ``store`` (:class:`~repro.gateway.persist.GatewayCacheStore`)
+    makes the tier durable: non-volatile entries are written through on
+    :meth:`put` and previously persisted entries are loaded back (up to
+    ``capacity``) at construction, so a restarted service starts warm.
+    Volatile (URI-keyed) entries never reach the store — they are only
+    valid for the currently loaded corpus.
+    """
+
+    def __init__(self, capacity: int = 4096, token_budget: Optional[int] = None,
+                 store: Optional[Any] = None):
         self.capacity = max(1, capacity)
         self.token_budget = token_budget
+        self.store = store
         self._entries: "OrderedDict[RequestKey, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = ExactCacheStats()
+        if store is not None:
+            self._restore_from_store()
+
+    def _restore_from_store(self) -> None:
+        """Seed the cache from persisted entries (no write-back, no stats)."""
+        for key, result, token_cost in self.store.load_exact(limit=self.capacity):
+            entry = CacheEntry(key=key, result=result,
+                               token_cost=max(0, int(token_cost)))
+            with self._lock:
+                self._entries[key] = entry
+                self.stats.cached_tokens += entry.token_cost
 
     def __len__(self) -> int:
         with self._lock:
@@ -100,10 +121,17 @@ class ExactResultCache:
 
     def put(self, key: RequestKey, result: Any, token_cost: int = 0,
             volatile: bool = False) -> None:
-        """Insert one result (stored as a private deep copy)."""
+        """Insert one result (stored as a private deep copy).
+
+        Non-volatile entries additionally write through to the attached
+        persistent store, outside the lock (backend IO must not serialize
+        concurrent cache traffic).
+        """
         stored = CacheEntry(key=key, result=copy.deepcopy(result),
                             token_cost=max(0, int(token_cost)),
                             volatile=volatile)
+        if self.store is not None and not volatile:
+            self.store.put_exact(key, result, token_cost)
         with self._lock:
             previous = self._entries.pop(key, None)
             if previous is not None:

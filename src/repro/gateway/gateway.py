@@ -166,8 +166,14 @@ class ModelGateway:
     """Shared semantic cache + coalescing + micro-batching + admission."""
 
     def __init__(self, config: Optional[GatewayConfig] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 store: Optional[Any] = None):
         self.config = config or GatewayConfig()
+        # Optional durable cache store (repro.gateway.persist): the exact
+        # tier seeds from it and writes non-volatile entries through; the
+        # semantic tier persists (group, signature, result, cost) and
+        # rebuilds its LSH index from the signatures on startup.
+        self.store = store
         # The service passes its shared registry so gateway telemetry and
         # query traces land in one store; standalone gateways own a private
         # one.  ``self.events`` — the rolling stream behind
@@ -176,7 +182,8 @@ class ModelGateway:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = self.metrics.events
         self.cache = ExactResultCache(capacity=self.config.cache_entries,
-                                      token_budget=self.config.cache_token_budget)
+                                      token_budget=self.config.cache_token_budget,
+                                      store=store)
         self.coalescer = RequestCoalescer()
         self.admission = AdmissionController(
             max_concurrency=self.config.max_concurrency,
@@ -188,7 +195,10 @@ class ModelGateway:
                                           capacity=self.config.semantic_entries,
                                           mode=self.config.semantic_mode,
                                           planes=self.config.semantic_planes,
-                                          probes=self.config.semantic_probes)
+                                          probes=self.config.semantic_probes,
+                                          store=store)
+        if store is not None and self.config.enable_semantic:
+            self.semantic.restore_persisted()
         self._clients_lock = threading.Lock()
         self._clients: "OrderedDict[str, SessionGatewayClient]" = OrderedDict()
 
@@ -460,7 +470,7 @@ class ModelGateway:
         """Nested counters from every tier plus the per-session rollup."""
         with self._clients_lock:
             sessions = {sid: c.counters.as_dict() for sid, c in self._clients.items()}
-        return {
+        payload: Dict[str, Dict[str, Any]] = {
             "cache": self.cache.as_dict(),
             "coalescing": self.coalescer.stats.as_dict(),
             "batching": self.batcher.stats.as_dict(),
@@ -468,6 +478,9 @@ class ModelGateway:
             "admission": self.admission.as_dict(),
             "sessions": sessions,
         }
+        if self.store is not None:
+            payload["persistence"] = self.store.stats.as_dict()
+        return payload
 
     def flat_stats(self) -> Dict[str, Any]:
         """The headline counters as one flat dict (CLI / response surface)."""
@@ -519,7 +532,30 @@ class ModelGateway:
         candidate term lists (extracted from corpus rows) must not outlive
         the corpus they were measured against, and a stale index entry
         pointing at a dropped answer would be a correctness hole.
+
+        With a persistent store attached, a full clear wipes the store too
+        (clear-through), while the corpus-reload clear rebuilds the
+        semantic tier from its persisted entries afterwards — a persisted
+        answer carries its exact term sets in its signature, so unlike the
+        in-memory candidate lists it cannot go stale across corpora.
         """
         dropped = self.cache.clear(volatile_only=volatile_only)
         self.semantic.clear()
+        if self.store is not None:
+            if volatile_only:
+                if self.config.enable_semantic:
+                    self.semantic.restore_persisted()
+            else:
+                self.store.clear()
         return dropped
+
+    def close(self) -> None:
+        """Flush and release the persistent cache store, if any (idempotent).
+
+        Backends write synchronously (atomic file replace / per-put SQLite
+        commit), so close only has to release resources — but a SQLite
+        connection left open on shutdown is exactly the kind of leak a
+        long-running sharded deployment cannot afford.
+        """
+        if self.store is not None:
+            self.store.close()

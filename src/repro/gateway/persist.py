@@ -1,0 +1,287 @@
+"""Durable storage for the gateway's result caches.
+
+The exact-match cache and the semantic near-match tier are the gateway's
+most valuable state — every entry is a model call somebody already paid
+for — yet until this module they lived and died with the process.
+:class:`GatewayCacheStore` persists both tiers through the same pluggable
+:class:`~repro.skills.backends.SkillBackend` interface the skill store
+proved out (in-memory, atomic-JSON-file directory, SQLite), so cache
+contents survive restarts and can be shared across shared-nothing worker
+shards pointed at sibling paths.
+
+What is (and is not) persisted:
+
+* **exact tier** — every *non-volatile* entry (purely content-keyed
+  requests: text extraction, embeddings, LLM calls).  Volatile entries are
+  keyed on a URI-addressed argument and are only valid for the currently
+  loaded corpus, so persisting them would resurrect stale answers after a
+  corpus swap; they stay process-local by design.
+* **semantic tier** — the (group, signature, result, token cost) tuple of
+  every stored predicate answer.  Signature *vectors* are deliberately not
+  stored: :meth:`SemanticNearCache.embed_signature` is deterministic (a
+  private meter-less embedder), so the LSH index is rebuilt from the
+  persisted signatures on startup — cheaper than round-tripping float
+  arrays and immune to embedder-width drift.
+
+Results are arbitrary Python values (nested dataclasses, numpy arrays,
+tuples), so they travel through a small tagged JSON codec.  A result the
+codec cannot represent is *skipped*, not an error: the in-memory cache
+still holds it, the store just counts it under ``skipped`` — persistence
+is strictly best-effort write-through.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import importlib
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gateway.fingerprint import RequestKey
+from repro.skills.backends import SkillBackend
+from repro.utils.seed import stable_hash
+
+#: Tag key marking a codec container; raw results never collide with it
+#: because every dict a model returns is itself encoded as a tagged item
+#: list.
+_TAG = "__kathdb__"
+
+#: Only dataclasses from the reproduction's own modules are reconstructed
+#: on decode — a persisted record must never trigger an arbitrary import.
+_TRUSTED_MODULE_PREFIX = "repro."
+
+
+class UnpersistableResult(TypeError):
+    """The codec cannot represent this result; keep it process-local."""
+
+
+# -- the tagged JSON codec ---------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """Reduce a model result to a JSON-plain tagged structure.
+
+    Raises :class:`UnpersistableResult` for types the codec does not
+    cover; the caller treats that as "do not persist", never as a failure.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {_TAG: "bytes", "data": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, np.ndarray):
+        return {_TAG: "ndarray", "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": base64.b64encode(np.ascontiguousarray(value).tobytes())
+                .decode("ascii")}
+    if isinstance(value, np.generic):
+        return encode_value(value.item())
+    if isinstance(value, (list, tuple)):
+        return {_TAG: "tuple" if isinstance(value, tuple) else "list",
+                "items": [encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {_TAG: "set", "items": sorted((encode_value(v) for v in value),
+                                             key=repr)}
+    if isinstance(value, dict):
+        return {_TAG: "dict",
+                "items": [[encode_value(k), encode_value(v)]
+                          for k, v in value.items()]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        if not cls.__module__.startswith(_TRUSTED_MODULE_PREFIX):
+            raise UnpersistableResult(
+                f"refusing to persist foreign dataclass {cls.__module__}.{cls.__qualname__}")
+        return {_TAG: "dataclass",
+                "type": f"{cls.__module__}:{cls.__qualname__}",
+                "fields": {f.name: encode_value(getattr(value, f.name))
+                           for f in dataclasses.fields(value)}}
+    raise UnpersistableResult(f"no codec for {type(value).__name__}")
+
+
+def decode_value(encoded: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if not isinstance(encoded, dict):
+        return encoded
+    kind = encoded.get(_TAG)
+    if kind == "bytes":
+        return base64.b64decode(encoded["data"])
+    if kind == "ndarray":
+        raw = base64.b64decode(encoded["data"])
+        return np.frombuffer(raw, dtype=np.dtype(encoded["dtype"])) \
+            .reshape(tuple(encoded["shape"])).copy()
+    if kind == "list":
+        return [decode_value(v) for v in encoded["items"]]
+    if kind == "tuple":
+        return tuple(decode_value(v) for v in encoded["items"])
+    if kind == "set":
+        return set(decode_value(v) for v in encoded["items"])
+    if kind == "dict":
+        return {decode_value(k): decode_value(v) for k, v in encoded["items"]}
+    if kind == "dataclass":
+        module_name, _, qualname = encoded["type"].partition(":")
+        if not module_name.startswith(_TRUSTED_MODULE_PREFIX):
+            raise UnpersistableResult(f"untrusted dataclass module {module_name!r}")
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj(**{name: decode_value(v)
+                      for name, v in encoded["fields"].items()})
+    raise UnpersistableResult(f"unknown codec tag {kind!r}")
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Write-through / restore counters for one store."""
+
+    persisted: int = 0       # records written through to the backend
+    skipped: int = 0         # results the codec could not represent
+    restored: int = 0        # records loaded back into a live cache
+    load_errors: int = 0     # undecodable records skipped on load
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class GatewayCacheStore:
+    """Write-through persistence for the gateway's exact + semantic tiers.
+
+    One store wraps one :class:`SkillBackend`; exact entries and semantic
+    entries share it under distinct key prefixes.  All methods are
+    best-effort: backend IO failures and unpersistable results are counted,
+    never raised into the serving path.
+    """
+
+    EXACT_PREFIX = "gwx:"
+    SEMANTIC_PREFIX = "gws:"
+
+    def __init__(self, backend: SkillBackend):
+        self.backend = backend
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- exact tier ---------------------------------------------------------------
+    def _exact_key(self, key: RequestKey) -> str:
+        return f"{self.EXACT_PREFIX}{key[0]:016x}-{key[1]:016x}"
+
+    def put_exact(self, key: RequestKey, result: Any, token_cost: int) -> bool:
+        """Write one exact-cache entry through; False when skipped."""
+        try:
+            encoded = encode_value(result)
+        except UnpersistableResult:
+            with self._lock:
+                self.stats.skipped += 1
+            return False
+        record = {"kind": "exact", "key": [int(key[0]), int(key[1])],
+                  "result": encoded, "token_cost": max(0, int(token_cost))}
+        try:
+            self.backend.put(self._exact_key(key), record)
+        except OSError:
+            with self._lock:
+                self.stats.skipped += 1
+            return False
+        with self._lock:
+            self.stats.persisted += 1
+        return True
+
+    def load_exact(self, limit: Optional[int] = None
+                   ) -> Iterator[Tuple[RequestKey, Any, int]]:
+        """Yield persisted ``(key, result, token_cost)`` exact entries."""
+        yielded = 0
+        for name in self._keys(self.EXACT_PREFIX):
+            if limit is not None and yielded >= limit:
+                return
+            record = self.backend.get(name)
+            if not isinstance(record, dict) or record.get("kind") != "exact":
+                continue
+            try:
+                key = record["key"]
+                result = decode_value(record["result"])
+                token_cost = int(record.get("token_cost", 0))
+            except (UnpersistableResult, KeyError, TypeError, ValueError,
+                    AttributeError, ImportError):
+                with self._lock:
+                    self.stats.load_errors += 1
+                continue
+            with self._lock:
+                self.stats.restored += 1
+            yielded += 1
+            yield (int(key[0]), int(key[1])), result, token_cost
+
+    # -- semantic tier ------------------------------------------------------------
+    def put_semantic(self, group: Tuple[Any, ...], signature: str,
+                     result: Any, token_cost: int) -> bool:
+        """Write one semantic entry through; False when skipped."""
+        try:
+            encoded_group = encode_value(tuple(group))
+            encoded_result = encode_value(result)
+        except UnpersistableResult:
+            with self._lock:
+                self.stats.skipped += 1
+            return False
+        name = f"{self.SEMANTIC_PREFIX}{stable_hash(group, signature):016x}"
+        record = {"kind": "semantic", "group": encoded_group,
+                  "signature": signature, "result": encoded_result,
+                  "token_cost": max(0, int(token_cost))}
+        try:
+            self.backend.put(name, record)
+        except OSError:
+            with self._lock:
+                self.stats.skipped += 1
+            return False
+        with self._lock:
+            self.stats.persisted += 1
+        return True
+
+    def load_semantic(self) -> List[Tuple[Tuple[Any, ...], str, Any, int]]:
+        """All persisted ``(group, signature, result, token_cost)`` entries."""
+        loaded: List[Tuple[Tuple[Any, ...], str, Any, int]] = []
+        for name in self._keys(self.SEMANTIC_PREFIX):
+            record = self.backend.get(name)
+            if not isinstance(record, dict) or record.get("kind") != "semantic":
+                continue
+            try:
+                group = decode_value(record["group"])
+                signature = record["signature"]
+                result = decode_value(record["result"])
+                token_cost = int(record.get("token_cost", 0))
+            except (UnpersistableResult, KeyError, TypeError, ValueError,
+                    AttributeError, ImportError):
+                with self._lock:
+                    self.stats.load_errors += 1
+                continue
+            if not isinstance(signature, str):
+                with self._lock:
+                    self.stats.load_errors += 1
+                continue
+            with self._lock:
+                self.stats.restored += 1
+            loaded.append((tuple(group), signature, result, token_cost))
+        return loaded
+
+    # -- lifecycle ----------------------------------------------------------------
+    def _keys(self, prefix: str) -> List[str]:
+        try:
+            return [k for k in self.backend.keys() if k.startswith(prefix)]
+        except OSError:
+            return []
+
+    def clear(self) -> int:
+        """Drop every persisted gateway record; returns how many."""
+        dropped = 0
+        for name in self._keys(self.EXACT_PREFIX) + self._keys(self.SEMANTIC_PREFIX):
+            if self.backend.delete(name):
+                dropped += 1
+        return dropped
+
+    def close(self) -> None:
+        """Release the backend (idempotent; safe to call from shutdown)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.backend.close()
+
+    def describe(self) -> str:
+        counters = ", ".join(f"{k}={v}" for k, v in self.stats.as_dict().items())
+        return f"gateway cache store ({self.backend.kind}): {counters}"

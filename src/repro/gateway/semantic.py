@@ -102,7 +102,8 @@ class SemanticNearCache:
 
     def __init__(self, threshold: float = 0.97, capacity: int = 512,
                  embedder: Optional[EmbeddingModel] = None,
-                 mode: str = "ann", planes: int = 16, probes: int = 8):
+                 mode: str = "ann", planes: int = 16, probes: int = 8,
+                 store: Optional[Any] = None):
         if not 0.0 < threshold <= 1.0:
             raise ValueError("semantic threshold must be in (0, 1]")
         if mode not in SEMANTIC_MODES:
@@ -128,6 +129,11 @@ class SemanticNearCache:
                               dimensions=self._embedder.vector_width)
         self._lock = threading.Lock()
         self.stats = SemanticStats()
+        # Optional persistence (repro.gateway.persist.GatewayCacheStore):
+        # stored answers write through as (group, signature, result, cost);
+        # vectors are re-embedded on restore() — embed_signature is
+        # deterministic, so the rebuilt LSH index is exact.
+        self.store = store
 
     def embed_signature(self, signature: str) -> np.ndarray:
         return self._embedder.embed_text(signature, purpose="gateway_signature")
@@ -180,8 +186,15 @@ class SemanticNearCache:
 
     # -- maintenance --------------------------------------------------------------
     def put(self, group: Tuple, vector: np.ndarray, signature: str, result: Any,
-            token_cost: int = 0) -> None:
-        """Store one exactly-computed answer for future near-matches."""
+            token_cost: int = 0, persist: bool = True) -> None:
+        """Store one exactly-computed answer for future near-matches.
+
+        ``persist=False`` is the restore path: entries loaded back from the
+        store must not echo into it.  The write-through happens outside the
+        lock — backend IO must not serialize lookups.
+        """
+        if persist and self.store is not None:
+            self.store.put_semantic(group, signature, result, token_cost)
         entry = SemanticEntry(vector=vector, signature=signature,
                               result=copy.deepcopy(result),
                               token_cost=max(0, int(token_cost)))
@@ -202,6 +215,27 @@ class SemanticNearCache:
                 self.stats.entries -= 1
                 if not oldest_entries:
                     del self._groups[oldest_group]
+
+    def restore_persisted(self) -> int:
+        """Rebuild the tier (entries + LSH index) from the attached store.
+
+        Safe to call at startup *and* after a corpus-reload ``clear()``:
+        a persisted answer is fully determined by its signature — the exact
+        term sets travel inside it — so unlike live candidate term lists it
+        cannot go stale when the corpus changes.  Returns entries restored
+        (0 without a store); restores stop at ``capacity``.
+        """
+        if self.store is None:
+            return 0
+        restored = 0
+        for group, signature, result, token_cost in self.store.load_semantic():
+            if restored >= self.capacity:
+                break
+            vector = self.embed_signature(signature)
+            self.put(group, vector, signature, result, token_cost,
+                     persist=False)
+            restored += 1
+        return restored
 
     def clear(self) -> None:
         """Drop every stored answer *and* its index entry (counters kept).

@@ -56,20 +56,52 @@ class TraceRingBuffer:
 
 
 class JsonlTraceSink:
-    """Appends each finished trace as one JSON line."""
+    """Appends each finished trace as one JSON line.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``buffer_lines`` batches appends: lines accumulate in memory and hit
+    the file once the buffer fills, on :meth:`flush`, or on
+    :meth:`close`.  The default of 1 keeps the historical behaviour —
+    every trace is on disk the moment :meth:`write` returns.  Whoever
+    raises it (high-volume scatter-gather runs) must close the sink on
+    shutdown or the tail of the trace log is lost.
+    """
+
+    def __init__(self, path: Union[str, Path], buffer_lines: int = 1) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.buffer_lines = max(1, int(buffer_lines))
         self.written = 0
+        self._pending: List[str] = []
+        self._closed = False
         self._lock = threading.Lock()
 
     def write(self, trace: Trace) -> None:
         line = json.dumps(trace.to_dict(), sort_keys=True)
         with self._lock:
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            if self._closed:
+                return
+            self._pending.append(line)
             self.written += 1
+            if len(self._pending) >= self.buffer_lines:
+                self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        if not self._pending:
+            return
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write("\n".join(self._pending) + "\n")
+        self._pending.clear()
+
+    def flush(self) -> None:
+        """Force buffered lines to disk."""
+        with self._lock:
+            self._drain_locked()
+
+    def close(self) -> None:
+        """Flush and refuse further writes (idempotent)."""
+        with self._lock:
+            self._drain_locked()
+            self._closed = True
 
 
 def chrome_trace_events(traces: Iterable[Trace]) -> List[Dict[str, Any]]:

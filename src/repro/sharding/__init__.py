@@ -1,0 +1,6 @@
+"""Shared-nothing sharding: scatter-gather engines + consistent-hash routing."""
+
+from repro.sharding.ring import HashRing
+from repro.sharding.sharded import PLACEMENTS, ShardedService, split_corpus
+
+__all__ = ["HashRing", "PLACEMENTS", "ShardedService", "split_corpus"]

@@ -1,0 +1,95 @@
+"""A consistent-hash ring for routing requests to shards.
+
+Model-call-heavy requests want *cache affinity*: the same request
+fingerprint must keep landing on the same shard so that shard's exact
+and semantic/ANN gateway caches stay warm for its slice of the key
+space.  A plain ``hash(key) % n`` gives affinity but reshuffles almost
+every key when ``n`` changes; a consistent-hash ring with virtual nodes
+(the classic memcached/Dynamo construction — SHIP and Othello in
+PAPERS.md make the same stability argument for lookup tiers) moves only
+``~1/n`` of the keys when a shard joins or leaves, so a resize does not
+flush every warm cache at once.
+
+Everything hashes through :func:`repro.utils.seed.stable_hash`, so
+placement is stable across processes and Python releases — a router in
+one process and a worker in another agree on every key's home.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.utils.seed import stable_hash
+
+
+class HashRing:
+    """Consistent hashing over a set of nodes with virtual replicas.
+
+    ``replicas`` virtual points per node smooth the load split: with one
+    point per node the arc lengths (and so the key shares) are wildly
+    uneven; with 64 the max/min shard share on uniform keys stays within
+    a few tens of percent, which is plenty for cache routing.
+    """
+
+    def __init__(self, nodes: Sequence[Hashable] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, Hashable]] = []  # sorted (hash, node)
+        self._hashes: List[int] = []                   # parallel, for bisect
+        self._nodes: Dict[Hashable, List[int]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ---------------------------------------------------------------
+    def add(self, node: Hashable) -> None:
+        """Place ``node``'s virtual points on the ring (idempotent)."""
+        if node in self._nodes:
+            return
+        hashes = [stable_hash("ring", node, i) for i in range(self.replicas)]
+        self._nodes[node] = hashes
+        for point in hashes:
+            index = bisect.bisect_left(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._points.insert(index, (point, node))
+
+    def remove(self, node: Hashable) -> None:
+        """Take ``node`` off the ring; its keys fall to ring successors."""
+        hashes = self._nodes.pop(node, None)
+        if hashes is None:
+            return
+        for point in hashes:
+            index = bisect.bisect_left(self._hashes, point)
+            while self._points[index][1] != node or self._hashes[index] != point:
+                index += 1
+            del self._hashes[index]
+            del self._points[index]
+
+    def nodes(self) -> List[Hashable]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- lookup -------------------------------------------------------------------
+    def node_for(self, key: object) -> Hashable:
+        """The node owning ``key``: first virtual point clockwise of its hash.
+
+        ``key`` may be anything with a stable ``repr`` — request-fingerprint
+        tuples (:data:`~repro.gateway.fingerprint.RequestKey`), strings, ints.
+        """
+        if not self._points:
+            raise ValueError("hash ring has no nodes")
+        point = stable_hash("key", key)
+        index = bisect.bisect_right(self._hashes, point)
+        if index == len(self._points):   # wrap past 2^64 back to the start
+            index = 0
+        return self._points[index][1]
+
+    def distribution(self, keys: Sequence[object]) -> Dict[Hashable, int]:
+        """How many of ``keys`` each node owns (balance diagnostics)."""
+        counts: Dict[Hashable, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -231,6 +231,27 @@ class TestSinks:
         record = json.loads(lines[0])
         assert record["status"] == "ok" and record["spans"]
 
+    def test_jsonl_sink_buffers_until_flush(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(path, buffer_lines=10)
+        sink.write(self._finished_trace())
+        sink.write(self._finished_trace())
+        # Buffered: counted as written, not yet on disk.
+        assert sink.written == 2
+        assert not path.exists() or not path.read_text().strip()
+        sink.flush()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_jsonl_sink_close_drains_and_refuses_writes(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(path, buffer_lines=100)
+        sink.write(self._finished_trace())
+        sink.close()
+        sink.close()   # idempotent
+        assert len(path.read_text().strip().splitlines()) == 1
+        sink.write(self._finished_trace())   # after close: dropped
+        assert len(path.read_text().strip().splitlines()) == 1
+
     def test_chrome_trace_events_structure(self):
         tracer = Tracer()
         traces = [self._finished_trace(tracer=tracer) for _ in range(2)]
@@ -367,6 +388,18 @@ class TestServiceObservability:
         # Identical concurrent queries must share work — and each share
         # must be visible in the *waiting* session's own trace.
         assert shared_outcomes > 0
+
+    def test_shutdown_flushes_buffered_trace_sink(self, corpus, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        svc = fresh_service(corpus, trace_jsonl_path=path)
+        # Buffer aggressively: only shutdown's close() drains to disk.
+        svc._trace_sink.buffer_lines = 1000
+        assert svc.query(BORING_QUERY).ok
+        svc.shutdown()
+        svc.shutdown()   # idempotent: the second close must not re-drain
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= 1
+        assert svc._trace_sink._closed
 
     def test_error_query_still_produces_a_finished_tree(self, corpus,
                                                         monkeypatch):
