@@ -156,6 +156,15 @@ def _quick_observability() -> Dict[str, Any]:
                                wall_budget_pct=30.0)
 
 
+def _quick_scheduler() -> Dict[str, Any]:
+    bench = _bench("bench_scheduler")
+    # 12 requests over 2 workers (8 hog / 4 light): six FIFO waves in the
+    # flat arm, so the hog's backlog is still what the light tenants would
+    # wait behind — the structural gap survives the smaller shape.
+    return bench.run_benchmark(corpus_size=12, requests=12, workers=2,
+                               light_tenants=bench.LIGHT_TENANTS[:2])
+
+
 def _quick_sharded() -> Dict[str, Any]:
     bench = _bench("bench_sharded")
     return bench.run_benchmark(corpus_size=bench.QUICK_CORPUS,
@@ -326,6 +335,35 @@ GATES: Dict[str, GateSpec] = {
             Check("tracing_on.spans_recorded", minimum=0, strict=True),
         ],
         quick_run=_quick_observability,
+    ),
+    "scheduler": GateSpec(
+        name="scheduler",
+        record_file="BENCH_scheduler.json",
+        committed=[
+            # The acceptance bar: with one hog tenant flooding 4 workers at
+            # 32 concurrent sessions, the light tenants' p95 end-to-end
+            # latency under the scheduler is at most half the flat pool's
+            # (fairness_gain >= 2), total throughput keeps the 3.6x floor
+            # the flat pool held in BENCH_concurrency.json, nothing is shed
+            # (the default queue bounds fit the workload), and every arm
+            # returns identical rows.
+            Check("fairness_gain", minimum=2.0),
+            Check("speedup", minimum=3.6),
+            Check("row_identical", equals=True),
+            Check("scheduler.shed", equals=0),
+            Check("scheduler.expired", equals=0),
+        ],
+        quick=[
+            # 2 workers / 12 requests: fewer FIFO waves for the light
+            # tenants to jump, so the fairness ratio shrinks with the
+            # shape; throughput tops out near the 2-worker ideal.
+            Check("fairness_gain", minimum=1.3),
+            Check("speedup", minimum=1.6),
+            Check("row_identical", equals=True),
+            Check("scheduler.shed", equals=0),
+            Check("scheduler.expired", equals=0),
+        ],
+        quick_run=_quick_scheduler,
     ),
     "sharded": GateSpec(
         name="sharded",

@@ -33,6 +33,12 @@ class QueryOptions:
     max_plan_rounds: int = 3         # plan writer/verifier revision budget
     function_versions: Dict[str, int] = field(default_factory=dict)
     tag: Optional[str] = None        # free-form caller tag, echoed back
+    # Scheduling knobs (option-level defaults; the request-level fields of
+    # the same names win when both are set).  Absent tenant => the session
+    # id; absent priority => the service's default class ("interactive").
+    tenant_id: Optional[str] = None
+    priority: Optional[str] = None   # "interactive" | "batch" | "background"
+    deadline_ms: Optional[float] = None  # relative deadline from submission
 
 
 @dataclass
@@ -45,6 +51,26 @@ class QueryRequest:
     # A caller-supplied transcript to append this query's interactions to;
     # None means the session's own transcript is used.
     transcript: Optional[Transcript] = None
+    # Multi-tenant scheduling: which tenant this request bills/queues under
+    # (None = the per-request session id, i.e. pre-scheduler behavior),
+    # its priority class, and an optional relative deadline after which the
+    # scheduler sheds it pre-dispatch or cancels it mid-flight.
+    tenant_id: Optional[str] = None
+    priority: Optional[str] = None
+    deadline_ms: Optional[float] = None
+
+    def sched_params(self, default_priority: str = "interactive",
+                     ) -> "tuple[Optional[str], str, Optional[float]]":
+        """Resolve (tenant, priority class, deadline_ms) for the scheduler.
+
+        Request-level fields win over option-level ones; a None tenant means
+        "use the session id" (resolved by the service, which mints the id).
+        """
+        tenant = self.tenant_id or self.options.tenant_id
+        priority = self.priority or self.options.priority or default_priority
+        deadline = (self.deadline_ms if self.deadline_ms is not None
+                    else self.options.deadline_ms)
+        return tenant, priority, deadline
 
 
 @dataclass
@@ -83,6 +109,14 @@ class QueryResponse:
     # The trace this request produced (fetch the full tree via
     # ``service.trace(trace_id)``); None when tracing is disabled.
     trace_id: Optional[str] = None
+    # Scheduling metadata: time spent queued before dispatch, the priority
+    # class the request ran under, why it was shed ("backpressure" /
+    # "deadline" / "shutdown"; None when it ran), and a small per-tenant
+    # scheduler snapshot (queue depth, sheds, expiries) for backoff logic.
+    queue_ms: float = 0.0
+    sched_class: Optional[str] = None
+    shed_reason: Optional[str] = None
+    scheduler_stats: Optional[Dict[str, Any]] = None
     # The finished Trace backing ``trace_spans``, set by ``Session.query``
     # after the trace scope closes (so durations are final).
     _trace: Optional[Any] = None

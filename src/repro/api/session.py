@@ -25,6 +25,8 @@ from repro.interaction.channel import InteractionChannel, Transcript
 from repro.interaction.user import SilentUser, UserAgent
 from repro.models.base import ModelSuite
 from repro.obs.trace import current_trace, span as obs_span
+from repro.sched.cancel import current_cancel_token
+from repro.sched.scheduler import current_task as sched_current_task
 from repro.relational.table import Table
 from repro.utils.timer import Timer
 
@@ -45,9 +47,14 @@ class Session:
                  models: Optional[ModelSuite] = None,
                  lineage: Optional[LineageStore] = None,
                  transcript: Optional[Transcript] = None,
-                 stack: Optional[QueryStack] = None):
+                 stack: Optional[QueryStack] = None,
+                 tenant_id: Optional[str] = None):
         self.service = service
         self.id = session_id
+        # The tenant this session bills and queues under.  Defaulting to the
+        # session id preserves the pre-scheduler behavior (one throwaway
+        # session = one ledger entry) for callers that never name a tenant.
+        self.tenant = tenant_id or session_id
         self.default_user = user or SilentUser()
         if models is not None:
             # Legacy facade path: the caller wired the suite explicitly (the
@@ -59,7 +66,8 @@ class Session:
                 # Route the fork through the shared gateway: identical calls
                 # across sessions are cached/coalesced/batched service-wide
                 # while misses still charge this session's private meter.
-                self.models = self.models.routed(service.gateway, session_id)
+                self.models = self.models.routed(service.gateway, session_id,
+                                                 tenant_id=self.tenant)
         # ``or`` would discard an *empty* store (LineageStore is sized, and a
         # fresh one is falsy), so test for None explicitly.
         self.lineage = lineage if lineage is not None else ScopedLineageStore(service.lineage)
@@ -115,6 +123,9 @@ class Session:
         # re-attach (repro.obs.trace.attach); same-thread spans propagate
         # through the contextvar regardless.
         context.trace = current_trace()
+        # Carry the scheduler's cancel token: the engine checks it at
+        # operator boundaries, the gateway before each model call.
+        context.cancel = current_cancel_token()
         return context
 
     def total_tokens(self) -> int:
@@ -191,6 +202,7 @@ class Session:
                                        query=request.nl_query) as trace:
             if trace is not None:
                 self.last_trace_id = trace.trace_id
+                self._record_queue_span(trace)
             response = self._answer(request)
             if trace is not None:
                 rows = (len(response.result.final_table)
@@ -204,6 +216,24 @@ class Session:
             response.trace_id = trace.trace_id
             response._trace = trace
         return response
+
+    def _record_queue_span(self, trace) -> None:
+        """Backdate a ``queue`` span covering this request's time-in-queue.
+
+        The scheduler stamps enqueue/dispatch on the ``perf_counter`` clock
+        (the same clock every span uses), so the span slots into the trace
+        tree before the stage children and feeds the registry's
+        ``latency_ms.queue`` histogram through normal trace aggregation.
+        """
+        task = sched_current_task()
+        if task is None or task.dispatch_pc is None:
+            return
+        span = trace.begin("queue", trace.root, kind="queue",
+                           tags={"tenant": task.tenant,
+                                 "sched_class": task.sched_class})
+        span.start_pc = task.enqueue_pc
+        span.finish()
+        span.end_pc = task.dispatch_pc
 
     def _answer(self, request: QueryRequest) -> QueryResponse:
         """The query pipeline body (runs inside the trace scope, if any)."""

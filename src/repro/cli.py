@@ -132,6 +132,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="record queries slower than MS in the slow-query "
                              "log and print it after the run (forces service "
                              "mode)")
+    parser.add_argument("--tenant", default=None, metavar="ID",
+                        help="tenant id for fair-share scheduling; requests "
+                             "from the same tenant share one weighted queue "
+                             "(forces service mode; default: one implicit "
+                             "tenant per request/session)")
+    parser.add_argument("--priority", choices=["interactive", "batch", "background"],
+                        default=None,
+                        help="scheduling class for the batch's requests "
+                             "(forces service mode; default: interactive)")
+    parser.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                        help="per-request deadline; requests still queued (or "
+                             "running) past it are cancelled with a structured "
+                             "ok=False response instead of blocking (forces "
+                             "service mode)")
+    parser.add_argument("--sched-stats", action="store_true",
+                        help="print the fair-share scheduler's per-class and "
+                             "per-tenant counters after the run (forces "
+                             "service mode)")
+    parser.add_argument("--no-scheduler", action="store_true",
+                        help="bypass the fair-share scheduler and use the flat "
+                             "thread pool (the pre-scheduler dispatch path; "
+                             "forces service mode)")
     return parser
 
 
@@ -213,6 +235,24 @@ def print_span_tree(spans: Sequence[Dict[str, object]], output) -> None:
         emit(root, 0)
 
 
+def print_sched_stats(stats: Optional[Dict[str, object]], output) -> None:
+    """Render a scheduler stats snapshot (or note that it is disabled)."""
+    if stats is None:
+        print("scheduler: disabled (--no-scheduler)", file=output)
+        return
+    print(f"scheduler: {stats['workers']} worker(s), "
+          f"admitted={stats['admitted']}, completed={stats['completed']}, "
+          f"shed={stats['shed']}, expired={stats['expired']}, "
+          f"cancelled={stats['cancelled']}", file=output)
+    for name, board in sorted(stats.get("classes", {}).items()):  # type: ignore[union-attr]
+        print(f"  class {name}: reserved={board['reserved']}, "
+              f"running={board['running']}, depth={board['depth']}", file=output)
+    for tenant, counters in sorted(stats.get("tenants", {}).items()):  # type: ignore[union-attr]
+        print(f"  tenant {tenant}: queued={counters['queued']}, "
+              f"shed={counters['shed']}, expired={counters['expired']}",
+              file=output)
+
+
 def run_sharded_batch(args: argparse.Namespace, query: str, sharded,
                       corpus, output) -> int:
     """Serve the batch through a :class:`~repro.sharding.ShardedService`.
@@ -227,7 +267,10 @@ def run_sharded_batch(args: argparse.Namespace, query: str, sharded,
         sharded.load_corpus(corpus)
         requests = [QueryRequest(nl_query=query, user=build_user(args),
                                  options=QueryOptions(
-                                     use_prepared=not args.no_prepared))
+                                     use_prepared=not args.no_prepared,
+                                     tenant_id=args.tenant,
+                                     priority=args.priority,
+                                     deadline_ms=args.deadline_ms))
                     for _ in range(max(1, args.repeat))]
         timer = Timer()
         with timer:
@@ -247,6 +290,8 @@ def run_sharded_batch(args: argparse.Namespace, query: str, sharded,
             print("gateway (all shards): "
                   + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())),
                   file=output)
+        if args.sched_stats:
+            print_sched_stats(sharded.scheduler_stats(), output)
         first_ok = next((r for r in responses if r.ok), None)
         if first_ok is not None:
             print(first_ok.result.final_table.pretty(limit=args.limit),
@@ -276,6 +321,7 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
                           enable_prepared_cache=not args.no_prepared,
                           enable_model_cache=not args.no_model_cache,
                           enable_vectorized_execution=not args.no_vectorized,
+                          enable_scheduler=not args.no_scheduler,
                           service_max_workers=max(1, args.jobs),
                           simulate_model_latency=max(0.0, args.simulate_latency),
                           gateway_batch_window_s=args.batch_window,
@@ -300,7 +346,10 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
     def request_options(first: bool) -> QueryOptions:
         return QueryOptions(use_prepared=not args.no_prepared,
                             explain=args.explain and first,
-                            explain_top=args.explain_top and first)
+                            explain_top=args.explain_top and first,
+                            tenant_id=args.tenant,
+                            priority=args.priority,
+                            deadline_ms=args.deadline_ms)
 
     requests = [QueryRequest(nl_query=query, user=build_user(args),
                              options=request_options(index == 0))
@@ -325,6 +374,8 @@ def run_batch(args: argparse.Namespace, query: str, output) -> int:
         stats = service.prepared_stats()
         print("prepared-query cache: " + ", ".join(f"{k}={v}" for k, v in stats.items()),
               file=output)
+    if args.sched_stats:
+        print_sched_stats(service.scheduler_stats(), output)
     if args.skill_stats or args.skill_store is not None:
         if service.skill_store is None:
             print("skill store: disabled", file=output)
@@ -443,7 +494,10 @@ def run(args: argparse.Namespace, output=None) -> int:
                     or args.skill_store is not None or args.skill_stats
                     or args.gateway_cache is not None or args.shards > 1
                     or args.trace or args.trace_out is not None
-                    or args.metrics or args.slow_query_ms is not None)
+                    or args.metrics or args.slow_query_ms is not None
+                    or args.tenant is not None or args.priority is not None
+                    or args.deadline_ms is not None or args.sched_stats
+                    or args.no_scheduler)
     if service_mode:
         if args.interactive:
             print("error: --interactive cannot be combined with service mode "

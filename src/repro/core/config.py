@@ -146,6 +146,26 @@ class KathDBConfig:
     # SlowQueryLog ring (surfaced by service.describe() and --slow-query-ms)
     # with their slowest operator span pinned.
     slow_query_ms: Optional[float] = None
+    # Admission scheduler (src/repro/sched/): multi-tenant fair-share queues
+    # over the service worker pool.  Requests carry tenant/priority/deadline
+    # (QueryRequest fields); per-tenant queues inside each priority class are
+    # drained by deficit round-robin, classes hold concurrency reservations,
+    # full queues shed with a structured rejection, and lapsed deadlines
+    # cancel before dispatch.  Off = the legacy flat thread pool (shards in a
+    # ShardedService run with this off — the coordinator schedules once).
+    enable_scheduler: bool = True
+    # Per-tenant, per-class bounded queue depth; submissions beyond it shed
+    # with reason "backpressure" instead of blocking.
+    sched_queue_limit: int = 64
+    # Worker-slot reservations per priority class ({"interactive": 2, ...}).
+    # Empty = auto split: interactive half, batch a quarter, background the
+    # rest.  Reservations are minimum guarantees; idle slots are borrowable.
+    sched_class_reservations: Dict[str, int] = field(default_factory=dict)
+    # Deficit-round-robin weights per tenant id (default 1.0 each): a tenant
+    # with weight 2 drains twice as fast as a weight-1 tenant under load.
+    sched_tenant_weights: Dict[str, float] = field(default_factory=dict)
+    # Priority class used when a request names none.
+    sched_default_priority: str = "interactive"
 
     def __post_init__(self):
         if self.lineage_level not in (LINEAGE_LEVEL_ROW, LINEAGE_LEVEL_TABLE, LINEAGE_LEVEL_OFF):
@@ -205,6 +225,23 @@ class KathDBConfig:
             raise KathDBError("session_token_quota must be positive when set")
         if self.trace_buffer_size < 1:
             raise KathDBError("trace_buffer_size must be at least 1")
+        if self.sched_queue_limit < 1:
+            raise KathDBError("sched_queue_limit must be at least 1")
+        from repro.sched.scheduler import PRIORITY_CLASSES
+        if self.sched_default_priority not in PRIORITY_CLASSES:
+            raise KathDBError(
+                f"sched_default_priority must be one of {PRIORITY_CLASSES}")
+        for sched_class, slots in self.sched_class_reservations.items():
+            if sched_class not in PRIORITY_CLASSES:
+                raise KathDBError(
+                    f"unknown priority class in sched_class_reservations: "
+                    f"{sched_class!r}")
+            if int(slots) < 0:
+                raise KathDBError("sched_class_reservations values must be >= 0")
+        for tenant, weight in self.sched_tenant_weights.items():
+            if float(weight) <= 0:
+                raise KathDBError(
+                    f"sched_tenant_weights[{tenant!r}] must be positive")
         if self.slow_query_ms is not None and self.slow_query_ms < 0:
             raise KathDBError("slow_query_ms must be non-negative when set")
 

@@ -148,8 +148,51 @@ class SessionQuotaExceededError(GatewayError):
 
     def __init__(self, session_id: str, spent: int, quota: int):
         super().__init__(
-            f"session {session_id!r} exceeded its model-token quota "
+            f"tenant {session_id!r} exceeded its model-token quota "
             f"({spent} tokens spent, quota {quota})")
         self.session_id = session_id
         self.spent = spent
         self.quota = quota
+
+
+# --------------------------------------------------------------------------
+# Admission-scheduler errors
+# --------------------------------------------------------------------------
+class SchedulerError(KathDBError):
+    """Base class for admission-scheduler failures."""
+
+
+class SchedulerRejection(SchedulerError):
+    """The scheduler shed a request instead of queueing it.
+
+    Shedding is structured backpressure: the caller gets this exception (or
+    an ``ok=False`` response with ``shed_reason`` set) immediately rather
+    than blocking behind a full queue.  ``reason`` is a stable
+    machine-readable string: ``"backpressure"`` (the tenant's class queue is
+    full), ``"deadline"`` (the deadline lapsed before dispatch), or
+    ``"shutdown"`` (the scheduler is draining).
+    """
+
+    def __init__(self, reason: str, tenant_id: str = "", sched_class: str = "",
+                 queue_depth: int = 0):
+        super().__init__(
+            f"scheduler shed request for tenant {tenant_id!r} "
+            f"(class {sched_class!r}, depth {queue_depth}): {reason}")
+        self.reason = reason
+        self.tenant_id = tenant_id
+        self.sched_class = sched_class
+        self.queue_depth = queue_depth
+
+
+class QueryCancelledError(SchedulerError):
+    """Cooperative cancellation observed mid-flight.
+
+    Raised by :meth:`repro.sched.cancel.CancelToken.check` at operator
+    boundaries and gateway call sites.  Deliberately *not* a
+    :class:`FunctionExecutionError`: cancellation must unwind the query, not
+    trigger the self-repair loop.
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__(f"query cancelled: {reason}")
+        self.reason = reason

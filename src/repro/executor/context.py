@@ -39,6 +39,11 @@ class ExecutionContext:
     # (parallel compile, a future async scheduler) re-attach via
     # ``repro.obs.trace.attach(context.trace)``.
     trace: Optional[Any] = None
+    # The scheduler's CancelToken (repro.sched.cancel) for this request, or
+    # None when unscheduled.  The engine checks it at operator boundaries
+    # and the gateway before each model call, so a lapsed deadline stops
+    # in-flight work cooperatively at the next safe point.
+    cancel: Optional[Any] = None
 
     @classmethod
     def for_catalog(cls, catalog: Catalog, lineage: Optional[LineageStore] = None,

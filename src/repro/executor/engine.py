@@ -73,6 +73,11 @@ class ExecutionEngine:
         produced: List[str] = []
         with total_timer:
             for operator in plan.operators:
+                # Operator boundaries are the engine's cancellation points:
+                # a scheduled request whose deadline lapsed mid-execution
+                # stops here instead of paying for the next operator.
+                if context.cancel is not None:
+                    context.cancel.check()
                 record = self._execute_operator(operator, context, channel, result)
                 result.records.append(record)
                 produced.append(operator.node.output)

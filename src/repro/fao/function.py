@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.datamodel.lineage import DependencyPattern
-from repro.errors import FunctionExecutionError
+from repro.errors import FunctionExecutionError, QueryCancelledError
 from repro.fao.signature import FunctionSignature
 from repro.models.base import ModelSuite
 from repro.relational.catalog import Catalog
@@ -92,7 +92,9 @@ class GeneratedFunction:
         )
         try:
             result = self.body(inputs, merged_context)
-        except FunctionExecutionError:
+        except (FunctionExecutionError, QueryCancelledError):
+            # Cancellation unwinds the query; it must not look like a
+            # syntactic fault or the monitor would "repair" cancelled work.
             raise
         except Exception as error:  # noqa: BLE001 - deliberate: any body fault is syntactic
             raise FunctionExecutionError(

@@ -1,4 +1,4 @@
-"""Admission control: per-session token quotas and a global concurrency cap.
+"""Admission control: per-tenant token quotas and a global concurrency cap.
 
 The gateway is the one place every model call funnels through, so it is the
 natural enforcement point for the two production guardrails the ROADMAP's
@@ -7,10 +7,19 @@ natural enforcement point for the two production guardrails the ROADMAP's
 * a **global concurrency limiter** — at most ``max_concurrency`` underlying
   model executions run at once, service-wide (cache hits and coalesced
   followers never take a slot), and
-* **per-session token quotas** — a session that has already charged its
+* **per-tenant token quotas** — a tenant that has already charged its
   quota is refused further *misses* (hits stay free: they cost the service
-  nothing).  The check runs before execution, so a session can overshoot by
+  nothing).  The check runs before execution, so a tenant can overshoot by
   at most one call.
+
+The ledger is keyed by *tenant id*, not session id: a
+:class:`~repro.gateway.gateway.SessionGatewayClient` carries both, and its
+``tenant_id`` defaults to the session id for callers that never name a
+tenant.  Keying by session would let a tenant dodge its quota by simply
+re-submitting — every request runs in a fresh throwaway session with a
+zeroed ledger — so all of a tenant's sessions now share one ledger entry.
+Queueing policy (fairness, priorities, deadlines) lives in
+:mod:`repro.sched`; this module stays the token/concurrency authority.
 """
 
 from __future__ import annotations
@@ -24,14 +33,15 @@ from repro.errors import SessionQuotaExceededError
 
 
 class AdmissionController:
-    """Semaphore-gated execution slots plus per-session spend ledgers."""
+    """Semaphore-gated execution slots plus per-tenant spend ledgers."""
 
-    #: LRU bound on tracked per-session spend ledgers: a service creates one
-    #: throwaway session per request, and the ledger must not grow forever.
-    #: Sessions that have exhausted their quota are never evicted — evicting
-    #: them would hand an idle-but-blocked session a fresh quota (each entry
-    #: is just an id + int, so retaining them is cheap); under-quota idle
-    #: entries are the ones dropped.
+    #: LRU bound on tracked per-tenant spend ledgers: unnamed tenants default
+    #: to one throwaway session per request, and the ledger must not grow
+    #: forever.  Tenants that have exhausted their quota are never evicted —
+    #: evicting them would hand an idle-but-blocked tenant a fresh quota
+    #: (each entry is just an id + int, so retaining them is cheap);
+    #: under-quota idle entries are the ones dropped.  (The historical name
+    #: predates the tenant-keyed ledger and is kept for compatibility.)
     MAX_TRACKED_SESSIONS = 4096
 
     def __init__(self, max_concurrency: int = 16,
@@ -63,45 +73,45 @@ class AdmissionController:
                 self._active -= 1
             self._semaphore.release()
 
-    def precheck(self, session_id: str) -> None:
-        """Refuse the call if the session already spent its quota."""
+    def precheck(self, tenant_id: str) -> None:
+        """Refuse the call if the tenant already spent its quota."""
         quota = self.session_token_quota
         if quota is None:
             return
         with self._lock:
-            spent = self._spent.get(session_id, 0)
+            spent = self._spent.get(tenant_id, 0)
             if spent >= quota:
                 self.rejections += 1
-                raise SessionQuotaExceededError(session_id, spent, quota)
+                raise SessionQuotaExceededError(tenant_id, spent, quota)
 
-    def charge(self, session_id: str, tokens: int) -> int:
-        """Record tokens a session paid; returns its running total."""
+    def charge(self, tenant_id: str, tokens: int) -> int:
+        """Record tokens a tenant paid; returns its running total."""
         quota = self.session_token_quota
         with self._lock:
-            total = self._spent.get(session_id, 0) + max(0, int(tokens))
-            self._spent[session_id] = total
-            self._spent.move_to_end(session_id)
+            total = self._spent.get(tenant_id, 0) + max(0, int(tokens))
+            self._spent[tenant_id] = total
+            self._spent.move_to_end(tenant_id)
             if len(self._spent) > self.MAX_TRACKED_SESSIONS:
-                # Evict lowest-spend-first among under-quota entries: a
-                # throwaway per-request session spends once and idles near
-                # zero, while a long-lived session that is *nearly*
+                # Evict lowest-spend-first among under-quota entries: an
+                # unnamed per-request tenant spends once and idles near
+                # zero, while a long-lived tenant that is *nearly*
                 # exhausted keeps its ledger (evicting it would refresh its
                 # quota).  Exhausted entries are never dropped at all.
                 overflow = len(self._spent) - self.MAX_TRACKED_SESSIONS
                 candidates = sorted(
-                    (sid for sid, spent in self._spent.items()
+                    (tid for tid, spent in self._spent.items()
                      if quota is None or spent < quota),
-                    key=lambda sid: self._spent[sid])
-                for sid in candidates[:overflow]:
-                    del self._spent[sid]
+                    key=lambda tid: self._spent[tid])
+                for tid in candidates[:overflow]:
+                    del self._spent[tid]
                 # All-exhausted overflow: keep every ledger — quota
                 # correctness outranks the soft bound here.
             return total
 
-    def spent(self, session_id: str) -> int:
-        """Tokens charged against one session so far."""
+    def spent(self, tenant_id: str) -> int:
+        """Tokens charged against one tenant so far."""
         with self._lock:
-            return self._spent.get(session_id, 0)
+            return self._spent.get(tenant_id, 0)
 
     def as_dict(self) -> Dict[str, int]:
         with self._lock:

@@ -51,6 +51,7 @@ from repro.gateway.fingerprint import (
 from repro.gateway.semantic import SemanticNearCache, term_signature
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span as obs_span
+from repro.sched.cancel import check_current_cancel
 
 
 @dataclass
@@ -121,13 +122,18 @@ class SessionGatewayClient:
     """One session's handle on the shared gateway.
 
     ``quota_exempt`` marks administrative callers (corpus population) that
-    the per-session token quota must not throttle.
+    the per-session token quota must not throttle.  ``tenant_id`` is the
+    quota-ledger key this client's spend charges against; it defaults to the
+    session id, so callers that never name a tenant keep one ledger entry
+    per session, while named tenants share one ledger across all their
+    sessions (a tenant cannot dodge its quota with throwaway sessions).
     """
 
     def __init__(self, gateway: "ModelGateway", session_id: str,
-                 quota_exempt: bool = False):
+                 quota_exempt: bool = False, tenant_id: Optional[str] = None):
         self.gateway = gateway
         self.session_id = session_id
+        self.tenant_id = tenant_id or session_id
         self.quota_exempt = quota_exempt
         self.counters = SessionCounters()
 
@@ -140,8 +146,8 @@ class SessionGatewayClient:
                                    semantic_terms=semantic_terms)
 
     def spent(self) -> int:
-        """Tokens this session has been charged for through the gateway."""
-        return self.gateway.admission.spent(self.session_id)
+        """Tokens this client's tenant has been charged through the gateway."""
+        return self.gateway.admission.spent(self.tenant_id)
 
     def quota_state(self) -> Dict[str, Any]:
         """This session's live quota position, for pre-emptive backoff.
@@ -207,41 +213,55 @@ class ModelGateway:
     #: alias the populator's exemption.
     RESERVED_PREFIX = "#"
     # -- clients and routing --------------------------------------------------------
-    def client(self, session_id: str) -> SessionGatewayClient:
-        """The (one) client for a caller session id, created on first use."""
+    def client(self, session_id: str,
+               tenant_id: Optional[str] = None) -> SessionGatewayClient:
+        """The (one) client for a caller session id, created on first use.
+
+        ``tenant_id`` sets the quota-ledger key on first creation (default:
+        the session id).
+        """
         if session_id.startswith(self.RESERVED_PREFIX):
             raise ValueError(f"session ids must not start with "
                              f"{self.RESERVED_PREFIX!r} (reserved for internal "
                              f"gateway clients): {session_id!r}")
-        return self._client(session_id, quota_exempt=False)
+        return self._client(session_id, quota_exempt=False, tenant_id=tenant_id)
 
     def internal_client(self, name: str) -> SessionGatewayClient:
         """A quota-exempt client for service-internal traffic (population)."""
         return self._client(self.RESERVED_PREFIX + name, quota_exempt=True)
 
-    def _client(self, session_id: str, quota_exempt: bool) -> SessionGatewayClient:
+    def _client(self, session_id: str, quota_exempt: bool,
+                tenant_id: Optional[str] = None) -> SessionGatewayClient:
         with self._clients_lock:
             existing = self._clients.get(session_id)
             if existing is None:
                 existing = SessionGatewayClient(self, session_id,
-                                                quota_exempt=quota_exempt)
+                                                quota_exempt=quota_exempt,
+                                                tenant_id=tenant_id)
                 self._clients[session_id] = existing
                 while len(self._clients) > self.config.max_tracked_sessions:
                     self._clients.popitem(last=False)
             else:
+                if tenant_id is not None and existing.tenant_id != tenant_id:
+                    # A cached client keeps the binding it was created with;
+                    # an explicit tenant re-binds it so the quota ledger
+                    # follows the caller's declaration, not creation order.
+                    existing.tenant_id = tenant_id
                 self._clients.move_to_end(session_id)
             return existing
 
-    def route(self, suite, session_id: str, quota_exempt: bool = False):
+    def route(self, suite, session_id: str, quota_exempt: bool = False,
+              tenant_id: Optional[str] = None):
         """A view of ``suite`` whose models call through this gateway.
 
         Convenience wrapper over :func:`repro.gateway.proxy.route_suite`.
         ``quota_exempt`` is for service-internal traffic and registers the
-        client under the reserved internal namespace.
+        client under the reserved internal namespace.  ``tenant_id`` keys
+        the client's quota ledger (default: the session id).
         """
         from repro.gateway.proxy import route_suite
         client = (self.internal_client(session_id) if quota_exempt
-                  else self.client(session_id))
+                  else self.client(session_id, tenant_id=tenant_id))
         return route_suite(suite, client)
 
     # -- the funnel -----------------------------------------------------------------
@@ -273,6 +293,9 @@ class ModelGateway:
                batchable: bool = False,
                semantic_terms: Optional[Tuple[Any, Any]] = None) -> Any:
         cfg = self.config
+        # A cancelled request (lapsed deadline) must stop before paying for
+        # another model call; cache lookups below are cheap enough to skip.
+        check_current_cancel()
         lexicon_fp = lexicon_fingerprint_of(model)
         model_name = getattr(model, "name", type(model).__name__)
         # The purpose tag never reaches the model — it only labels the cost
@@ -324,10 +347,10 @@ class ModelGateway:
             # Below threshold: guaranteed fall-through to exact execution.
 
         # Quota check before joining the in-flight table: an over-quota
-        # session must be refused here, not become a leader whose rejection
+        # tenant must be refused here, not become a leader whose rejection
         # would propagate to under-quota followers of the same request.
         if not client.quota_exempt:
-            self.admission.precheck(client.session_id)
+            self.admission.precheck(client.tenant_id)
 
         # Tier 3: coalesce onto an identical in-flight execution.
         slot = None
@@ -374,7 +397,7 @@ class ModelGateway:
             client.counters.misses += 1
             client.counters.tokens_charged += token_cost
             self.note_event("misses", 1, token_cost, client.session_id)
-            self.admission.charge(client.session_id, token_cost)
+            self.admission.charge(client.tenant_id, token_cost)
             if cfg.enable_cache:
                 self.cache.note_miss()
                 self.cache.put(key, result, token_cost,

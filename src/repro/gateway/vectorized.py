@@ -46,6 +46,7 @@ from repro.gateway.fingerprint import (
 from repro.gateway.semantic import term_signature
 from repro.models.batching import BatchMember, plan_batch, run_model_batch
 from repro.obs.trace import record_span, span as obs_span
+from repro.sched.cancel import check_current_cancel
 
 #: One logical call: ``(positional args, keyword args)``.
 BatchCall = Tuple[Tuple[Any, ...], Dict[str, Any]]
@@ -191,11 +192,13 @@ class GatewayBatchClient:
         # progress (each completes its own leaderships before waiting).
         follower_waits: List[Tuple[int, Any]] = []
         for chunk in chunks:
-            # Quota is enforced per chunk, mirroring the serial funnel's
-            # per-call precheck: an over-quota session is refused before the
-            # next chunk executes, overshooting by at most one batch.
+            # Cancellation and quota are enforced per chunk, mirroring the
+            # serial funnel's per-call checks: a cancelled (deadline-lapsed)
+            # request stops before the next chunk, and an over-quota tenant
+            # is refused, overshooting by at most one batch.
+            check_current_cancel()
             if not client.quota_exempt:
-                gateway.admission.precheck(client.session_id)
+                gateway.admission.precheck(client.tenant_id)
 
             # Tier 3 per member: lead each distinct miss in the in-flight
             # table (so concurrent serial callers — and other batches —
@@ -253,7 +256,7 @@ class GatewayBatchClient:
                         del client.counters.batch_sizes[:-self.MAX_RECORDED_SIZES // 2]
                     if plan.tokens_saved:
                         client.counters.batch_tokens_saved += plan.tokens_saved
-                    gateway.admission.charge(client.session_id, plan.total_tokens)
+                    gateway.admission.charge(client.tenant_id, plan.total_tokens)
                     gateway.batcher.note_external_batch(kind, plan.size,
                                                         plan.tokens_saved)
                     gateway.note_event("misses", plan.size, plan.total_tokens,

@@ -101,16 +101,18 @@ class ModelSuite:
                                  lexicon=lexicon or self.lexicon.copy(),
                                  cost_meter=meter)
 
-    def routed(self, gateway, session_id: str) -> "ModelSuite":
+    def routed(self, gateway, session_id: str,
+               tenant_id: Optional[str] = None) -> "ModelSuite":
         """A view of this suite whose models call through a shared gateway.
 
         The view shares this suite's cost meter and lexicon — accounting and
         clarifications are unchanged — but every charged model entry point is
         wrapped in a gateway proxy, so identical requests from concurrent
         sessions are cached, coalesced, and micro-batched service-wide.
-        Routing an already-routed suite returns it unchanged.
+        ``tenant_id`` keys the gateway quota ledger (default: the session
+        id).  Routing an already-routed suite returns it unchanged.
         """
-        return gateway.route(self, session_id)
+        return gateway.route(self, session_id, tenant_id=tenant_id)
 
     def reset_costs(self) -> None:
         """Clear the shared cost meter."""

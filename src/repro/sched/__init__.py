@@ -1,0 +1,33 @@
+"""Multi-tenant fair-share admission scheduling.
+
+The scheduler sits between the service API and the execution engine: every
+request is enqueued on a per-tenant queue inside its priority class, a small
+worker pool drains the queues with deficit round-robin, and deadline /
+cancellation state travels with the request as a :class:`CancelToken`.
+"""
+
+from repro.sched.cancel import (
+    CancelToken,
+    activate,
+    check_current_cancel,
+    current_cancel_token,
+)
+from repro.sched.scheduler import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    FairShareScheduler,
+    ScheduledTask,
+    current_task,
+)
+
+__all__ = [
+    "CancelToken",
+    "DEFAULT_PRIORITY",
+    "FairShareScheduler",
+    "PRIORITY_CLASSES",
+    "ScheduledTask",
+    "activate",
+    "check_current_cancel",
+    "current_cancel_token",
+    "current_task",
+]

@@ -1,0 +1,110 @@
+"""Cooperative cancellation: deadline-bearing tokens plus a context variable.
+
+A :class:`CancelToken` is minted by the scheduler when a request is admitted
+and carried on :class:`~repro.executor.context.ExecutionContext`.  Nothing is
+pre-empted: the engine checks the token at operator boundaries and the gateway
+checks it before each model call, so a lapsed deadline stops in-flight work at
+the next safe point.  The token also rides a :class:`~contextvars.ContextVar`
+(mirroring how the current trace span propagates) so deeply nested code —
+generated function bodies, gateway internals — can observe cancellation
+without threading the token through every signature.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextvars import ContextVar, Token
+from typing import Optional
+
+from repro.errors import QueryCancelledError
+
+
+class CancelToken:
+    """A cancellation flag with an optional absolute deadline.
+
+    The deadline is stored on the ``perf_counter`` clock (monotonic and
+    shared with the scheduler's enqueue/dispatch stamps) so wall-clock jumps
+    never spuriously expire a request.
+    """
+
+    __slots__ = ("deadline_pc", "_reason", "_lock")
+
+    def __init__(self, deadline_s: Optional[float] = None):
+        self.deadline_pc: Optional[float] = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None)
+        self._reason: Optional[str] = None
+        self._lock = threading.Lock()
+
+    @classmethod
+    def with_deadline_ms(cls, deadline_ms: Optional[float]) -> "CancelToken":
+        if deadline_ms is None:
+            return cls()
+        return cls(deadline_s=max(0.0, float(deadline_ms)) / 1000.0)
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Flag the token; the first reason wins."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline_pc is not None and time.perf_counter() >= self.deadline_pc
+
+    @property
+    def cancelled(self) -> bool:
+        return self._reason is not None or self.expired
+
+    @property
+    def reason(self) -> str:
+        """Why the token is cancelled; ``""`` while it is still live."""
+        if self._reason is not None:
+            return self._reason
+        if self.expired:
+            return "deadline"
+        return ""
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds until the deadline (never negative); None when unbounded."""
+        if self.deadline_pc is None:
+            return None
+        return max(0.0, self.deadline_pc - time.perf_counter())
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelledError` if the token is cancelled."""
+        if self.cancelled:
+            raise QueryCancelledError(self.reason)
+
+
+_CURRENT_TOKEN: ContextVar[Optional[CancelToken]] = ContextVar(
+    "kathdb_cancel_token", default=None)
+
+
+def current_cancel_token() -> Optional[CancelToken]:
+    """The token governing the current logical request, if any."""
+    return _CURRENT_TOKEN.get()
+
+
+def check_current_cancel() -> None:
+    """Check the ambient token; a no-op when no request is being cancelled."""
+    token = _CURRENT_TOKEN.get()
+    if token is not None:
+        token.check()
+
+
+class activate:
+    """Context manager installing ``token`` as the ambient cancel token."""
+
+    def __init__(self, token: Optional[CancelToken]):
+        self._token = token
+        self._reset: Optional[Token] = None
+
+    def __enter__(self) -> Optional[CancelToken]:
+        self._reset = _CURRENT_TOKEN.set(self._token)
+        return self._token
+
+    def __exit__(self, *_exc) -> None:
+        if self._reset is not None:
+            _CURRENT_TOKEN.reset(self._reset)
+            self._reset = None

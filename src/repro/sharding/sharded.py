@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import itertools
 import threading
 import time
 from pathlib import Path
@@ -52,12 +53,14 @@ from repro.api.service import KathDBService
 from repro.core.config import KathDBConfig
 from repro.data.mmqa import MovieCorpus
 from repro.datamodel.views import PopulationReport
-from repro.errors import KathDBError
+from repro.errors import KathDBError, SchedulerRejection
 from repro.executor.result import QueryResult
 from repro.gateway.fingerprint import request_key
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, attach, span
 from repro.relational.table import Table
+from repro.sched.cancel import CancelToken
+from repro.sched.scheduler import FairShareScheduler, ScheduledTask
 from repro.sharding.ring import HashRing
 
 PLACEMENTS = ("partition", "replicate")
@@ -124,6 +127,21 @@ class ShardedService:
             max_workers=shards, thread_name_prefix="kathdb-shard")
         self._closed = False
         self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        # The coordinator schedules once; shards run with their schedulers
+        # disabled (see _shard_config) and stay dumb executors.  One worker
+        # per shard: replicate-mode routing is one-shard work, and partition
+        # scatters fan out through the separate shard pool anyway.
+        self.scheduler: Optional[FairShareScheduler] = (
+            FairShareScheduler(
+                workers=shards,
+                queue_limit=self.config.sched_queue_limit,
+                reservations=self.config.sched_class_reservations or None,
+                tenant_weights=self.config.sched_tenant_weights or None,
+                metrics=self.metrics)
+            if self.config.enable_scheduler else None)
+        if self.scheduler is not None:
+            self.metrics.register_view("sched", self.scheduler.stats)
         for index, shard in enumerate(self.shards):
             self.metrics.gauge(f"shard.{index}.catalog_tables",
                                fn=lambda s=shard: float(len(s.catalog)))
@@ -141,7 +159,10 @@ class ShardedService:
         corrupt it), so every configured path gets a per-shard suffix.
         """
         config = self.config
-        replacements: Dict[str, Any] = {}
+        # Shards stay dumb: admission scheduling happens exactly once, at
+        # the coordinator — a second per-shard scheduler would double-queue
+        # every request.
+        replacements: Dict[str, Any] = {"enable_scheduler": False}
         directory_backends = {"gateway_cache_path": config.gateway_cache_backend,
                               "skill_store_path": config.skill_store_backend}
         for field in ("gateway_cache_path", "skill_store_path",
@@ -247,10 +268,18 @@ class ShardedService:
               user: Optional[Any] = None,
               options: Optional[QueryOptions] = None) -> QueryResponse:
         """Answer one request: routed (replicate) or scatter-gathered."""
-        coerced = self._coerce(request, user, options)
-        if self.placement == "replicate":
-            return self._route(coerced)
-        return self._scatter_query(coerced)
+        return self._schedule(self._coerce(request, user, options)).result()
+
+    def submit(self, request: Union[str, QueryRequest],
+               user: Optional[Any] = None,
+               options: Optional[QueryOptions] = None
+               ) -> "concurrent.futures.Future[QueryResponse]":
+        """Admit one request to the coordinator scheduler; returns a future.
+
+        Mirrors :meth:`KathDBService.submit`: the future always resolves to
+        a response — shed requests yield ``ok=False`` with ``shed_reason``.
+        """
+        return self._schedule(self._coerce(request, user, options))
 
     def query_batch(self, requests: Sequence[Union[str, QueryRequest]],
                     user: Optional[Any] = None,
@@ -258,18 +287,86 @@ class ShardedService:
         """Answer many requests.
 
         Replicate mode fans independent requests across their home shards
-        concurrently (this is where routed sharding earns its throughput);
-        partition mode runs them serially — each query already saturates
-        every shard, and nesting scatters inside the shard pool would
-        deadlock it.
+        concurrently through the coordinator scheduler (this is where
+        routed sharding earns its throughput); partition mode runs them
+        serially — each query already saturates every shard, and nesting
+        scatters inside the shard pool would deadlock it.
         """
         coerced = [self._coerce(r, user, options) for r in requests]
         if self.placement != "replicate" or len(coerced) <= 1:
             return [self.query(c) for c in coerced]
-        with concurrent.futures.ThreadPoolExecutor(
-                max_workers=min(self.num_shards, len(coerced)),
-                thread_name_prefix="kathdb-route") as pool:
-            return list(pool.map(self._route, coerced))
+        if self.scheduler is None:
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=min(self.num_shards, len(coerced)),
+                    thread_name_prefix="kathdb-route") as pool:
+                return list(pool.map(self._route, coerced))
+        # A counting gate caps this batch's in-flight share at the shard
+        # count (what the private route pool used to provide) so a long
+        # single-tenant batch never overflows its own bounded queue.
+        gate = threading.Semaphore(min(self.num_shards, len(coerced)))
+        futures: List["concurrent.futures.Future[QueryResponse]"] = []
+        for request in coerced:
+            gate.acquire()
+            future = self._schedule(request)
+            future.add_done_callback(lambda _f: gate.release())
+            futures.append(future)
+        return [future.result() for future in futures]
+
+    def _schedule(self, request: QueryRequest
+                  ) -> "concurrent.futures.Future[QueryResponse]":
+        """Admit one request to the coordinator's fair-share scheduler.
+
+        The deadline is enforced coordinator-side (shed before dispatch);
+        shards execute without their own schedulers.  Partition-mode
+        scatters run on the separate shard pool, so scheduling them here
+        cannot deadlock the scheduler's own workers.
+        """
+        execute = (self._route if self.placement == "replicate"
+                   else self._scatter_query)
+        tenant, sched_class, deadline_ms = request.sched_params(
+            self.config.sched_default_priority)
+        tenant = tenant or f"req{next(self._request_ids)}"
+        if self.scheduler is None:
+            future: "concurrent.futures.Future[QueryResponse]" = \
+                concurrent.futures.Future()
+            future.set_result(execute(request))
+            return future
+        token = CancelToken.with_deadline_ms(deadline_ms)
+
+        def runner(task: ScheduledTask) -> QueryResponse:
+            response = execute(request)
+            response.queue_ms = task.queue_ms
+            response.sched_class = task.sched_class
+            return response
+
+        def shed(task: ScheduledTask, reason: str) -> QueryResponse:
+            return self._shed_response(request, tenant, task.sched_class,
+                                       reason, queue_ms=task.queue_ms)
+
+        if self.scheduler.in_worker():
+            future = concurrent.futures.Future()
+            future.set_result(self.scheduler.run_inline(
+                runner, tenant, sched_class, token=token))
+            return future
+        try:
+            return self.scheduler.submit(runner, tenant, sched_class,
+                                         token=token, shed_result=shed)
+        except SchedulerRejection as rejection:
+            future = concurrent.futures.Future()
+            future.set_result(self._shed_response(
+                request, tenant, sched_class, rejection.reason))
+            return future
+
+    def _shed_response(self, request: QueryRequest, tenant: str,
+                       sched_class: str, reason: str,
+                       queue_ms: float = 0.0) -> QueryResponse:
+        stats = (self.scheduler.tenant_snapshot(tenant)
+                 if self.scheduler is not None else None)
+        return QueryResponse(
+            request=request, result=None, session_id="coordinator", ok=False,
+            error=f"request shed by scheduler ({reason}) for tenant {tenant!r}",
+            shed_reason=reason, sched_class=sched_class, queue_ms=queue_ms,
+            scheduler_stats=stats)
 
     def _coerce(self, request: Union[str, QueryRequest], user: Optional[Any],
                 options: Optional[QueryOptions]) -> QueryRequest:
@@ -430,6 +527,12 @@ class ShardedService:
                     merged[key] = merged.get(key, 0) + value
         return merged
 
+    def scheduler_stats(self) -> Optional[Dict[str, Any]]:
+        """Coordinator fair-share scheduler state (None when disabled)."""
+        if self.scheduler is None:
+            return None
+        return self.metrics.view("sched")
+
     def shard_stats(self) -> List[Dict[str, Any]]:
         """Per-shard snapshot: routing counters, catalog size, cache size."""
         snapshot = []
@@ -447,6 +550,8 @@ class ShardedService:
     def describe(self) -> str:
         lines = [f"ShardedService: {self.num_shards} shards "
                  f"({self.placement}), {self.total_tokens()} tokens total"]
+        if self.scheduler is not None:
+            lines.append(self.scheduler.describe())
         for stats in self.shard_stats():
             lines.append(f"  shard {stats['shard']}: "
                          f"{stats['catalog_tables']} tables, "
@@ -460,6 +565,8 @@ class ShardedService:
             if self._closed:
                 return
             self._closed = True
+        if self.scheduler is not None:
+            self.scheduler.shutdown(wait=True)
         self._pool.shutdown(wait=True)
         for shard in self.shards:
             shard.shutdown()
